@@ -1,0 +1,94 @@
+(* Command-line entry point: regenerate any figure of the paper.
+
+     euno_repro fig8                    # paper-scale defaults
+     euno_repro fig10 --quick          # smoke-test scale
+     euno_repro all --keys 15 --ops 5000 --threads 20 --seed 7
+*)
+
+let () = Printexc.record_backtrace true
+
+open Cmdliner
+module Figures = Euno_harness.Figures
+
+let experiment =
+  let names = List.map fst Figures.by_name in
+  let doc =
+    Printf.sprintf "Experiment to run: one of %s." (String.concat ", " names)
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+    & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small smoke-test scale.")
+
+let keys_log2 =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "keys" ] ~docv:"LOG2"
+        ~doc:"Key-space size as a power of two (default 16, i.e. 64Ki keys).")
+
+let ops =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ops" ] ~docv:"N" ~doc:"Operations per simulated thread.")
+
+let max_threads =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threads" ] ~docv:"N" ~doc:"Cap on simulated thread counts (max 20).")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let charts =
+  Arg.(
+    value & flag
+    & info [ "charts" ] ~doc:"Render ASCII charts after the tables.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write every table to DIR/<name>.csv.")
+
+let run_experiment name quick keys_log2 ops max_threads seed charts csv =
+  (match csv with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Figures.csv_dir := Some dir
+  | None -> ());
+  let base = if quick then Figures.quick_scale else Figures.default_scale in
+  let scale =
+    {
+      Figures.key_space =
+        (match keys_log2 with
+        | Some k -> 1 lsl k
+        | None -> base.Figures.key_space);
+      ops_per_thread = Option.value ops ~default:base.Figures.ops_per_thread;
+      max_threads =
+        min 20 (Option.value max_threads ~default:base.Figures.max_threads);
+      seed;
+      charts;
+    }
+  in
+  let f = List.assoc name Figures.by_name in
+  f scale
+
+let cmd =
+  let doc =
+    "Reproduce the evaluation of 'Eunomia: Scaling Concurrent Search Trees \
+     under Contention Using HTM' (PPoPP'17) on a simulated RTM multicore."
+  in
+  Cmd.v
+    (Cmd.info "euno_repro" ~version:"1.0.0" ~doc)
+    Term.(
+      const run_experiment $ experiment $ quick $ keys_log2 $ ops $ max_threads
+      $ seed $ charts $ csv)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/contention_demo.ml: Euno_harness Euno_stats Euno_workload Eunomia List

@@ -1,0 +1,1 @@
+examples/htm_trace.ml: Euno_htm Euno_mem Euno_sim List Printf

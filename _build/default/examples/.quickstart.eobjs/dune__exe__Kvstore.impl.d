@@ -1,0 +1,1 @@
+examples/kvstore.ml: Arg Euno_harness Euno_workload Eunomia Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Euno_mem Euno_sim Eunomia List Printf String

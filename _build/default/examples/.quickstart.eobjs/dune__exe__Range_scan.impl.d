@@ -1,0 +1,1 @@
+examples/range_scan.ml: Euno_mem Euno_sim Eunomia List Printf String

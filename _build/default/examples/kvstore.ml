@@ -1,0 +1,78 @@
+(* A miniature YCSB-style key-value benchmark over any of the four trees.
+
+     dune exec examples/kvstore.exe -- --tree euno --threads 8 \
+       --theta 0.9 --get 50 --ops 2000
+
+   Prints throughput and the abort breakdown for the chosen setup. *)
+
+module Runner = Euno_harness.Runner
+module Kv = Euno_harness.Kv
+module Dist = Euno_workload.Dist
+module Opgen = Euno_workload.Opgen
+
+let usage = "kvstore [--tree euno|htm|masstree|htm-masstree|lock] [--threads N] [--theta F] [--get PCT] [--ops N] [--keys LOG2] [--seed N]"
+
+let () =
+  let tree = ref "euno" in
+  let threads = ref 8 in
+  let theta = ref 0.9 in
+  let get_pct = ref 50 in
+  let ops = ref 2000 in
+  let keys_log2 = ref 16 in
+  let seed = ref 42 in
+  Arg.parse
+    [
+      ("--tree", Arg.Set_string tree, "tree variant (euno|htm|masstree|htm-masstree)");
+      ("--threads", Arg.Set_int threads, "simulated threads (default 8)");
+      ("--theta", Arg.Set_float theta, "Zipfian skew in [0,1) (default 0.9)");
+      ("--get", Arg.Set_int get_pct, "percentage of gets (default 50)");
+      ("--ops", Arg.Set_int ops, "operations per thread (default 2000)");
+      ("--keys", Arg.Set_int keys_log2, "log2 of the key space (default 16)");
+      ("--seed", Arg.Set_int seed, "simulation seed");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let kind =
+    match !tree with
+    | "euno" -> Kv.Euno Eunomia.Config.full
+    | "htm" -> Kv.Htm_bptree
+    | "masstree" -> Kv.Masstree
+    | "htm-masstree" -> Kv.Htm_masstree
+    | "lock" -> Kv.Lock_bptree
+    | other -> failwith ("unknown tree: " ^ other)
+  in
+  let workload =
+    {
+      Runner.default_workload with
+      Runner.dist = Dist.Zipfian !theta;
+      mix = Opgen.read_write ~get_pct:!get_pct;
+      key_space = 1 lsl !keys_log2;
+    }
+  in
+  let setup =
+    {
+      Runner.default_setup with
+      Runner.threads = !threads;
+      ops_per_thread = !ops;
+      seed = !seed;
+      check_after = true (* validate tree invariants when the run ends *);
+    }
+  in
+  let r = Runner.run kind workload setup in
+  Printf.printf "%s: %d threads, zipf %.2f, %d%% get / %d%% put, %d keys\n"
+    r.Runner.r_name !threads !theta !get_pct (100 - !get_pct)
+    (1 lsl !keys_log2);
+  Printf.printf "  throughput        %.2f Mops/s\n" r.Runner.r_mops;
+  Printf.printf "  ops completed     %d\n" r.Runner.r_ops;
+  Printf.printf "  aborts/op         %.3f\n" r.Runner.r_aborts_per_op;
+  Printf.printf "    same record     %.3f\n" (Runner.class_true r);
+  Printf.printf "    diff record     %.3f\n" (Runner.class_false_record r);
+  Printf.printf "    metadata        %.3f\n" (Runner.class_false_meta r);
+  Printf.printf "    lock subscr.    %.3f\n" (Runner.class_subscription r);
+  Printf.printf "    other           %.3f\n" (Runner.class_other r);
+  Printf.printf "  fallbacks/op      %.4f\n" r.Runner.r_fallbacks_per_op;
+  Printf.printf "  wasted CPU        %.1f%%\n" r.Runner.r_wasted_pct;
+  Printf.printf "  accesses/op       %.0f\n" r.Runner.r_instr_per_op;
+  Printf.printf "  live memory       %.2f MB\n"
+    (float_of_int r.Runner.r_mem_live_bytes /. 1048576.0);
+  print_endline "  invariants        ok (validated after the run)"

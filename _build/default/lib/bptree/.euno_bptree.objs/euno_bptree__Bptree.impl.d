@@ -1,0 +1,1 @@
+lib/bptree/bptree.ml: Euno_mem Euno_sim Index Layout List Printf

@@ -1,0 +1,1 @@
+lib/bptree/bptree.mli: Euno_mem

@@ -1,0 +1,1 @@
+lib/bptree/htm_bptree.ml: Bptree Euno_htm Euno_sim

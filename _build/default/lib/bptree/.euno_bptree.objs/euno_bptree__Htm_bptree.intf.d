@@ -1,0 +1,1 @@
+lib/bptree/htm_bptree.mli: Bptree Euno_htm Euno_mem

@@ -1,0 +1,1 @@
+lib/bptree/index.ml: Euno_mem Euno_sim Layout List Printf

@@ -1,0 +1,1 @@
+lib/bptree/index.mli: Euno_mem Layout

@@ -1,0 +1,1 @@
+lib/bptree/layout.mli:

@@ -1,0 +1,1 @@
+lib/bptree/lock_bptree.ml: Bptree Euno_sim Euno_sync

@@ -1,0 +1,1 @@
+lib/bptree/lock_bptree.mli: Bptree Euno_mem

@@ -1,0 +1,36 @@
+(* The HTM-B+Tree baseline (Section 2.2, Algorithm 1): every operation —
+   root-to-leaf traversal, leaf access, split propagation — inside one
+   monolithic RTM region, with the DBX retry/fallback policy.  Simple and
+   fast under low contention; collapses under high contention, which is
+   exactly what Figures 1 and 2 measure. *)
+
+module Api = Euno_sim.Api
+module Htm = Euno_htm.Htm
+
+type t = { tree : Bptree.t; lock : Htm.lock; policy : Htm.policy }
+
+let create ?(policy = Htm.default_policy) ~fanout ~map () =
+  { tree = Bptree.create ~fanout ~map (); lock = Htm.alloc_lock (); policy }
+
+let of_tree ?(policy = Htm.default_policy) tree =
+  { tree; lock = Htm.alloc_lock (); policy }
+
+let tree t = t.tree
+
+let get t key =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () -> Bptree.get t.tree key)
+
+let put t key value =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () ->
+      Bptree.put t.tree key value)
+
+let delete t key =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () -> Bptree.delete t.tree key)
+
+let scan t ~from ~count =
+  Api.op_key from;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () ->
+      Bptree.scan t.tree ~from ~count)

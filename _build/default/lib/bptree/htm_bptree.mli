@@ -1,0 +1,26 @@
+(** The HTM-B+Tree baseline: one monolithic RTM region per operation
+    (paper Section 2.2, Algorithm 1), as adopted by DBX and DrTM.
+
+    Thread-safe on the simulated machine.  Operations declare their target
+    key ({!Euno_sim.Api.op_key}) so conflict aborts are classified per the
+    paper's taxonomy. *)
+
+type t
+
+val create :
+  ?policy:Euno_htm.Htm.policy ->
+  fanout:int ->
+  map:Euno_mem.Linemap.t ->
+  unit ->
+  t
+
+val of_tree : ?policy:Euno_htm.Htm.policy -> Bptree.t -> t
+(** Wrap an existing (e.g. preloaded) tree. *)
+
+val tree : t -> Bptree.t
+(** The underlying tree, for single-threaded inspection in tests. *)
+
+val get : t -> int -> int option
+val put : t -> int -> int -> unit
+val delete : t -> int -> bool
+val scan : t -> from:int -> count:int -> (int * int) list

@@ -1,0 +1,76 @@
+(* Word-level layout of conventional B+Tree nodes in simulated memory.
+
+   The layout mirrors what a C++ implementation does in DRAM: a header
+   line of metadata, then the keys stored *sorted and consecutive* —
+   exactly the arrangement whose cache-line sharing causes the false
+   conflicts analyzed in Section 2.3 of the paper. *)
+
+module Memory = Euno_mem.Memory
+
+let pad_lines words = (words + Memory.line_words - 1) / Memory.line_words * Memory.line_words
+
+(* Common header offsets (both node types). *)
+let off_tag = 0
+let off_nkeys = 1
+let off_parent = 2
+
+(* Internal-only *)
+let off_level = 3
+
+(* Leaf-only *)
+let off_next = 3
+let off_version = 4
+
+let tag_internal = 0
+let tag_leaf = 1
+
+type t = {
+  fanout : int;
+  header_words : int;
+  keys_off : int; (* internal nodes: separator keys *)
+  children_off : int; (* internal: fanout+1 child pointers *)
+  records_off : int; (* leaf: interleaved (key, value) records *)
+  internal_words : int;
+  leaf_words : int;
+}
+
+let make ~fanout =
+  if fanout < 4 || fanout land 1 <> 0 then
+    invalid_arg "Layout.make: fanout must be even and >= 4";
+  let header_words = Memory.line_words in
+  let keys_off = header_words in
+  let keys_words = pad_lines fanout in
+  let children_off = keys_off + keys_words in
+  let records_off = header_words in
+  {
+    fanout;
+    header_words;
+    keys_off;
+    children_off;
+    records_off;
+    internal_words = children_off + pad_lines (fanout + 1);
+    (* Leaves store records as consecutive interleaved (key, value) pairs —
+       four 16-byte records per cache line, the conventional layout whose
+       false sharing Section 2.3 analyzes: a search reads the very lines an
+       update writes. *)
+    leaf_words = records_off + pad_lines (2 * fanout);
+  }
+
+(* Field addresses given a node base address. *)
+let tag node = node + off_tag
+let nkeys node = node + off_nkeys
+let parent node = node + off_parent
+let level node = node + off_level
+let next node = node + off_next
+let version node = node + off_version
+let key l node i = node + l.keys_off + i
+let child l node i = node + l.children_off + i
+
+(* Leaf record accessors (interleaved layout). *)
+let record_key l node i = node + l.records_off + (2 * i)
+let record_value l node i = node + l.records_off + (2 * i) + 1
+
+(* Tree-wide metadata line (kind Tree_meta). *)
+let meta_root = 0
+let meta_depth = 1 (* number of levels, 1 = root is a leaf *)
+let meta_words = Memory.line_words

@@ -1,0 +1,63 @@
+(** Word-level layout of conventional B+Tree nodes in simulated memory.
+
+    Mirrors a C++ implementation's DRAM layout: one metadata header line,
+    then — for internal nodes — sorted separator keys and child pointers
+    in separate arrays, and — for leaves — records stored as consecutive
+    interleaved (key, value) pairs, four 16-byte records per cache line.
+    The interleaving is the conventional design whose false sharing
+    Section 2.3 of the paper analyzes: a leaf search reads the very lines
+    an update writes. *)
+
+type t = {
+  fanout : int;
+  header_words : int;
+  keys_off : int;
+  children_off : int;
+  records_off : int;
+  internal_words : int;
+  leaf_words : int;
+}
+
+val make : fanout:int -> t
+(** Layout for an even fanout >= 4. *)
+
+val pad_lines : int -> int
+(** Round a word count up to whole cache lines. *)
+
+(** {2 Header fields (word addresses given a node base)} *)
+
+val tag : int -> int
+val tag_internal : int
+val tag_leaf : int
+
+val nkeys : int -> int
+val parent : int -> int
+
+val level : int -> int
+(** Internal nodes only. *)
+
+val next : int -> int
+(** Leaves only: the chain pointer. *)
+
+val version : int -> int
+(** Node version word (conventional-tree split counter; Masstree's OCC
+    version; free for other uses). *)
+
+(** {2 Payload fields} *)
+
+val key : t -> int -> int -> int
+(** Internal separator key [i]. *)
+
+val child : t -> int -> int -> int
+(** Internal child pointer [i] (fanout+1 of them). *)
+
+val record_key : t -> int -> int -> int
+(** Leaf record [i]'s key (interleaved layout). *)
+
+val record_value : t -> int -> int -> int
+
+(** {2 Tree-wide metadata line} *)
+
+val meta_root : int
+val meta_depth : int
+val meta_words : int

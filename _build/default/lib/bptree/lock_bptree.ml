@@ -1,0 +1,32 @@
+(* The coarse-grained baseline: every operation under one global spinlock,
+   no HTM at all.  This is the lower bound that motivates lock elision —
+   Htm_bptree is exactly this tree with the lock elided — and the classic
+   flat line in scalability plots. *)
+
+module Api = Euno_sim.Api
+module Spinlock = Euno_sync.Spinlock
+
+type t = { tree : Bptree.t; lock : int }
+
+let create ~fanout ~map () =
+  { tree = Bptree.create ~fanout ~map (); lock = Spinlock.alloc () }
+
+let of_tree tree = { tree; lock = Spinlock.alloc () }
+
+let tree t = t.tree
+
+let get t key =
+  Api.op_key key;
+  Spinlock.with_lock t.lock (fun () -> Bptree.get t.tree key)
+
+let put t key value =
+  Api.op_key key;
+  Spinlock.with_lock t.lock (fun () -> Bptree.put t.tree key value)
+
+let delete t key =
+  Api.op_key key;
+  Spinlock.with_lock t.lock (fun () -> Bptree.delete t.tree key)
+
+let scan t ~from ~count =
+  Api.op_key from;
+  Spinlock.with_lock t.lock (fun () -> Bptree.scan t.tree ~from ~count)

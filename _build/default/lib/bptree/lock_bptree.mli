@@ -1,0 +1,14 @@
+(** Coarse-grained baseline: the conventional B+Tree under one global
+    spinlock, no HTM.  {!Htm_bptree} is this tree with the lock elided;
+    comparing the two shows what elision buys. *)
+
+type t
+
+val create : fanout:int -> map:Euno_mem.Linemap.t -> unit -> t
+val of_tree : Bptree.t -> t
+val tree : t -> Bptree.t
+
+val get : t -> int -> int option
+val put : t -> int -> int -> unit
+val delete : t -> int -> bool
+val scan : t -> from:int -> count:int -> (int * int) list

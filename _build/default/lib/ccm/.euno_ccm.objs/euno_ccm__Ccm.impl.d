@@ -1,0 +1,1 @@
+lib/ccm/ccm.ml: Euno_sim Euno_sync

@@ -1,0 +1,1 @@
+lib/ccm/ccm.mli:

@@ -1,0 +1,83 @@
+(** Conflict control module (paper Section 4.1, Figure 5) with the adaptive
+    contention detector.
+
+    Lives on a leaf's lock line, which is only ever accessed with atomic
+    operations *outside* HTM regions: lock bits serialize same-key requests
+    before they enter the lower region (removing true conflicts); mark bits
+    are a one-hash Bloom filter that turns away requests for absent keys;
+    the detector engages or bypasses the whole module per leaf depending on
+    its recent conflict history. *)
+
+type t
+
+val words : int
+(** Words the CCM occupies at its base address. *)
+
+val max_slots : int
+
+val make : base:int -> mode_addr:int -> capacity:int -> t
+(** CCM over a pre-allocated block at [base] (on a Lock-kind line), with
+    the adaptive mode word at [mode_addr] (callers co-locate it with data
+    they already read, e.g. the leaf header).  The bit vectors get
+    [min max_slots (2 * capacity)] slots, per the paper's sizing. *)
+
+val nslots : t -> int
+
+val hash : t -> int -> int
+(** Slot of a key. *)
+
+val lock_slot : t -> int -> unit
+(** Acquire the advisory lock bit of a slot (spins with backoff). *)
+
+val unlock_slot : t -> int -> unit
+
+val marked : t -> int -> bool
+(** Mark (Bloom) bit of a slot: false means the key is definitely absent. *)
+
+val set_mark : t -> int -> unit
+val clear_mark : t -> int -> unit
+
+val marks_word : t -> int
+(** Raw mark vector (for rebuilds during splits). *)
+
+val write_marks : t -> int -> unit
+
+val merge_marks : t -> int -> unit
+(** OR a precomputed word into the mark vector (CAS loop; conservative —
+    may add false positives, never false negatives). *)
+
+type thresholds = {
+  promote_conflicts : int;
+  demote_conflicts : int;
+  window_ops : int;
+}
+
+val default_thresholds : thresholds
+
+val mode_bypass : int
+val mode_engaged : int
+(** Engaged, mark bits not yet rebuilt: lock bits apply, fast path does
+    not. *)
+
+val mode_ready : int
+(** Engaged with trustworthy mark bits: the absent-key fast path applies. *)
+
+val mode : t -> int
+val engaged : t -> bool
+(** Is the CCM currently engaged (mode > bypass)? *)
+
+val set_ready : t -> unit
+(** Declare the mark rebuild complete (CAS engaged->ready; loses quietly to
+    a concurrent demotion). *)
+
+type event = Promoted | Demoted | Unchanged
+(** Mode transition reported by the detector.  On [Promoted] the caller
+    must rebuild the leaf's mark bits (bypass-mode insertions do not
+    maintain them) and then call {!set_ready}. *)
+
+val note_conflict : t -> thresholds -> event
+(** Record a lower-region conflict abort at this leaf; may engage the CCM. *)
+
+val note_ops : t -> thresholds -> int -> event
+(** Record [n] completed operations; on window boundaries decays the
+    conflict counter and may disengage the CCM. *)

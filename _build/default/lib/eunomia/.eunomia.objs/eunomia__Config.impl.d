@@ -1,0 +1,1 @@
+lib/eunomia/config.ml: Euno_ccm Euno_htm

@@ -1,0 +1,1 @@
+lib/eunomia/config.mli: Euno_ccm Euno_htm

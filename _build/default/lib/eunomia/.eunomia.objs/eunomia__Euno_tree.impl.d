@@ -1,0 +1,1 @@
+lib/eunomia/euno_tree.ml: Config Euno_bptree Euno_ccm Euno_htm Euno_mem Euno_sim Euno_sync Hashtbl Leaf List Printf

@@ -1,0 +1,1 @@
+lib/eunomia/euno_tree.mli: Config Euno_mem

@@ -1,0 +1,1 @@
+lib/eunomia/leaf.ml: Array Config Euno_bptree Euno_ccm Euno_mem Euno_sim List

@@ -1,0 +1,1 @@
+lib/eunomia/leaf.mli: Config Euno_ccm Euno_mem

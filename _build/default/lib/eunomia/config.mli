@@ -1,0 +1,35 @@
+(** Euno-B+Tree configuration: each Eunomia design guideline independently
+    switchable, so the Figure 13 ablation is a list of configurations. *)
+
+type t = {
+  fanout : int;
+  nsegs : int;
+  seg_slots : int;
+  use_lock_bits : bool;
+  use_mark_bits : bool;
+  adaptive : bool;
+  sched_retries : int;
+  near_full_margin : int;
+  ccm_thresholds : Euno_ccm.Ccm.thresholds;
+  policy : Euno_htm.Htm.policy;
+}
+
+val capacity : t -> int
+(** Leaf record capacity: [nsegs * seg_slots]. *)
+
+val validate : t -> t
+(** Returns the config or raises [Invalid_argument].  Mark bits require
+    lock bits (the paper uses the lock bit to make mark updates atomic with
+    the insert, Section 4.3). *)
+
+val default : t
+(** The full Euno-B+Tree (all four design guidelines). *)
+
+val split_htm_only : t
+val part_leaf : t
+val ccm_lockbits : t
+val ccm_markbits : t
+val full : t
+
+val ablation_ladder : (string * t) list
+(** The Figure 13 ladder, in paper order (Baseline is {!Euno_bptree.Htm_bptree}). *)

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Euno_htm Euno_stats Euno_workload Eunomia Filename Kv List Printf Runner

@@ -1,0 +1,1 @@
+lib/harness/history.ml: Array Hashtbl Int List Map Printf String

@@ -1,0 +1,1 @@
+lib/harness/kv.ml: Euno_bptree Euno_htm Euno_masstree Eunomia Option

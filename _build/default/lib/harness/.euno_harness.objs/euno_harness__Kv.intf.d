@@ -1,0 +1,1 @@
+lib/harness/kv.mli: Euno_htm Euno_mem Eunomia

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Euno_htm Euno_mem Euno_sim Euno_stats Euno_workload Eunomia Kv List Option

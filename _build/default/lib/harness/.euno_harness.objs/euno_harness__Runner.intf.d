@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Euno_htm Euno_sim Euno_workload Kv

@@ -1,0 +1,705 @@
+(* One function per figure of the paper's evaluation (plus the Section 5.7
+   memory analysis), each printing the table its plot is drawn from.
+   Scale knobs shrink the runs for smoke tests; shapes, not absolute
+   numbers, are the reproduction target (see EXPERIMENTS.md). *)
+
+module Dist = Euno_workload.Dist
+module Opgen = Euno_workload.Opgen
+module Config = Eunomia.Config
+module Table = Euno_stats.Table
+
+type scale = {
+  key_space : int;
+  ops_per_thread : int;
+  max_threads : int;
+  seed : int;
+  charts : bool; (* also render ASCII charts after the tables *)
+}
+
+let default_scale =
+  {
+    key_space = 1 lsl 17;
+    ops_per_thread = 2500;
+    max_threads = 20;
+    seed = 42;
+    charts = false;
+  }
+
+let quick_scale = { default_scale with key_space = 1 lsl 12; ops_per_thread = 400; max_threads = 8 }
+
+let theta_sweep = [ 0.0; 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ]
+
+let thread_sweep scale =
+  List.filter (fun t -> t <= scale.max_threads) [ 1; 2; 4; 8; 12; 16; 20 ]
+
+let workload_of scale dist mix =
+  { Runner.default_workload with Runner.dist; mix; key_space = scale.key_space }
+
+let setup_of scale threads =
+  {
+    Runner.default_setup with
+    Runner.threads = min threads scale.max_threads;
+    ops_per_thread = scale.ops_per_thread;
+    seed = scale.seed;
+  }
+
+let run scale kind ~dist ~mix ~threads =
+  Runner.run kind (workload_of scale dist mix) (setup_of scale threads)
+
+let theta_label theta = Printf.sprintf "theta=%.2f" theta
+
+(* Optional CSV sink: when set, every printed table is also written to
+   <dir>/<slug>.csv (output formatting only; no effect on the runs). *)
+let csv_dir : string option ref = ref None
+
+let emit table =
+  Table.print table;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (Table.slug table ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Table.to_csv table);
+      close_out oc
+
+(* ---------- Figure 1: HTM-B+Tree throughput vs contention ---------- *)
+
+let fig1 scale =
+  let t =
+    Table.create ~title:"Figure 1: HTM-B+Tree throughput under contention (16 threads)"
+      ~headers:[ "skew"; "Mops/s"; "aborts/op"; "wasted CPU" ]
+  in
+  List.iter
+    (fun theta ->
+      let r =
+        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
+          ~mix:Opgen.ycsb_default ~threads:16
+      in
+      Table.add_row t
+        [
+          theta_label theta;
+          Table.cell_f r.Runner.r_mops;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          Table.cell_pct r.Runner.r_wasted_pct;
+        ])
+    theta_sweep;
+  emit t
+
+(* ---------- Figure 2: abort decomposition vs contention ---------- *)
+
+let fig2 scale =
+  let t =
+    Table.create
+      ~title:
+        "Figure 2: HTM-B+Tree aborts by cause (aborts/op; shares of conflict aborts)"
+      ~headers:
+        [
+          "skew";
+          "aborts/op";
+          "false:diff-record";
+          "false:metadata";
+          "true:same-record";
+          "lock-subscr";
+          "other";
+        ]
+  in
+  List.iter
+    (fun theta ->
+      let r =
+        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
+          ~mix:Opgen.ycsb_default ~threads:16
+      in
+      let conflicts =
+        Runner.class_true r +. Runner.class_false_record r
+        +. Runner.class_false_meta r
+      in
+      let share x =
+        if conflicts <= 0.0 then "-"
+        else Printf.sprintf "%s (%.0f%%)" (Table.cell_f x) (100.0 *. x /. conflicts)
+      in
+      Table.add_row t
+        [
+          theta_label theta;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          share (Runner.class_false_record r);
+          share (Runner.class_false_meta r);
+          share (Runner.class_true r);
+          Table.cell_f (Runner.class_subscription r);
+          Table.cell_f (Runner.class_other r);
+        ])
+    theta_sweep;
+  emit t
+
+(* ---------- Figure 8: throughput of the four trees vs contention ----- *)
+
+let fig8 scale =
+  let t =
+    Table.create
+      ~title:"Figure 8: throughput under different contention rates (16 threads, Mops/s)"
+      ~headers:
+        ("skew" :: List.map Kv.kind_name Kv.all_kinds)
+  in
+  let columns =
+    List.map
+      (fun kind ->
+        ( Kv.kind_name kind,
+          List.map
+            (fun theta ->
+              (run scale kind ~dist:(Dist.Zipfian theta)
+                 ~mix:Opgen.ycsb_default ~threads:16)
+                .Runner.r_mops)
+            theta_sweep ))
+      Kv.all_kinds
+  in
+  List.iteri
+    (fun i theta ->
+      Table.add_row t
+        (theta_label theta
+        :: List.map (fun (_, col) -> Table.cell_f (List.nth col i)) columns))
+    theta_sweep;
+  emit t;
+  if scale.charts then
+    Euno_stats.Chart.print ~title:"Figure 8 (Mops/s vs skew)"
+      ~x_labels:(List.map theta_label theta_sweep)
+      (List.map
+         (fun (label, points) -> { Euno_stats.Chart.label; points })
+         columns)
+
+(* ---------- Figure 9: aborts per op, Euno vs HTM-B+Tree ---------- *)
+
+let fig9 scale =
+  let t =
+    Table.create
+      ~title:"Figure 9: HTM aborts per operation by cause (16 threads)"
+      ~headers:
+        [
+          "skew";
+          "tree";
+          "aborts/op";
+          "false:diff-record";
+          "false:metadata";
+          "true:same-record";
+          "lock-subscr";
+          "other";
+        ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun kind ->
+          let r =
+            run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+              ~threads:16
+          in
+          Table.add_row t
+            [
+              theta_label theta;
+              r.Runner.r_name;
+              Table.cell_f r.Runner.r_aborts_per_op;
+              Table.cell_f (Runner.class_false_record r);
+              Table.cell_f (Runner.class_false_meta r);
+              Table.cell_f (Runner.class_true r);
+              Table.cell_f (Runner.class_subscription r);
+              Table.cell_f (Runner.class_other r);
+            ])
+        [ Kv.Htm_bptree; Kv.Euno Config.full ])
+    [ 0.5; 0.7; 0.9; 0.99 ];
+  emit t
+
+(* ---------- Figure 10: scalability panels ---------- *)
+
+let scalability_panel scale ~title ~dist ~mix =
+  let t =
+    Table.create ~title ~headers:("threads" :: List.map Kv.kind_name Kv.all_kinds)
+  in
+  let sweep = thread_sweep scale in
+  let columns =
+    List.map
+      (fun kind ->
+        ( Kv.kind_name kind,
+          List.map
+            (fun threads -> (run scale kind ~dist ~mix ~threads).Runner.r_mops)
+            sweep ))
+      Kv.all_kinds
+  in
+  List.iteri
+    (fun i threads ->
+      Table.add_row t
+        (string_of_int threads
+        :: List.map (fun (_, col) -> Table.cell_f (List.nth col i)) columns))
+    sweep;
+  emit t;
+  if scale.charts then
+    Euno_stats.Chart.print ~title:(title ^ " [chart]")
+      ~x_labels:(List.map string_of_int sweep)
+      (List.map
+         (fun (label, points) -> { Euno_stats.Chart.label; points })
+         columns)
+
+let fig10 scale =
+  List.iter
+    (fun (label, theta) ->
+      scalability_panel scale
+        ~title:
+          (Printf.sprintf "Figure 10%s: scalability, %s contention (Zipfian %.2f, Mops/s)"
+             (fst label) (snd label) theta)
+        ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default)
+    [
+      (("a", "low"), 0.2);
+      (("b", "modest"), 0.6);
+      (("c", "high"), 0.9);
+      (("d", "extremely high"), 0.99);
+    ]
+
+(* ---------- Figure 11: get/put ratios at theta = 0.9 ---------- *)
+
+let fig11 scale =
+  List.iter
+    (fun (panel, get_pct) ->
+      scalability_panel scale
+        ~title:
+          (Printf.sprintf
+             "Figure 11%s: %d%% get / %d%% put, Zipfian 0.9 (Mops/s)" panel
+             get_pct (100 - get_pct))
+        ~dist:(Dist.Zipfian 0.9)
+        ~mix:(Opgen.read_write ~get_pct))
+    [ ("a", 0); ("b", 20); ("c", 50); ("d", 70) ]
+
+(* ---------- Figure 12: input distributions ---------- *)
+
+let fig12 scale =
+  List.iter
+    (fun (panel, name, dist) ->
+      scalability_panel scale
+        ~title:(Printf.sprintf "Figure 12%s: %s distribution (Mops/s)" panel name)
+        ~dist ~mix:Opgen.ycsb_default)
+    [
+      ("a", "Poisson",
+       Dist.Poisson_hotspot { hot_frac = 0.1; hot_mass = 0.7 });
+      ("b", "Normal", Dist.Normal_hotspot { sigma_frac = 0.003 });
+      (* sigma covers a few dozen leaves: the paper sets the mean over "a
+         moving range of leaf nodes", i.e. a very tight cluster *)
+      ("c", "Self-Similar", Dist.Self_similar 0.2);
+      ("d", "Zipfian (0.9)", Dist.Zipfian 0.9);
+    ]
+
+(* ---------- Figure 13: design-choice ablation ---------- *)
+
+let fig13 scale =
+  List.iter
+    (fun (label, theta) ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf "Figure 13 (%s contention, Zipfian %.2f, 20 threads)"
+               label theta)
+          ~headers:[ "design"; "Mops/s"; "relative"; "aborts/op" ]
+      in
+      let base =
+        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
+          ~mix:Opgen.ycsb_default ~threads:20
+      in
+      Table.add_row t
+        [
+          "Baseline";
+          Table.cell_f base.Runner.r_mops;
+          "1.00x";
+          Table.cell_f base.Runner.r_aborts_per_op;
+        ];
+      List.iter
+        (fun (name, cfg) ->
+          let r =
+            run scale (Kv.Euno cfg) ~dist:(Dist.Zipfian theta)
+              ~mix:Opgen.ycsb_default ~threads:20
+          in
+          Table.add_row t
+            [
+              name;
+              Table.cell_f r.Runner.r_mops;
+              Printf.sprintf "%.2fx" (r.Runner.r_mops /. base.Runner.r_mops);
+              Table.cell_f r.Runner.r_aborts_per_op;
+            ])
+        Config.ablation_ladder;
+      emit t)
+    [ ("high", 0.9); ("extreme", 0.99); ("low", 0.2) ]
+
+(* ---------- Section 5.7: memory consumption ---------- *)
+
+let mem_row scale ~label ~dist ~mix =
+  let euno =
+    run scale (Kv.Euno Config.full) ~dist ~mix ~threads:16
+  in
+  let base = run scale Kv.Htm_bptree ~dist ~mix ~threads:16 in
+  let b = float_of_int base.Runner.r_mem_live_bytes in
+  let e = float_of_int euno.Runner.r_mem_live_bytes in
+  [
+    label;
+    Printf.sprintf "%.2f" (e /. 1048576.0);
+    Printf.sprintf "%.2f" (b /. 1048576.0);
+    Table.cell_pct (100.0 *. (e -. b) /. b);
+    Printf.sprintf "%.1f" (float_of_int euno.Runner.r_mem_reserved_peak_bytes /. 1024.0);
+    Table.cell_pct
+      (100.0 *. float_of_int euno.Runner.r_mem_reserved_peak_bytes /. e);
+    Table.cell_pct (100.0 *. float_of_int euno.Runner.r_mem_lock_bytes /. e);
+  ]
+
+let mem scale =
+  let t =
+    Table.create
+      ~title:
+        "Section 5.7: memory consumption (Euno vs HTM-B+Tree; reserved keys are transient)"
+      ~headers:
+        [
+          "workload";
+          "euno MB";
+          "base MB";
+          "total ovh";
+          "reserved peak KB";
+          "reserved ovh";
+          "CCM+locks ovh";
+        ]
+  in
+  List.iter
+    (fun theta ->
+      Table.add_row t
+        (mem_row scale
+           ~label:(Printf.sprintf "zipf %.1f 50/50" theta)
+           ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default))
+    [ 0.0; 0.5; 0.9 ];
+  List.iter
+    (fun get_pct ->
+      Table.add_row t
+        (mem_row scale
+           ~label:(Printf.sprintf "zipf 0.9 %d/%d" get_pct (100 - get_pct))
+           ~dist:(Dist.Zipfian 0.9)
+           ~mix:(Opgen.read_write ~get_pct)))
+    [ 20; 80 ];
+  List.iter
+    (fun (name, dist) ->
+      Table.add_row t
+        (mem_row scale ~label:name ~dist ~mix:Opgen.ycsb_default))
+    [
+      ("self-similar", Dist.Self_similar 0.2);
+      ("poisson", Dist.Poisson_hotspot { hot_frac = 0.1; hot_mass = 0.7 });
+      ("uniform", Dist.Uniform);
+    ];
+  emit t
+
+(* ---------- extensions beyond the paper ---------- *)
+
+(* Per-operation latency percentiles: a dimension the paper does not
+   report, but the natural companion to its throughput story — the
+   monolithic tree's collapse shows up as a two-order-of-magnitude p99
+   blow-up while Eunomia's tail stays flat. *)
+let latency scale =
+  let t =
+    Table.create
+      ~title:"Extension: per-op latency (simulated cycles; 16 threads)"
+      ~headers:[ "workload"; "tree"; "p50"; "p99"; "Mops/s" ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun kind ->
+          let r =
+            run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+              ~threads:16
+          in
+          Table.add_row t
+            [
+              theta_label theta;
+              r.Runner.r_name;
+              Table.cell_i r.Runner.r_lat_p50;
+              Table.cell_i r.Runner.r_lat_p99;
+              Table.cell_f r.Runner.r_mops;
+            ])
+        Kv.all_kinds)
+    [ 0.2; 0.9 ];
+  emit t
+
+(* Retry-policy ablation: the collapse mechanism.  The paper-era policy
+   (small conflict budget, naive retry against a held fallback lock)
+   suffers the lemming effect; the post-fix "polite" policy (wait for the
+   lock outside the transaction) resists it on the same tree. *)
+let policy scale =
+  let t =
+    Table.create
+      ~title:
+        "Extension: HTM-B+Tree under DBX-era vs post-lemming-fix retry policy (16 threads)"
+      ~headers:
+        [ "skew"; "policy"; "Mops/s"; "aborts/op"; "fallbacks/op"; "wasted" ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun (name, p) ->
+          let workload = workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default in
+          let setup =
+            { (setup_of scale 16) with Runner.policy = Some p }
+          in
+          let r = Runner.run Kv.Htm_bptree workload setup in
+          Table.add_row t
+            [
+              theta_label theta;
+              name;
+              Table.cell_f r.Runner.r_mops;
+              Table.cell_f r.Runner.r_aborts_per_op;
+              Table.cell_f r.Runner.r_fallbacks_per_op;
+              Table.cell_pct r.Runner.r_wasted_pct;
+            ])
+        [
+          ("dbx-era", Euno_htm.Htm.default_policy);
+          ("polite", Euno_htm.Htm.polite_policy);
+        ])
+    [ 0.2; 0.9; 0.99 ];
+  emit t
+
+(* YCSB core workloads A-F across the four trees: the harness exercising
+   its full op vocabulary (reads, updates, scans, read-modify-writes,
+   recency-skewed inserts). *)
+let ycsb scale =
+  let t =
+    Table.create
+      ~title:"Extension: YCSB core workloads A-F (zipfian 0.9 unless noted; 16 threads, Mops/s)"
+      ~headers:("workload" :: List.map Kv.kind_name Kv.all_kinds)
+  in
+  let presets =
+    [
+      ("A 50/50 update", Dist.Zipfian 0.9, Opgen.ycsb_a);
+      ("B 95/5 read-mostly", Dist.Zipfian 0.9, Opgen.ycsb_b);
+      ("C read-only", Dist.Zipfian 0.9, Opgen.ycsb_c);
+      ("D read-latest", Dist.Latest 0.9, Opgen.ycsb_d);
+      ("E scan-heavy", Dist.Zipfian 0.9, Opgen.ycsb_e);
+      ("F read-modify-write", Dist.Zipfian 0.9, Opgen.ycsb_f);
+    ]
+  in
+  List.iter
+    (fun (name, dist, mix) ->
+      let cells =
+        List.map
+          (fun kind ->
+            let r = run scale kind ~dist ~mix ~threads:16 in
+            Table.cell_f r.Runner.r_mops)
+          Kv.all_kinds
+      in
+      Table.add_row t (name :: cells))
+    presets;
+  emit t
+
+(* Design-choice ablation the paper does not show: how many segments
+   should a leaf have?  One segment is the conventional layout; more
+   segments scatter contended keys across more cache lines but cost more
+   search probes. *)
+let segments scale =
+  let t =
+    Table.create
+      ~title:"Extension: Euno-B+Tree segments-per-leaf ablation (16 threads, Mops/s)"
+      ~headers:[ "layout"; "low (zipf 0.2)"; "high (zipf 0.9)" ]
+  in
+  List.iter
+    (fun (nsegs, seg_slots) ->
+      let cfg =
+        Config.validate
+          { Config.full with Config.nsegs; seg_slots }
+      in
+      let cell theta =
+        let r =
+          run scale (Kv.Euno cfg) ~dist:(Dist.Zipfian theta)
+            ~mix:Opgen.ycsb_default ~threads:16
+        in
+        Table.cell_f r.Runner.r_mops
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%d segs x %d slots" nsegs seg_slots;
+          cell 0.2;
+          cell 0.9;
+        ])
+    [ (1, 15); (3, 5); (5, 3); (7, 2) ];
+  emit t
+
+(* What lock elision buys: the same conventional tree under a plain
+   global spinlock (flat), under the elided lock (scales until the storm),
+   and the Euno-B+Tree. *)
+let coarse scale =
+  let t =
+    Table.create
+      ~title:"Extension: coarse lock vs lock elision vs Eunomia (zipf 0.2, Mops/s)"
+      ~headers:[ "threads"; "Lock-B+Tree"; "HTM-B+Tree"; "Euno-B+Tree" ]
+  in
+  List.iter
+    (fun threads ->
+      let cell kind =
+        let r =
+          run scale kind ~dist:(Dist.Zipfian 0.2) ~mix:Opgen.ycsb_default
+            ~threads
+        in
+        Table.cell_f r.Runner.r_mops
+      in
+      Table.add_row t
+        [
+          string_of_int threads;
+          cell Kv.Lock_bptree;
+          cell Kv.Htm_bptree;
+          cell (Kv.Euno Config.full);
+        ])
+    (thread_sweep scale);
+  emit t
+
+(* Schedule sensitivity: every run is deterministic per seed, so variance
+   across seeds is the simulator's analogue of run-to-run noise. *)
+let variance scale =
+  let t =
+    Table.create
+      ~title:"Extension: throughput variation over 5 seeds (16 threads, Mops/s)"
+      ~headers:[ "workload"; "tree"; "mean"; "stddev"; "min"; "max" ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun kind ->
+          let a =
+            Runner.run_many ~seeds:5 kind
+              (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default)
+              (setup_of scale 16)
+          in
+          Table.add_row t
+            [
+              theta_label theta;
+              Kv.kind_name kind;
+              Table.cell_f a.Runner.a_mean_mops;
+              Table.cell_f a.Runner.a_stddev_mops;
+              Table.cell_f a.Runner.a_min_mops;
+              Table.cell_f a.Runner.a_max_mops;
+            ])
+        [ Kv.Euno Config.full; Kv.Htm_bptree ])
+    [ 0.2; 0.9 ];
+  emit t
+
+(* Does key adjacency matter?  The paper's false-sharing analysis assumes
+   hot keys are consecutive; YCSB's scrambled variant hashes them apart.
+   Comparing both isolates how much of the baseline's collapse is
+   same-line sharing between *different* hot records. *)
+let adjacency scale =
+  let t =
+    Table.create
+      ~title:
+        "Extension: adjacent vs scrambled hot keys (zipf 0.9, 16 threads)"
+      ~headers:[ "tree"; "keys"; "Mops/s"; "aborts/op"; "false:diff-record" ]
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (label, scrambled) ->
+          let workload =
+            {
+              (workload_of scale (Dist.Zipfian 0.9) Opgen.ycsb_default) with
+              Runner.scrambled;
+            }
+          in
+          let r = Runner.run kind workload (setup_of scale 16) in
+          Table.add_row t
+            [
+              r.Runner.r_name;
+              label;
+              Table.cell_f r.Runner.r_mops;
+              Table.cell_f r.Runner.r_aborts_per_op;
+              Table.cell_f (Runner.class_false_record r);
+            ])
+        [ ("adjacent", false); ("scrambled", true) ])
+    [ Kv.Htm_bptree; Kv.Euno Config.full ];
+  emit t
+
+(* Replicate the paper's own Figure 2 estimation methodology — modify the
+   workload so no two threads ever touch the same record (interleaved
+   partitions keep hot keys adjacent) — and cross-validate it against the
+   simulator's exact attribution. *)
+let methodology scale =
+  let t =
+    Table.create
+      ~title:
+        "Extension: paper's Fig.2 methodology (partitioned keys) vs exact attribution (16 threads)"
+      ~headers:
+        [ "skew"; "keys"; "Mops/s"; "aborts/op"; "true:same-record" ]
+  in
+  List.iter
+    (fun theta ->
+      List.iter
+        (fun (label, partitioned) ->
+          let workload =
+            {
+              (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default) with
+              Runner.partitioned;
+            }
+          in
+          let r = Runner.run Kv.Htm_bptree workload (setup_of scale 16) in
+          Table.add_row t
+            [
+              theta_label theta;
+              label;
+              Table.cell_f r.Runner.r_mops;
+              Table.cell_f r.Runner.r_aborts_per_op;
+              Table.cell_f (Runner.class_true r);
+            ])
+        [ ("shared", false); ("partitioned", true) ])
+    [ 0.8; 0.9; 0.99 ];
+  emit t
+
+(* ---------- everything ---------- *)
+
+let all scale =
+  fig1 scale;
+  print_newline ();
+  fig2 scale;
+  print_newline ();
+  fig8 scale;
+  print_newline ();
+  fig9 scale;
+  print_newline ();
+  fig10 scale;
+  print_newline ();
+  fig11 scale;
+  print_newline ();
+  fig12 scale;
+  print_newline ();
+  fig13 scale;
+  print_newline ();
+  mem scale;
+  print_newline ();
+  latency scale;
+  print_newline ();
+  policy scale;
+  print_newline ();
+  ycsb scale;
+  print_newline ();
+  segments scale;
+  print_newline ();
+  coarse scale;
+  print_newline ();
+  variance scale;
+  print_newline ();
+  adjacency scale;
+  print_newline ();
+  methodology scale
+
+let by_name =
+  [
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("mem", mem);
+    ("latency", latency);
+    ("policy", policy);
+    ("ycsb", ycsb);
+    ("segments", segments);
+    ("coarse", coarse);
+    ("variance", variance);
+    ("adjacency", adjacency);
+    ("methodology", methodology);
+    ("all", all);
+  ]

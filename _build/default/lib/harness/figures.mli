@@ -1,0 +1,62 @@
+(** Experiment definitions: one function per figure of the paper's
+    evaluation (and the Section 5.7 memory analysis), each printing the
+    table its plot is drawn from. *)
+
+type scale = {
+  key_space : int;  (** power of two; paper: 100 M, scaled down here *)
+  ops_per_thread : int;
+  max_threads : int;
+  seed : int;
+  charts : bool;  (** also render ASCII charts after the tables *)
+}
+
+val default_scale : scale
+val quick_scale : scale
+
+val csv_dir : string option ref
+(** When set, every printed table is also written to [<dir>/<slug>.csv]
+    (output formatting only; simulation results are unaffected). *)
+
+val fig1 : scale -> unit
+val fig2 : scale -> unit
+val fig8 : scale -> unit
+val fig9 : scale -> unit
+val fig10 : scale -> unit
+val fig11 : scale -> unit
+val fig12 : scale -> unit
+val fig13 : scale -> unit
+
+val mem : scale -> unit
+(** Section 5.7 memory-consumption analysis. *)
+
+val latency : scale -> unit
+(** Extension: per-operation latency percentiles per tree. *)
+
+val policy : scale -> unit
+(** Extension: DBX-era vs post-lemming-fix retry policy on the baseline
+    (the collapse-mechanism ablation). *)
+
+val ycsb : scale -> unit
+(** Extension: YCSB core workloads A-F across the four trees. *)
+
+val segments : scale -> unit
+(** Extension: segments-per-leaf design ablation of the Euno-B+Tree. *)
+
+val coarse : scale -> unit
+(** Extension: coarse global lock vs the elided lock vs Eunomia. *)
+
+val variance : scale -> unit
+(** Extension: throughput variation across seeds (schedule sensitivity). *)
+
+val adjacency : scale -> unit
+(** Extension: adjacent vs scrambled hot keys — how much of the collapse
+    is same-line sharing between different records. *)
+
+val methodology : scale -> unit
+(** Extension: the paper's Figure 2 estimation methodology (per-thread key
+    partitions) cross-validated against exact abort attribution. *)
+
+val all : scale -> unit
+
+val by_name : (string * (scale -> unit)) list
+(** Experiment ids accepted by the CLI: fig1..fig13, mem, all. *)

@@ -1,0 +1,105 @@
+(* Linearizability checking of concurrent key-value histories.
+
+   Test harnesses record one event per completed operation — invocation
+   and response timestamps in simulated cycles (exact, thanks to the
+   deterministic machine) plus the operation and its observed result — and
+   the checker searches for a linearization: a total order that respects
+   real time (if op A responded before op B was invoked, A precedes B) and
+   agrees with the sequential specification of a map.
+
+   The search is Wing & Gong's algorithm with memoization on the
+   (completed-set, map-state) pair; worst case exponential, fine for the
+   small histories tests generate (tens of operations). *)
+
+type op =
+  | Get of int * int option (* key, observed result *)
+  | Put of int * int
+  | Delete of int * bool (* key, observed success *)
+
+type event = {
+  tid : int;
+  invoked : int; (* simulated cycles *)
+  responded : int;
+  op : op;
+}
+
+let op_to_string = function
+  | Get (k, Some v) -> Printf.sprintf "get %d = Some %d" k v
+  | Get (k, None) -> Printf.sprintf "get %d = None" k
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Delete (k, ok) -> Printf.sprintf "delete %d = %b" k ok
+
+(* A recorder for one run: threads append from the machine body. *)
+type recorder = { mutable events : event list }
+
+let recorder () = { events = [] }
+
+let record r ~tid ~invoked ~responded op =
+  r.events <- { tid; invoked; responded; op } :: r.events
+
+let events r = List.rev r.events
+
+module IntMap = Map.Make (Int)
+
+(* Apply an operation to the model; None if the observed result
+   contradicts the model state. *)
+let apply state = function
+  | Get (k, observed) ->
+      if IntMap.find_opt k state = observed then Some state else None
+  | Put (k, v) -> Some (IntMap.add k v state)
+  | Delete (k, observed) ->
+      if IntMap.mem k state = observed then Some (IntMap.remove k state)
+      else None
+
+(* Key for the memo table: which events are done plus the model state. *)
+let memo_key done_mask state =
+  (done_mask, IntMap.bindings state)
+
+exception Found
+
+(* Is the history linearizable with respect to the map specification,
+   starting from [init]? *)
+let linearizable ?(init = IntMap.empty) evs =
+  let evs = Array.of_list evs in
+  let n = Array.length evs in
+  if n > 62 then invalid_arg "History.linearizable: history too long";
+  let full = (1 lsl n) - 1 in
+  let memo = Hashtbl.create 4096 in
+  (* ev i may be linearized next (given pending set) iff no other pending
+     event responded before its invocation. *)
+  let minimal pending i =
+    let rec go j =
+      if j >= n then true
+      else if
+        j <> i
+        && pending land (1 lsl j) <> 0
+        && evs.(j).responded < evs.(i).invoked
+      then false
+      else go (j + 1)
+    in
+    go 0
+  in
+  let rec search done_mask state =
+    if done_mask = full then raise Found;
+    let key = memo_key done_mask state in
+    if not (Hashtbl.mem memo key) then begin
+      Hashtbl.add memo key ();
+      let pending = full land lnot done_mask in
+      for i = 0 to n - 1 do
+        if pending land (1 lsl i) <> 0 && minimal pending i then
+          match apply state evs.(i).op with
+          | Some state' -> search (done_mask lor (1 lsl i)) state'
+          | None -> ()
+      done
+    end
+  in
+  match search 0 init with () -> false | exception Found -> true
+
+(* A human-readable dump for failing tests. *)
+let to_string evs =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "  t%d [%d, %d] %s" e.tid e.invoked e.responded
+           (op_to_string e.op))
+       evs)

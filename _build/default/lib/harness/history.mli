@@ -1,0 +1,34 @@
+(** Linearizability checking of concurrent key-value histories.
+
+    Record one event per completed operation (exact simulated-cycle
+    invocation/response times plus the observed result), then search for a
+    linearization with Wing & Gong's algorithm against a map
+    specification.  Intended for test harnesses: exponential worst case,
+    memoized, suitable for histories of a few dozen operations. *)
+
+type op =
+  | Get of int * int option  (** key, observed result *)
+  | Put of int * int
+  | Delete of int * bool  (** key, observed success *)
+
+type event = { tid : int; invoked : int; responded : int; op : op }
+
+val op_to_string : op -> string
+
+type recorder
+
+val recorder : unit -> recorder
+
+val record : recorder -> tid:int -> invoked:int -> responded:int -> op -> unit
+(** Append one completed operation (host-side; deterministic under the
+    machine). *)
+
+val events : recorder -> event list
+(** All events in recording order. *)
+
+val linearizable : ?init:int Map.Make(Int).t -> event list -> bool
+(** Does a linearization exist?  [init] is the starting map state (e.g.
+    the preloaded records).  Raises [Invalid_argument] beyond 62 events. *)
+
+val to_string : event list -> string
+(** Debug dump for failing tests. *)

@@ -1,0 +1,142 @@
+(* A uniform key-value interface over the four tree variants the paper
+   evaluates (Section 5.1): the conventional HTM-B+Tree, the Euno-B+Tree
+   (any Config, for the Figure 13 ablation), the Masstree-derived
+   lock-based tree, and HTM-Masstree. *)
+
+module Config = Eunomia.Config
+
+type kind =
+  | Htm_bptree
+  | Euno of Config.t
+  | Masstree
+  | Htm_masstree
+  | Lock_bptree (* coarse-lock baseline, not part of the paper's four *)
+
+let kind_name = function
+  | Htm_bptree -> "HTM-B+Tree"
+  | Euno _ -> "Euno-B+Tree"
+  | Masstree -> "Masstree"
+  | Htm_masstree -> "HTM-Masstree"
+  | Lock_bptree -> "Lock-B+Tree"
+
+(* The paper's four comparison systems, in plotting order. *)
+let all_kinds = [ Euno Config.full; Htm_bptree; Masstree; Htm_masstree ]
+
+type t = {
+  name : string;
+  get : int -> int option;
+  put : int -> int -> unit;
+  delete : int -> bool;
+  scan : from:int -> count:int -> (int * int) list;
+  check : unit -> unit; (* single-threaded invariant validation *)
+}
+
+(* ---------- facades over concrete trees ---------- *)
+
+let of_htm_bptree name t =
+  {
+    name;
+    get = Euno_bptree.Htm_bptree.get t;
+    put = Euno_bptree.Htm_bptree.put t;
+    delete = Euno_bptree.Htm_bptree.delete t;
+    scan = (fun ~from ~count -> Euno_bptree.Htm_bptree.scan t ~from ~count);
+    check =
+      (fun () ->
+        Euno_bptree.Bptree.check_invariants (Euno_bptree.Htm_bptree.tree t));
+  }
+
+let of_euno name t =
+  {
+    name;
+    get = Eunomia.Euno_tree.get t;
+    put = Eunomia.Euno_tree.put t;
+    delete = Eunomia.Euno_tree.delete t;
+    scan = (fun ~from ~count -> Eunomia.Euno_tree.scan t ~from ~count);
+    check = (fun () -> Eunomia.Euno_tree.check_invariants t);
+  }
+
+let of_masstree name t =
+  {
+    name;
+    get = Euno_masstree.Masstree.get t;
+    put = Euno_masstree.Masstree.put t;
+    delete = Euno_masstree.Masstree.delete t;
+    scan = (fun ~from ~count -> Euno_masstree.Masstree.scan t ~from ~count);
+    check = (fun () -> Euno_masstree.Masstree.check_invariants t);
+  }
+
+let of_htm_masstree name t =
+  {
+    name;
+    get = Euno_masstree.Htm_masstree.get t;
+    put = Euno_masstree.Htm_masstree.put t;
+    delete = Euno_masstree.Htm_masstree.delete t;
+    scan = (fun ~from ~count -> Euno_masstree.Htm_masstree.scan t ~from ~count);
+    check =
+      (fun () ->
+        Euno_masstree.Masstree.check_invariants
+          (Euno_masstree.Htm_masstree.tree t));
+  }
+
+(* Build a tree on the machine (run inside Machine.run/run_single).
+   [policy] overrides the HTM retry policy; by default the baselines use
+   the DBX policy and the Euno tree keeps its config's (cost-proportional)
+   policy.  [records], when given, bulk-loads sorted distinct records (the
+   YCSB load phase) instead of starting empty. *)
+let build ?name ?policy ?records kind ~fanout ~map =
+  let name = match name with Some n -> n | None -> kind_name kind in
+  let policy_or d = Option.value policy ~default:d in
+  let base_policy = policy_or Euno_htm.Htm.default_policy in
+  match kind with
+  | Htm_bptree ->
+      let t =
+        match records with
+        | Some rs -> Euno_bptree.Bptree.bulk_load ~fanout ~map rs
+        | None -> Euno_bptree.Bptree.create ~fanout ~map ()
+      in
+      of_htm_bptree name (Euno_bptree.Htm_bptree.of_tree ~policy:base_policy t)
+  | Euno cfg ->
+      let cfg =
+        { cfg with Config.fanout; policy = policy_or cfg.Config.policy }
+      in
+      let t =
+        match records with
+        | Some rs -> Eunomia.Euno_tree.bulk_load ~cfg ~map rs
+        | None -> Eunomia.Euno_tree.create ~cfg ~map ()
+      in
+      of_euno name t
+  | Masstree ->
+      let t =
+        match records with
+        | Some rs -> Euno_masstree.Masstree.bulk_load ~fanout ~map rs
+        | None -> Euno_masstree.Masstree.create ~fanout ~map ()
+      in
+      of_masstree name t
+  | Htm_masstree ->
+      let t =
+        match records with
+        | Some rs ->
+            Euno_masstree.Masstree.bulk_load ~elide:true ~fanout ~map rs
+        | None -> Euno_masstree.Masstree.create ~elide:true ~fanout ~map ()
+      in
+      of_htm_masstree name
+        (Euno_masstree.Htm_masstree.of_tree ~policy:base_policy t)
+  | Lock_bptree ->
+      let t =
+        match records with
+        | Some rs -> Euno_bptree.Bptree.bulk_load ~fanout ~map rs
+        | None -> Euno_bptree.Bptree.create ~fanout ~map ()
+      in
+      let t = Euno_bptree.Lock_bptree.of_tree t in
+      {
+        name;
+        get = Euno_bptree.Lock_bptree.get t;
+        put = Euno_bptree.Lock_bptree.put t;
+        delete = Euno_bptree.Lock_bptree.delete t;
+        scan =
+          (fun ~from ~count -> Euno_bptree.Lock_bptree.scan t ~from ~count);
+        check =
+          (fun () ->
+            Euno_bptree.Bptree.check_invariants
+              (Euno_bptree.Lock_bptree.tree t));
+      }

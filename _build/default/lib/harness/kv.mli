@@ -1,0 +1,36 @@
+(** Uniform key-value interface over the paper's four tree variants. *)
+
+type kind =
+  | Htm_bptree  (** monolithic-RTM conventional B+Tree (DBX-style) *)
+  | Euno of Eunomia.Config.t  (** the Euno-B+Tree, any configuration *)
+  | Masstree  (** fine-grained lock-based baseline *)
+  | Htm_masstree  (** whole-op RTM with elided Masstree locks *)
+  | Lock_bptree  (** coarse-lock baseline (not one of the paper's four) *)
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+(** The four comparison systems in the paper's plotting order. *)
+
+type t = {
+  name : string;
+  get : int -> int option;
+  put : int -> int -> unit;
+  delete : int -> bool;
+  scan : from:int -> count:int -> (int * int) list;
+  check : unit -> unit;
+}
+
+val build :
+  ?name:string ->
+  ?policy:Euno_htm.Htm.policy ->
+  ?records:(int * int) list ->
+  kind ->
+  fanout:int ->
+  map:Euno_mem.Linemap.t ->
+  t
+(** Instantiate a tree (must run on the machine).  For [Euno] the config's
+    fanout is overridden by [fanout] so all variants share index shape.
+    Without [policy], baselines use {!Euno_htm.Htm.default_policy} and the
+    Euno tree keeps its config's cost-proportional policy.  [records]
+    bulk-loads sorted distinct records (the YCSB load phase). *)

@@ -1,0 +1,262 @@
+(* Experiment driver: builds a tree, preloads the key space, runs a
+   YCSB-style measurement phase on N simulated threads, and reduces the
+   machine counters to the quantities the paper's figures report. *)
+
+module Machine = Euno_sim.Machine
+module Cost = Euno_sim.Cost
+module Api = Euno_sim.Api
+module Abort = Euno_sim.Abort
+module Rng = Euno_sim.Rng
+module Memory = Euno_mem.Memory
+module Linemap = Euno_mem.Linemap
+module Alloc = Euno_mem.Alloc
+module Dist = Euno_workload.Dist
+module Opgen = Euno_workload.Opgen
+
+type workload = {
+  dist : Dist.spec;
+  mix : Opgen.mix;
+  key_space : int;
+  preload_permille : int; (* fraction of the key space preloaded, 0..1000 *)
+  scan_len : int;
+  scrambled : bool; (* hash ranks over the key space (YCSB scrambled) *)
+  partitioned : bool;
+    (* interleave-partition the key space across threads (thread t only
+       touches keys = t mod threads): the paper's Figure 2 methodology for
+       estimating the same-record share — true conflicts become
+       impossible while hot keys stay adjacent *)
+}
+
+let default_workload =
+  {
+    dist = Dist.Zipfian 0.5;
+    mix = Opgen.ycsb_default;
+    key_space = 1 lsl 16;
+    preload_permille = 900;
+    scan_len = 16;
+    scrambled = false;
+    partitioned = false;
+  }
+
+type setup = {
+  threads : int;
+  ops_per_thread : int;
+  seed : int;
+  cost : Cost.t;
+  fanout : int;
+  policy : Euno_htm.Htm.policy option; (* None: each tree's own default *)
+  check_after : bool; (* validate invariants when the run ends *)
+}
+
+let default_setup =
+  {
+    threads = 16;
+    ops_per_thread = 2000;
+    seed = 42;
+    cost = Cost.default;
+    fanout = 16;
+    policy = None;
+    check_after = false;
+  }
+
+type result = {
+  r_name : string;
+  r_threads : int;
+  r_ops : int;
+  r_cycles : int;
+  r_mops : float;
+  r_aborts_per_op : float;
+  r_abort_classes : float array; (* per op, indexed by Abort.index *)
+  r_commits_per_op : float;
+  r_wasted_pct : float; (* CPU cycles burnt in aborted transactions *)
+  r_fallbacks_per_op : float;
+  r_retries_per_op : float;
+  r_lock_wait_pct : float; (* CPU time queueing on the fallback lock *)
+  r_consistency_retries_per_op : float;
+  r_instr_per_op : float; (* interpreted accesses: instruction proxy *)
+  r_lat_p50 : int; (* per-op latency percentiles, simulated cycles *)
+  r_lat_p99 : int;
+  r_mem_preload_bytes : int; (* live bytes right after preload *)
+  r_mem_live_bytes : int; (* live bytes after the measured run *)
+  r_mem_reserved_peak_bytes : int;
+  r_mem_lock_bytes : int; (* CCM + lock lines *)
+}
+
+let is_power_of_two n = n land (n - 1) = 0
+
+(* Preloaded keys are a hash-scattered subset of the key space, so the
+   fresh keys the measurement phase inserts are interleaved among existing
+   records: every leaf keeps receiving occasional inserts (splits stay
+   exercised) and no region of the tree becomes an artificial insert
+   funnel. *)
+let preloaded ~permille ~key_space:_ key =
+  let h = key * 0x9E3779B1 in
+  (h lxor (h lsr 13)) land 1023 * 1000 / 1024 < permille
+
+(* Per-operation client-side cost: key generation and request dispatch. *)
+let client_work = 25
+
+let run kind workload setup =
+  if not (is_power_of_two workload.key_space) then
+    invalid_arg "Runner.run: key_space must be a power of two";
+  let mem = Memory.create () in
+  let map = Linemap.create () in
+  let alloc = Alloc.create mem map in
+  (* Build and bulk-load on a frictionless single-thread machine: the
+     paper's load phase is not part of the measurement. *)
+  let records =
+    List.filter_map
+      (fun key ->
+        if
+          preloaded ~permille:workload.preload_permille
+            ~key_space:workload.key_space key
+        then Some (key, key)
+        else None)
+      (List.init workload.key_space (fun k -> k))
+  in
+  let kv =
+    Machine.run_single ~seed:setup.seed ~cost:Cost.unit_costs ~mem ~map ~alloc
+      (fun () ->
+        Kv.build ?policy:setup.policy ~records kind ~fanout:setup.fanout ~map)
+  in
+  let mem_preload = Alloc.live_bytes alloc in
+  let m =
+    Machine.create ~threads:setup.threads ~seed:setup.seed ~cost:setup.cost
+      ~mem ~map ~alloc
+  in
+  let latencies =
+    Array.init setup.threads (fun _ -> Array.make setup.ops_per_thread 0)
+  in
+  Machine.run m (fun tid ->
+      let n =
+        if workload.partitioned then workload.key_space / setup.threads
+        else workload.key_space
+      in
+      let remap k = if workload.partitioned then (k * setup.threads) + tid else k in
+      let dist =
+        Dist.create ~scrambled:workload.scrambled workload.dist ~n
+          ~seed:((setup.seed * 7919) + (tid * 131) + 1)
+      in
+      let gen =
+        Opgen.create ~scan_len:workload.scan_len ~dist ~mix:workload.mix
+          ~seed:((setup.seed * 104729) + tid) ()
+      in
+      for i = 0 to setup.ops_per_thread - 1 do
+        Api.work client_work;
+        let t0 = Api.clock () in
+        (match Opgen.next gen with
+        | Opgen.Get k -> ignore (kv.Kv.get (remap k))
+        | Opgen.Put (k, v) ->
+            kv.Kv.put (remap k) v;
+            (* the recency frontier, for Latest-distributed workloads *)
+            Dist.advance dist
+        | Opgen.Scan (k, len) -> ignore (kv.Kv.scan ~from:(remap k) ~count:len)
+        | Opgen.Delete k -> ignore (kv.Kv.delete (remap k))
+        | Opgen.Rmw (k, v) ->
+            let k = remap k in
+            let prev = Option.value ~default:0 (kv.Kv.get k) in
+            kv.Kv.put k (prev + v));
+        latencies.(tid).(i) <- Api.clock () - t0;
+        Api.op_done ()
+      done);
+  if setup.check_after then
+    Machine.run_single ~seed:setup.seed ~cost:Cost.unit_costs ~mem ~map ~alloc
+      kv.Kv.check;
+  let s = Machine.aggregate m in
+  let lat =
+    let all = Array.concat (Array.to_list latencies) in
+    Array.sort compare all;
+    let pick p =
+      if Array.length all = 0 then 0
+      else all.(min (Array.length all - 1) (p * Array.length all / 100))
+    in
+    (pick 50, pick 99)
+  in
+  let ops = s.Machine.s_ops in
+  let fops = float_of_int (max 1 ops) in
+  let cycles = Machine.elapsed m in
+  let total_cycles =
+    (* total CPU time = sum of thread clocks; wasted% is relative to it *)
+    float_of_int setup.threads *. float_of_int (max 1 cycles)
+  in
+  {
+    r_name = kv.Kv.name;
+    r_threads = setup.threads;
+    r_ops = ops;
+    r_cycles = cycles;
+    r_mops = Cost.mops setup.cost ~ops ~cycles;
+    r_aborts_per_op = float_of_int (Machine.total_aborts s) /. fops;
+    r_abort_classes =
+      Array.map (fun a -> float_of_int a /. fops) s.Machine.s_aborts;
+    r_commits_per_op = float_of_int s.Machine.s_commits /. fops;
+    r_wasted_pct =
+      100.0
+      *. float_of_int
+           (s.Machine.s_wasted_cycles
+           + s.Machine.s_user.(Euno_htm.Htm.Counter.lock_wait_cycles))
+      /. total_cycles;
+    r_lock_wait_pct =
+      100.0
+      *. float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.lock_wait_cycles)
+      /. total_cycles;
+    r_fallbacks_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.fallbacks) /. fops;
+    r_retries_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.retries) /. fops;
+    r_consistency_retries_per_op =
+      float_of_int
+        s.Machine.s_user.(Eunomia.Euno_tree.Counter.consistency_retries)
+      /. fops;
+    r_instr_per_op = float_of_int s.Machine.s_accesses /. fops;
+    r_lat_p50 = fst lat;
+    r_lat_p99 = snd lat;
+    r_mem_preload_bytes = mem_preload;
+    r_mem_live_bytes = Alloc.live_bytes alloc;
+    r_mem_reserved_peak_bytes =
+      (Alloc.stats_of_kind alloc Linemap.Reserved).Alloc.peak_words
+      * Memory.word_bytes;
+    r_mem_lock_bytes =
+      (Alloc.stats_of_kind alloc Linemap.Lock).Alloc.live_words
+      * Memory.word_bytes;
+  }
+
+(* Repeat a run over several seeds and summarize throughput variation
+   (deterministic per seed, so this measures schedule sensitivity, the
+   simulator's analogue of run-to-run noise). *)
+type aggregate = {
+  a_runs : result list;
+  a_mean_mops : float;
+  a_stddev_mops : float;
+  a_min_mops : float;
+  a_max_mops : float;
+}
+
+let run_many ?(seeds = 5) kind workload setup =
+  if seeds < 1 then invalid_arg "Runner.run_many: seeds < 1";
+  let runs =
+    List.init seeds (fun i ->
+        run kind workload { setup with seed = setup.seed + (i * 7919) })
+  in
+  let s = Euno_stats.Summary.create () in
+  List.iter (fun r -> Euno_stats.Summary.add s r.r_mops) runs;
+  {
+    a_runs = runs;
+    a_mean_mops = Euno_stats.Summary.mean s;
+    a_stddev_mops = Euno_stats.Summary.stddev s;
+    a_min_mops = Euno_stats.Summary.min_value s;
+    a_max_mops = Euno_stats.Summary.max_value s;
+  }
+
+(* Aborts attributed to the paper's Figure 2 taxonomy. *)
+let class_true r = r.r_abort_classes.(Abort.index (Abort.Conflict Abort.True_conflict))
+let class_false_record r =
+  r.r_abort_classes.(Abort.index (Abort.Conflict Abort.False_record))
+let class_false_meta r =
+  r.r_abort_classes.(Abort.index (Abort.Conflict Abort.False_metadata))
+
+let class_subscription r =
+  r.r_abort_classes.(Abort.index (Abort.Conflict Abort.Subscription))
+
+let class_other r =
+  r.r_aborts_per_op -. class_true r -. class_false_record r
+  -. class_false_meta r -. class_subscription r

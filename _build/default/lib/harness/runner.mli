@@ -1,0 +1,90 @@
+(** Experiment driver: preload, measure, reduce to the paper's metrics.
+
+    A run builds one tree on a fresh simulated world, preloads a fraction
+    of the key space (the YCSB load phase, executed off the clock on a
+    frictionless machine), then runs the measurement phase on N simulated
+    threads with private operation streams, and aggregates machine
+    counters into the quantities Figures 1-13 plot. *)
+
+type workload = {
+  dist : Euno_workload.Dist.spec;
+  mix : Euno_workload.Opgen.mix;
+  key_space : int;  (** must be a power of two *)
+  preload_permille : int;  (** fraction of keys loaded up front *)
+  scan_len : int;
+  scrambled : bool;
+      (** hash ranks across the key space (YCSB's scrambled variant);
+          default false = hot keys adjacent, as the paper's analysis
+          assumes *)
+  partitioned : bool;
+      (** interleave-partition keys across threads (no two threads ever
+          touch the same record): the paper's Figure 2 estimation
+          methodology *)
+}
+
+val default_workload : workload
+(** Zipfian(0.5), 50/50 get-put, 64 Ki keys, 10% preloaded (the paper loads ~10-17M of a 100M key range: average tree depth 6 at fanout 16), so puts are insert-heavy. *)
+
+type setup = {
+  threads : int;
+  ops_per_thread : int;
+  seed : int;
+  cost : Euno_sim.Cost.t;
+  fanout : int;
+  policy : Euno_htm.Htm.policy option;
+  check_after : bool;
+}
+
+val default_setup : setup
+
+type result = {
+  r_name : string;
+  r_threads : int;
+  r_ops : int;
+  r_cycles : int;
+  r_mops : float;
+  r_aborts_per_op : float;
+  r_abort_classes : float array;
+  r_commits_per_op : float;
+  r_wasted_pct : float;
+      (** share of total CPU burnt in aborted transactions or queueing on
+          the fallback lock (the paper's "wasted cycles") *)
+  r_fallbacks_per_op : float;
+  r_retries_per_op : float;
+  r_lock_wait_pct : float;
+  r_consistency_retries_per_op : float;
+  r_instr_per_op : float;
+  r_lat_p50 : int;
+      (** median per-operation latency in simulated cycles *)
+  r_lat_p99 : int;
+  r_mem_preload_bytes : int;
+  r_mem_live_bytes : int;
+  r_mem_reserved_peak_bytes : int;
+  r_mem_lock_bytes : int;
+}
+
+val run : Kv.kind -> workload -> setup -> result
+
+(** Throughput variation over several seeds (schedule sensitivity). *)
+type aggregate = {
+  a_runs : result list;
+  a_mean_mops : float;
+  a_stddev_mops : float;
+  a_min_mops : float;
+  a_max_mops : float;
+}
+
+val run_many : ?seeds:int -> Kv.kind -> workload -> setup -> aggregate
+
+val class_true : result -> float
+(** Conflict aborts on the same record, per op (true conflicts). *)
+
+val class_false_record : result -> float
+val class_false_meta : result -> float
+
+val class_subscription : result -> float
+(** Elision-lock subscription cascades (fallback acquirers dooming every
+    running transaction), per op. *)
+
+val class_other : result -> float
+(** Capacity, explicit, spurious and timer aborts, per op. *)

@@ -1,0 +1,1 @@
+lib/htm/htm.ml: Euno_sim Euno_sync

@@ -1,0 +1,1 @@
+lib/htm/htm.mli: Euno_sim

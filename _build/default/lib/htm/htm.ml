@@ -1,0 +1,173 @@
+(* User-level RTM interface: retry policy and lock-elision fallback.
+
+   Mirrors the strategy the paper reuses from DBX/DrTM (Section 4.2.1):
+   each abort type has its own retry budget; when a budget is exhausted the
+   operation falls back to a global lock.  Transactions read the fallback
+   lock word right after xbegin, so a fallback holder aborts them
+   (lock elision). *)
+
+module Api = Euno_sim.Api
+module Abort = Euno_sim.Abort
+module Eff = Euno_sim.Eff
+module Spinlock = Euno_sync.Spinlock
+module Backoff = Euno_sync.Backoff
+
+type policy = {
+  conflict_retries : int;
+  capacity_retries : int;
+  lock_busy_retries : int; (* explicit aborts: fallback lock observed held *)
+  other_retries : int; (* spurious / timer *)
+  backoff_base : int;
+  backoff_cap : int;
+  wait_for_lock : bool;
+      (* spin outside the transaction while the fallback lock is held,
+         instead of burning transactional attempts against it.  The
+         paper-era implementations (DBX; pre-fix glibc elision) did NOT do
+         this — retrying straight into a held lock is what produces the
+         fallback death spiral ("lemming effect") under contention. *)
+}
+
+(* The DBX-style policy the paper's baselines use: a small conflict budget,
+   mild backoff, and naive retry against a held fallback lock. *)
+let default_policy =
+  {
+    conflict_retries = 2;
+    capacity_retries = 2;
+    lock_busy_retries = 24;
+    other_retries = 4;
+    backoff_base = 16;
+    backoff_cap = 1024;
+    wait_for_lock = false;
+  }
+
+(* A modern, well-behaved policy (post-lemming-fix), for ablations. *)
+let polite_policy =
+  {
+    conflict_retries = 16;
+    capacity_retries = 2;
+    lock_busy_retries = 16;
+    other_retries = 4;
+    backoff_base = 64;
+    backoff_cap = 8192;
+    wait_for_lock = true;
+  }
+
+(* User-counter indices (see Machine.n_user_counters). *)
+module Counter = struct
+  let fallbacks = 0
+  let retries = 1
+  let lock_wait_cycles = 2 (* cycles spent queueing on the fallback lock *)
+end
+
+type lock = int
+(* The fallback lock is a plain spinlock word. *)
+
+let alloc_lock () = Spinlock.alloc ()
+
+exception Unreachable_after_xabort
+
+(* One transactional attempt of [f].  Returns the abort code on failure. *)
+let attempt f =
+  Api.xbegin ();
+  match
+    let v = f () in
+    Api.xend ();
+    v
+  with
+  | v -> Ok v
+  | exception Eff.Txn_abort code -> Error code
+
+(* One *elided* attempt: subscribe to the fallback lock first. *)
+let attempt_elided ~lock f =
+  attempt (fun () ->
+      if Spinlock.is_locked lock then begin
+        Api.xabort Abort.xabort_lock_held;
+        raise Unreachable_after_xabort
+      end;
+      f ())
+
+type budgets = {
+  mutable conflict : int;
+  mutable capacity : int;
+  mutable lock_busy : int;
+  mutable other : int;
+}
+
+let budgets_of policy =
+  {
+    conflict = policy.conflict_retries;
+    capacity = policy.capacity_retries;
+    lock_busy = policy.lock_busy_retries;
+    other = policy.other_retries;
+  }
+
+(* Consume one retry from the bucket matching [code]; false when that
+   bucket is exhausted and the caller must take the fallback path. *)
+let spend budgets (code : Abort.code) =
+  let take get set =
+    let v = get () in
+    if v <= 0 then false
+    else begin
+      set (v - 1);
+      true
+    end
+  in
+  match code with
+  | Abort.Conflict _ ->
+      take (fun () -> budgets.conflict) (fun v -> budgets.conflict <- v)
+  | Abort.Capacity_read | Abort.Capacity_write ->
+      take (fun () -> budgets.capacity) (fun v -> budgets.capacity <- v)
+  | Abort.Explicit _ ->
+      take (fun () -> budgets.lock_busy) (fun v -> budgets.lock_busy <- v)
+  | Abort.Spurious | Abort.Timer ->
+      take (fun () -> budgets.other) (fun v -> budgets.other <- v)
+
+(* Execute [f] atomically: transactionally with retries, then under the
+   fallback lock.  [f] runs either inside a transaction or while holding
+   [lock]; it must not catch Txn_abort itself.  [on_abort] runs outside the
+   transaction after every aborted attempt (used by Eunomia's per-leaf
+   contention detector). *)
+let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
+    ~lock f =
+  let budgets = budgets_of policy in
+  let backoff = Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap () in
+  let rec go () =
+    match attempt_elided ~lock f with
+    | Ok v -> v
+    | Error code ->
+        on_abort code;
+        if spend budgets code then begin
+          Api.count Counter.retries 1;
+          (match code with
+          | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+          | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+          | Abort.Timer ->
+              ());
+          (* Post-fix implementations spin outside the transaction while
+             the fallback lock is held; paper-era ones dive right back in. *)
+          if policy.wait_for_lock then begin
+            let rec wait_unlocked () =
+              if Spinlock.is_locked lock then begin
+                Api.work 64;
+                wait_unlocked ()
+              end
+            in
+            wait_unlocked ()
+          end;
+          go ()
+        end
+        else begin
+          Api.count Counter.fallbacks 1;
+          let t0 = Api.clock () in
+          Spinlock.acquire lock;
+          Api.count Counter.lock_wait_cycles (Api.clock () - t0);
+          match f () with
+          | v ->
+              Spinlock.release lock;
+              v
+          | exception e ->
+              Spinlock.release lock;
+              raise e
+        end
+  in
+  go ()

@@ -1,0 +1,57 @@
+(** User-level RTM: retry policy and lock-elision fallback.
+
+    Reproduces the DBX/DrTM fallback strategy the paper reuses: per-abort-
+    type retry budgets, then serialization on a global fallback lock that
+    elided transactions subscribe to. *)
+
+type policy = {
+  conflict_retries : int;
+  capacity_retries : int;
+  lock_busy_retries : int;
+  other_retries : int;
+  backoff_base : int;
+  backoff_cap : int;
+  wait_for_lock : bool;
+      (** spin outside the transaction while the fallback lock is held;
+          paper-era implementations did not, which is what produces the
+          fallback death spiral under contention *)
+}
+
+val default_policy : policy
+(** The DBX-style paper-era policy (naive lock retry). *)
+
+val polite_policy : policy
+(** A modern post-lemming-fix policy, for ablations. *)
+
+(** User-counter indices used by this module (via {!Euno_sim.Api.count}). *)
+module Counter : sig
+  val fallbacks : int
+  val retries : int
+
+  val lock_wait_cycles : int
+  (** Cycles spent queueing on the fallback lock (serialization wait). *)
+end
+
+type lock = int
+(** Fallback lock: a spinlock word address. *)
+
+val alloc_lock : unit -> lock
+
+val attempt : (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
+(** One raw transactional attempt (no lock subscription, no retry). *)
+
+val attempt_elided : lock:lock -> (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
+(** One attempt that subscribes to the fallback lock: aborts explicitly if
+    the lock is held, and is doomed if a fallback holder appears later. *)
+
+val atomic :
+  ?policy:policy ->
+  ?on_abort:(Euno_sim.Abort.code -> unit) ->
+  lock:lock ->
+  (unit -> 'a) ->
+  'a
+(** Execute atomically: elided transactional attempts with per-abort-type
+    budgets and backoff, then the fallback lock.  [f] may run multiple
+    times (aborted attempts have no visible effects) and must not catch
+    {!Euno_sim.Eff.Txn_abort}.  [on_abort] runs outside the transaction
+    after each aborted attempt. *)

@@ -1,0 +1,1 @@
+lib/masstree/htm_masstree.ml: Euno_htm Euno_sim Masstree

@@ -1,0 +1,1 @@
+lib/masstree/htm_masstree.mli: Euno_htm Euno_mem Masstree

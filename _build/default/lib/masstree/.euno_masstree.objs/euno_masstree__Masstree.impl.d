@@ -1,0 +1,1 @@
+lib/masstree/masstree.ml: Euno_bptree Euno_mem Euno_sim Euno_sync List Printf

@@ -1,0 +1,38 @@
+(* HTM-Masstree (paper Section 5.1, comparison tree (3)): each whole
+   Masstree operation inside one RTM region, subsuming its elided per-node
+   locks.  The version-counter writes Masstree performs on every structural
+   change land in the transaction write sets, so concurrent operations on
+   shared nodes abort each other — the shared-metadata pathology that makes
+   this variant scale poorly in Figures 8 and 10. *)
+
+module Api = Euno_sim.Api
+module Htm = Euno_htm.Htm
+
+type t = { tree : Masstree.t; lock : Htm.lock; policy : Htm.policy }
+
+let create ?(policy = Htm.default_policy) ~fanout ~map () =
+  { tree = Masstree.create ~elide:true ~fanout ~map (); lock = Htm.alloc_lock (); policy }
+
+let of_tree ?(policy = Htm.default_policy) tree =
+  { tree; lock = Htm.alloc_lock (); policy }
+
+let tree t = t.tree
+
+let get t key =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () -> Masstree.get t.tree key)
+
+let put t key value =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () ->
+      Masstree.put t.tree key value)
+
+let delete t key =
+  Api.op_key key;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () ->
+      Masstree.delete t.tree key)
+
+let scan t ~from ~count =
+  Api.op_key from;
+  Htm.atomic ~policy:t.policy ~lock:t.lock (fun () ->
+      Masstree.scan t.tree ~from ~count)

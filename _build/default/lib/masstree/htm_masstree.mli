@@ -1,0 +1,24 @@
+(** HTM-Masstree: whole Masstree operations inside one RTM region with
+    elided per-node locks (comparison tree (3) of the paper's Section 5.1). *)
+
+type t
+
+val create :
+  ?policy:Euno_htm.Htm.policy ->
+  fanout:int ->
+  map:Euno_mem.Linemap.t ->
+  unit ->
+  t
+
+val of_tree : ?policy:Euno_htm.Htm.policy -> Masstree.t -> t
+(** Wrap an existing tree.  It must have been created with [elide = true]
+    (e.g. {!Masstree.bulk_load} [~elide:true]). *)
+
+val tree : t -> Masstree.t
+(** The underlying tree, for single-threaded inspection in tests.  Note it
+    was created with [elide = true]. *)
+
+val get : t -> int -> int option
+val put : t -> int -> int -> unit
+val delete : t -> int -> bool
+val scan : t -> from:int -> count:int -> (int * int) list

@@ -1,0 +1,479 @@
+(* A fine-grained concurrent B+Tree derived from Masstree's concurrency
+   discipline (Mao et al., EuroSys'12, Section 4.6), the paper's lock-based
+   baseline.
+
+   Every node carries a version word: a lock bit, an insert counter
+   (vinsert) and a split counter (vsplit).  Readers are optimistic: they
+   read a stable version before touching a node and re-check it after
+   ("before-and-after" validation), retrying the node when vinsert moved
+   and restarting from the root when vsplit moved.  Writers take the
+   per-node spinlock, mutate, and release by bumping the counters.  Splits
+   lock hand-over-hand upward (child, then parent), re-validating that the
+   parent still contains the child after locking.
+
+   The same code also runs as "HTM-Masstree" (elide = true): each whole
+   operation is wrapped in one RTM region by Htm_masstree and lock
+   acquisitions are elided to version-word reads.  The version-counter
+   writes then land in every transaction's write set — the shared-metadata
+   aborts that make HTM-Masstree perform poorly in the paper's Figure 8.
+
+   Node layout reuses Euno_bptree.Layout (sorted consecutive keys): the
+   version word is header word 4 for both node kinds. *)
+
+module Api = Euno_sim.Api
+module Abort = Euno_sim.Abort
+module Linemap = Euno_mem.Linemap
+module Index = Euno_bptree.Index
+module L = Euno_bptree.Layout
+module Backoff = Euno_sync.Backoff
+module Spinlock = Euno_sync.Spinlock
+
+type t = {
+  idx : Index.t; (* node layout, tree meta, shared internal-node ops *)
+  root_lock : int; (* serializes root growth *)
+  elide : bool; (* HTM-Masstree: locks elided inside an RTM region *)
+}
+
+let null = 0
+
+(* ---------- version words ---------- *)
+
+(* bit 0: lock; bits 1..30: vinsert; bits 31..: vsplit *)
+let lock_bit = 1
+let vinsert_unit = 2
+let vinsert_mask = (1 lsl 31) - 2
+let vsplit_unit = 1 lsl 31
+
+let version_addr node = L.version node
+let is_locked v = v land lock_bit <> 0
+let vsplit_of v = v lsr 31
+let _vinsert_of v = (v land vinsert_mask) lsr 1
+
+exception Retry_root
+
+(* Per-node instruction weight of the real Masstree machinery our skeletal
+   OLC does not execute: permutation decoding, border-key slicing, layer
+   checks (Mao et al. Sections 4.3-4.6).  The paper measures Masstree
+   executing ~2.1x the instructions of Euno-B+Tree; these constants
+   reproduce that per-operation instruction weight in the cost model. *)
+let node_work = 120
+let leaf_work = 140
+
+(* A stable (unlocked) version of a node; spins while a writer is in the
+   node.  Each check is the paper's "version manipulation". *)
+let stable_version node =
+  let b = Backoff.create ~base:16 ~cap:1024 () in
+  let rec go () =
+    let v = Api.read (version_addr node) in
+    if is_locked v then begin
+      Backoff.once b;
+      go ()
+    end
+    else v
+  in
+  go ()
+
+(* Acquire a node's version lock.  In elided mode there is no CAS: the
+   transaction reads the word (subscribing to it) and aborts if a fallback
+   writer holds it. *)
+let lock_node t node =
+  if t.elide then begin
+    if is_locked (Api.read (version_addr node)) then
+      Api.xabort Abort.xabort_lock_held
+  end
+  else begin
+    let b = Backoff.create ~base:24 ~cap:2048 () in
+    let rec go () =
+      let v = Api.read (version_addr node) in
+      if is_locked v then begin
+        Backoff.once b;
+        go ()
+      end
+      else if
+        not (Api.cas (version_addr node) ~expected:v ~desired:(v lor lock_bit))
+      then begin
+        Backoff.once b;
+        go ()
+      end
+    in
+    go ()
+  end
+
+(* Lock a node nothing else can reach yet: fresh split siblings are born
+   locked so their creator can keep writing into them after they become
+   visible.  (Elided mode needs no node locks: the enclosing transaction —
+   or the global fallback lock — already serializes the whole operation.) *)
+let lock_fresh t node =
+  if not t.elide then Api.write (version_addr node) lock_bit
+
+(* Release, bumping vinsert and optionally vsplit. *)
+let unlock_node t node ~split =
+  let v = Api.read (version_addr node) in
+  let v = if t.elide then v else v land lnot lock_bit in
+  let v = v + vinsert_unit in
+  let v = if split then v + vsplit_unit else v in
+  Api.write (version_addr node) v
+
+(* ---------- construction ---------- *)
+
+let alloc_leaf_with ~(layout : L.t) ~map =
+  let node = Api.alloc ~kind:Linemap.Node_meta ~words:layout.L.leaf_words in
+  Linemap.set_range map
+    ~addr:(node + layout.L.records_off)
+    ~words:(layout.L.leaf_words - layout.L.records_off)
+    Linemap.Record;
+  Api.reclassify ~from_kind:Linemap.Node_meta ~to_kind:Linemap.Record
+    ~words:(layout.L.leaf_words - layout.L.records_off);
+  Api.write (L.tag node) L.tag_leaf;
+  node
+
+let alloc_leaf t = alloc_leaf_with ~layout:t.idx.Index.layout ~map:t.idx.Index.map
+
+let create ?(elide = false) ~fanout ~map () =
+  let layout = L.make ~fanout in
+  let root = alloc_leaf_with ~layout ~map in
+  {
+    idx = Index.create ~fanout ~map ~root ();
+    root_lock = Spinlock.alloc ();
+    elide;
+  }
+
+(* Bulk load sorted, distinct records (single-threaded YCSB load phase):
+   packed leaves, bottom-up index, version words fresh. *)
+let bulk_load ?(elide = false) ?(fill = 0.7) ~fanout ~map records =
+  let layout = L.make ~fanout in
+  let per_leaf =
+    max 1 (min fanout (int_of_float (fill *. float_of_int fanout)))
+  in
+  match records with
+  | [] -> create ~elide ~fanout ~map ()
+  | _ ->
+      let rec chunks acc current n = function
+        | [] -> List.rev (List.rev current :: acc)
+        | r :: rest when n < per_leaf -> chunks acc (r :: current) (n + 1) rest
+        | rest -> chunks (List.rev current :: acc) [] 0 rest
+      in
+      let make_leaf chunk =
+        let leaf = alloc_leaf_with ~layout ~map in
+        List.iteri
+          (fun i (k, v) ->
+            Api.write (L.record_key layout leaf i) k;
+            Api.write (L.record_value layout leaf i) v)
+          chunk;
+        Api.write (L.nkeys leaf) (List.length chunk);
+        (fst (List.hd chunk), leaf)
+      in
+      let leaves = List.map make_leaf (chunks [] [] 0 records) in
+      let rec chain = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            Api.write (L.next a) b;
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain leaves;
+      let idx = Index.create ~fanout ~map ~root:(snd (List.hd leaves)) () in
+      Index.build_levels idx leaves;
+      { idx; root_lock = Spinlock.alloc (); elide }
+
+let index t = t.idx
+let layout t = t.idx.Index.layout
+
+(* ---------- optimistic descent ---------- *)
+
+(* Descend to the leaf covering [key] with hand-over-hand validation:
+   capture the child's stable version *before* re-checking the parent, so
+   an unchanged parent proves the child covered the key when its version
+   was taken (a child split always bumps the parent first).  Returns the
+   leaf and its stable version; raises Retry_root when a node changed
+   underfoot. *)
+let descend t key =
+  let rec down node v =
+    Api.work node_work;
+    if Api.read (L.tag node) = L.tag_leaf then (node, v)
+    else begin
+      let child = Index.child_for t.idx node key in
+      let vc = stable_version child in
+      let v' = Api.read (version_addr node) in
+      if v' <> v then raise_notrace Retry_root;
+      down child vc
+    end
+  in
+  let rec from_root () =
+    match down (Index.root t.idx) (stable_version (Index.root t.idx)) with
+    | leaf_v -> leaf_v
+    | exception Retry_root -> from_root ()
+  in
+  from_root ()
+
+(* ---------- get ---------- *)
+
+(* First record index with key >= [key] among a leaf's [n] sorted records
+   (linear sweep, like Masstree's permuter-ordered scan). *)
+let leaf_lower_bound t leaf n key =
+  let lay = layout t in
+  let rec go i =
+    if i >= n || Api.read (L.record_key lay leaf i) >= key then i
+    else go (i + 1)
+  in
+  go 0
+
+let leaf_find t leaf key =
+  let lay = layout t in
+  let n = Api.read (L.nkeys leaf) in
+  let i = leaf_lower_bound t leaf n key in
+  if i < n && Api.read (L.record_key lay leaf i) = key then
+    Some (Api.read (L.record_value lay leaf i))
+  else None
+
+let get t key =
+  Api.op_key key;
+  let rec attempt () =
+    let leaf, v = descend t key in
+    let rec read_leaf v =
+      Api.work leaf_work;
+      let result = leaf_find t leaf key in
+      let v' = stable_version leaf in
+      if v' = v then result
+      else if vsplit_of v' <> vsplit_of v then attempt ()
+      else read_leaf v'
+    in
+    read_leaf v
+  in
+  attempt ()
+
+(* ---------- structural modification (writers) ---------- *)
+
+(* Does the locked internal node still list [child]? *)
+let contains t parent child =
+  let n = Api.read (L.nkeys parent) in
+  let rec go i =
+    if i > n then false
+    else if Api.read (L.child (layout t) parent i) = child then true
+    else go (i + 1)
+  in
+  go 0
+
+(* Link [right] (fresh) as the sibling of the *locked* node [node] under
+   separator [sep], locking upward hand-over-hand. *)
+let rec insert_up t node sep right =
+  let parent = Api.read (L.parent node) in
+  if parent = null then begin
+    (* Root growth is serialized by a dedicated lock. *)
+    if t.elide then begin
+      if Spinlock.is_locked t.root_lock then
+        Api.xabort Abort.xabort_lock_held
+    end
+    else Spinlock.acquire t.root_lock;
+    if Api.read (L.parent node) = null then begin
+      Index.grow_root t.idx node sep right;
+      if not t.elide then Spinlock.release t.root_lock
+    end
+    else begin
+      (* Someone grew the root first; retry against the new parent. *)
+      if not t.elide then Spinlock.release t.root_lock;
+      insert_up t node sep right
+    end
+  end
+  else begin
+    lock_node t parent;
+    if not (contains t parent node) then begin
+      (* The parent split and [node] moved; chase the fresh pointer. *)
+      unlock_node t parent ~split:false;
+      insert_up t node sep right
+    end
+    else begin
+      let n = Api.read (L.nkeys parent) in
+      if n < (layout t).L.fanout then begin
+        let i = Index.lower_bound t.idx parent n sep in
+        Index.internal_insert_at t.idx parent n i sep right;
+        unlock_node t parent ~split:false
+      end
+      else begin
+        (* The new sibling is born locked: rewriting the moved children's
+           parent pointers makes it reachable to their splitters. *)
+        let promoted, pright =
+          Index.split_internal ~on_alloc:(lock_fresh t) t.idx parent
+        in
+        insert_up t parent promoted pright;
+        let target = if sep < promoted then parent else pright in
+        let tn = Api.read (L.nkeys target) in
+        let i = Index.lower_bound t.idx target tn sep in
+        Index.internal_insert_at t.idx target tn i sep right;
+        unlock_node t parent ~split:true;
+        unlock_node t pright ~split:false
+      end
+    end
+  end
+
+(* Split a locked, full leaf and link it upward with the lock-coupled
+   protocol; returns the (still invisible, hence unlocked) right sibling. *)
+let split_leaf_locked t leaf =
+  let lay = layout t in
+  let f = lay.L.fanout in
+  let mid = f / 2 in
+  let right = alloc_leaf t in
+  lock_fresh t right;
+  for j = 0 to f - mid - 1 do
+    Api.write (L.record_key lay right j) (Api.read (L.record_key lay leaf (mid + j)));
+    Api.write (L.record_value lay right j) (Api.read (L.record_value lay leaf (mid + j)))
+  done;
+  Api.write (L.nkeys leaf) mid;
+  Api.write (L.nkeys right) (f - mid);
+  Api.write (L.next right) (Api.read (L.next leaf));
+  Api.write (L.next leaf) right;
+  Api.write (L.parent right) (Api.read (L.parent leaf));
+  let sep = Api.read (L.record_key lay right 0) in
+  insert_up t leaf sep right;
+  right
+
+(* ---------- put / delete ---------- *)
+
+let leaf_insert_at t leaf n i key value =
+  let lay = layout t in
+  for j = n downto i + 1 do
+    Api.write (L.record_key lay leaf j) (Api.read (L.record_key lay leaf (j - 1)));
+    Api.write (L.record_value lay leaf j) (Api.read (L.record_value lay leaf (j - 1)))
+  done;
+  Api.write (L.record_key lay leaf i) key;
+  Api.write (L.record_value lay leaf i) value;
+  Api.write (L.nkeys leaf) (n + 1)
+
+let put t key value =
+  Api.op_key key;
+  let lay = layout t in
+  let rec attempt () =
+    let leaf, v = descend t key in
+    lock_node t leaf;
+    Api.work leaf_work;
+    (* Between validation and locking the leaf may have split: its key
+       range only ever shrinks, so a moved vsplit forces a restart. *)
+    let v' = Api.read (version_addr leaf) in
+    if vsplit_of v' <> vsplit_of v then begin
+      unlock_node t leaf ~split:false;
+      attempt ()
+    end
+    else begin
+      let n = Api.read (L.nkeys leaf) in
+      let i = leaf_lower_bound t leaf n key in
+      if i < n && Api.read (L.record_key lay leaf i) = key then begin
+        Api.write (L.record_value lay leaf i) value;
+        unlock_node t leaf ~split:false
+      end
+      else if n < lay.L.fanout then begin
+        leaf_insert_at t leaf n i key value;
+        unlock_node t leaf ~split:false
+      end
+      else begin
+        let right = split_leaf_locked t leaf in
+        let target =
+          if key < Api.read (L.record_key lay right 0) then leaf else right
+        in
+        let tn = Api.read (L.nkeys target) in
+        let ti = leaf_lower_bound t target tn key in
+        leaf_insert_at t target tn ti key value;
+        unlock_node t leaf ~split:true;
+        unlock_node t right ~split:false
+      end
+    end
+  in
+  attempt ()
+
+let delete t key =
+  Api.op_key key;
+  let lay = layout t in
+  let rec attempt () =
+    let leaf, v = descend t key in
+    lock_node t leaf;
+    Api.work leaf_work;
+    let v' = Api.read (version_addr leaf) in
+    if vsplit_of v' <> vsplit_of v then begin
+      unlock_node t leaf ~split:false;
+      attempt ()
+    end
+    else begin
+      let n = Api.read (L.nkeys leaf) in
+      let i = leaf_lower_bound t leaf n key in
+      let found = i < n && Api.read (L.record_key lay leaf i) = key in
+      if found then begin
+        for j = i to n - 2 do
+          Api.write (L.record_key lay leaf j) (Api.read (L.record_key lay leaf (j + 1)));
+          Api.write (L.record_value lay leaf j) (Api.read (L.record_value lay leaf (j + 1)))
+        done;
+        Api.write (L.nkeys leaf) (n - 1)
+      end;
+      unlock_node t leaf ~split:false;
+      found
+    end
+  in
+  attempt ()
+
+(* ---------- range scan ---------- *)
+
+(* Versioned hand-over-hand over the leaf chain. *)
+let scan t ~from ~count =
+  Api.op_key from;
+  let lay = layout t in
+  let rec restart from acc remaining =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let leaf, v = descend t from in
+      walk leaf v from acc remaining
+    end
+  and walk leaf v from acc remaining =
+    let rec snapshot v =
+      let n = Api.read (L.nkeys leaf) in
+      let records = ref [] in
+      for j = n - 1 downto 0 do
+        records := (Api.read (L.record_key lay leaf j), Api.read (L.record_value lay leaf j)) :: !records
+      done;
+      let nxt = Api.read (L.next leaf) in
+      let nv = if nxt = null then 0 else stable_version nxt in
+      let v' = stable_version leaf in
+      if v' = v then (!records, nxt, nv)
+      else if vsplit_of v' <> vsplit_of v then raise_notrace Retry_root
+      else snapshot v'
+    in
+    match snapshot v with
+    | exception Retry_root -> restart from acc remaining
+    | records, nxt, nv ->
+        let eligible = List.filter (fun (k, _) -> k >= from) records in
+        let rec take acc remaining = function
+          | [] -> (acc, remaining)
+          | kv :: rest ->
+              if remaining = 0 then (acc, 0)
+              else take (kv :: acc) (remaining - 1) rest
+        in
+        let acc, remaining = take acc remaining eligible in
+        if remaining = 0 || nxt = null then List.rev acc
+        else walk nxt nv from acc remaining
+  in
+  restart from [] count
+
+(* ---------- inspection (tests) ---------- *)
+
+let to_list t =
+  let lay = layout t in
+  let acc = ref [] in
+  Index.iter_leaves t.idx (Index.root t.idx) (fun leaf ->
+      let n = Api.read (L.nkeys leaf) in
+      for i = 0 to n - 1 do
+        acc := (Api.read (L.record_key lay leaf i), Api.read (L.record_value lay leaf i)) :: !acc
+      done);
+  List.rev !acc
+
+let size t = List.length (to_list t)
+
+exception Invariant = Index.Invariant
+
+let check_invariants t =
+  let lay = layout t in
+  Index.check_structure t.idx ~leaf_keys:(fun leaf ->
+      let n = Api.read (L.nkeys leaf) in
+      if n > lay.L.fanout then
+        raise (Invariant (Printf.sprintf "leaf %d overfull" leaf));
+      if is_locked (Api.read (version_addr leaf)) then
+        raise (Invariant (Printf.sprintf "leaf %d left locked" leaf));
+      List.init n (fun i -> Api.read (L.record_key lay leaf i)));
+  let keys = List.map fst (to_list t) in
+  if keys <> List.sort compare keys then
+    raise (Invariant "leaf chain out of order")

@@ -1,0 +1,36 @@
+(** Fine-grained concurrent B+Tree derived from Masstree's concurrency
+    discipline (the paper's lock-based baseline).
+
+    Per-node version words (lock bit, vinsert, vsplit); optimistic readers
+    with before-and-after validation; writers take per-node spinlocks and
+    split with hand-over-hand upward locking.  Pass [~elide:true] (used by
+    {!Htm_masstree}) to turn lock acquisitions into version-word reads
+    inside an enclosing RTM region. *)
+
+type t
+
+val create : ?elide:bool -> fanout:int -> map:Euno_mem.Linemap.t -> unit -> t
+
+val bulk_load :
+  ?elide:bool ->
+  ?fill:float ->
+  fanout:int ->
+  map:Euno_mem.Linemap.t ->
+  (int * int) list ->
+  t
+(** Build a tree from sorted, distinct records (single-threaded load
+    phase): packed leaves, bottom-up index. *)
+
+val index : t -> Euno_bptree.Index.t
+
+val get : t -> int -> int option
+val put : t -> int -> int -> unit
+val delete : t -> int -> bool
+val scan : t -> from:int -> count:int -> (int * int) list
+
+val to_list : t -> (int * int) list
+val size : t -> int
+
+exception Invariant of string
+
+val check_invariants : t -> unit

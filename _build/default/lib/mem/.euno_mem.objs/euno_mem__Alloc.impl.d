@@ -1,0 +1,1 @@
+lib/mem/alloc.ml: Array Hashtbl Linemap Memory

@@ -1,0 +1,124 @@
+(* Line-aligned bump allocator with size-class free lists and per-kind
+   live/peak accounting.  The accounting backs the Section 5.7 memory-
+   consumption analysis (reserved-keys and CCM overhead vs. base tree). *)
+
+type stats = {
+  mutable live_words : int;
+  mutable peak_words : int;
+  mutable alloc_count : int;
+  mutable free_count : int;
+}
+
+let fresh_stats () =
+  { live_words = 0; peak_words = 0; alloc_count = 0; free_count = 0 }
+
+let nkinds = 7
+
+let kind_index : Linemap.kind -> int = function
+  | Linemap.Unknown -> 0
+  | Linemap.Record -> 1
+  | Linemap.Node_meta -> 2
+  | Linemap.Tree_meta -> 3
+  | Linemap.Lock -> 4
+  | Linemap.Reserved -> 5
+  | Linemap.Scratch -> 6
+
+let all_kinds =
+  [
+    Linemap.Unknown;
+    Linemap.Record;
+    Linemap.Node_meta;
+    Linemap.Tree_meta;
+    Linemap.Lock;
+    Linemap.Reserved;
+    Linemap.Scratch;
+  ]
+
+type t = {
+  mem : Memory.t;
+  map : Linemap.t;
+  mutable next : int; (* bump pointer, always line-aligned *)
+  free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
+  by_kind : stats array;
+  total : stats;
+}
+
+let create mem map =
+  {
+    mem;
+    map;
+    (* Address 0 is reserved as the null pointer: start at line 1. *)
+    next = Memory.line_words;
+    free_lists = Hashtbl.create 64;
+    by_kind = Array.init nkinds (fun _ -> fresh_stats ());
+    total = fresh_stats ();
+  }
+
+let round_to_lines words =
+  let lw = Memory.line_words in
+  (words + lw - 1) / lw * lw
+
+let account_alloc t kind words =
+  let bump s =
+    s.live_words <- s.live_words + words;
+    if s.live_words > s.peak_words then s.peak_words <- s.live_words;
+    s.alloc_count <- s.alloc_count + 1
+  in
+  bump t.by_kind.(kind_index kind);
+  bump t.total
+
+let account_free t kind words =
+  let drop s =
+    s.live_words <- s.live_words - words;
+    s.free_count <- s.free_count + 1
+  in
+  drop t.by_kind.(kind_index kind);
+  drop t.total
+
+let alloc t ~kind ~words =
+  if words <= 0 then invalid_arg "Alloc.alloc: words <= 0";
+  let size = round_to_lines words in
+  let addr =
+    match Hashtbl.find_opt t.free_lists size with
+    | Some ({ contents = a :: rest } as cell) ->
+        cell := rest;
+        (* Recycled space must read as zero, like fresh space. *)
+        for i = a to a + size - 1 do
+          Memory.set t.mem i 0
+        done;
+        a
+    | Some { contents = [] } | None ->
+        let a = t.next in
+        t.next <- t.next + size;
+        Memory.ensure t.mem (t.next - 1);
+        a
+  in
+  Linemap.set_range t.map ~addr ~words:size kind;
+  account_alloc t kind size;
+  addr
+
+let free t ~kind ~addr ~words =
+  let size = round_to_lines words in
+  (match Hashtbl.find_opt t.free_lists size with
+  | Some cell -> cell := addr :: !cell
+  | None -> Hashtbl.add t.free_lists size (ref [ addr ]));
+  account_free t kind size
+
+(* Move accounting of a sub-range from one kind to another (used when a
+   single allocation contains lines of several kinds, e.g. a tree leaf
+   whose block holds metadata, lock and record lines). *)
+let reclassify t ~from_kind ~to_kind ~words =
+  let f = t.by_kind.(kind_index from_kind) in
+  let g = t.by_kind.(kind_index to_kind) in
+  f.live_words <- f.live_words - words;
+  g.live_words <- g.live_words + words;
+  if g.live_words > g.peak_words then g.peak_words <- g.live_words
+
+let live_words t = t.total.live_words
+let peak_words t = t.total.peak_words
+
+let stats_of_kind t kind = t.by_kind.(kind_index kind)
+let total_stats t = t.total
+
+let live_bytes t = live_words t * Memory.word_bytes
+let peak_bytes t = peak_words t * Memory.word_bytes

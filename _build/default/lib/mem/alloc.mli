@@ -1,0 +1,51 @@
+(** Line-aligned allocator over simulated memory with per-kind accounting.
+
+    Every allocation is rounded up to whole 64-byte cache lines and tagged in
+    the {!Linemap}, so (a) distinct allocations never share a line unless a
+    data structure deliberately packs them, and (b) the HTM simulator can
+    classify conflicts.  Live/peak word counts per kind back the paper's
+    Section 5.7 memory-overhead analysis. *)
+
+type stats = {
+  mutable live_words : int;
+  mutable peak_words : int;
+  mutable alloc_count : int;
+  mutable free_count : int;
+}
+
+type t
+
+val create : Memory.t -> Linemap.t -> t
+
+val round_to_lines : int -> int
+(** Round a word count up to a whole number of cache lines. *)
+
+val alloc : t -> kind:Linemap.kind -> words:int -> int
+(** Allocate [words] (rounded up to lines), zeroed, line-aligned.  Returns
+    the word address.  Address 0 is never returned (it is the null pointer). *)
+
+val free : t -> kind:Linemap.kind -> addr:int -> words:int -> unit
+(** Return a block to the size-class free list.  [words] must match the
+    original request (it is rounded the same way). *)
+
+val reclassify :
+  t -> from_kind:Linemap.kind -> to_kind:Linemap.kind -> words:int -> unit
+(** Move [words] of live accounting between kinds (for allocations whose
+    lines are re-tagged after the fact).  Total liveness is unchanged. *)
+
+val live_words : t -> int
+val peak_words : t -> int
+val live_bytes : t -> int
+val peak_bytes : t -> int
+
+val stats_of_kind : t -> Linemap.kind -> stats
+val total_stats : t -> stats
+
+val nkinds : int
+(** Number of distinct {!Linemap.kind} values. *)
+
+val kind_index : Linemap.kind -> int
+(** Stable index of a kind in [0, nkinds). *)
+
+val all_kinds : Linemap.kind list
+(** All kinds, in {!kind_index} order. *)

@@ -1,0 +1,80 @@
+(* Epoch-based memory reclamation, standing in for the deletion / garbage
+   collection scheme Euno-B+Tree reuses from DBX (Section 4.2.4).
+
+   Each simulated thread pins the global epoch for the duration of an
+   operation.  A block retired in epoch [e] may still be reachable by
+   operations pinned in [e] or [e-1]; it is physically freed once the global
+   epoch has advanced two steps past [e].  The whole simulator runs on one
+   host thread, so plain mutable state is safe and deterministic. *)
+
+type retired = { epoch : int; reclaim : unit -> unit }
+
+type t = {
+  slots : int array; (* per-thread pinned epoch; -1 = quiescent *)
+  mutable global : int;
+  mutable retired : retired list;
+  mutable retired_count : int;
+  mutable freed_count : int;
+  advance_every : int;
+  mutable pins_since_advance : int;
+}
+
+let create ~slots ?(advance_every = 64) () =
+  {
+    slots = Array.make slots (-1);
+    global = 2;
+    retired = [];
+    retired_count = 0;
+    freed_count = 0;
+    advance_every;
+    pins_since_advance = 0;
+  }
+
+let min_pinned t =
+  Array.fold_left
+    (fun acc e -> if e >= 0 && e < acc then e else acc)
+    max_int t.slots
+
+let collect t =
+  let horizon = min (min_pinned t) t.global in
+  let keep, drop =
+    List.partition (fun r -> r.epoch + 2 > horizon) t.retired
+  in
+  List.iter
+    (fun r ->
+      r.reclaim ();
+      t.freed_count <- t.freed_count + 1)
+    drop;
+  t.retired <- keep;
+  t.retired_count <- List.length keep
+
+let try_advance t =
+  (* The global epoch may advance only when no thread is pinned in an
+     older epoch. *)
+  if min_pinned t >= t.global then begin
+    t.global <- t.global + 1;
+    collect t
+  end
+
+let pin t slot =
+  t.slots.(slot) <- t.global;
+  t.pins_since_advance <- t.pins_since_advance + 1;
+  if t.pins_since_advance >= t.advance_every then begin
+    t.pins_since_advance <- 0;
+    try_advance t
+  end
+
+let unpin t slot = t.slots.(slot) <- -1
+
+let retire t reclaim =
+  t.retired <- { epoch = t.global; reclaim } :: t.retired;
+  t.retired_count <- t.retired_count + 1
+
+let flush t =
+  Array.iteri (fun i _ -> t.slots.(i) <- -1) t.slots;
+  t.global <- t.global + 2;
+  collect t
+
+let pending t = t.retired_count
+let freed t = t.freed_count
+let global_epoch t = t.global

@@ -1,0 +1,33 @@
+(** Epoch-based memory reclamation.
+
+    Stands in for the DBX deletion/GC scheme the paper reuses
+    (Section 4.2.4): nodes unlinked from the tree are retired and physically
+    freed only once no in-flight operation can still hold a pointer to
+    them. *)
+
+type t
+
+val create : slots:int -> ?advance_every:int -> unit -> t
+(** [slots] is the number of participating threads.  The global epoch is
+    opportunistically advanced every [advance_every] pins (default 64). *)
+
+val pin : t -> int -> unit
+(** Enter an operation on the given thread slot. *)
+
+val unpin : t -> int -> unit
+(** Leave the current operation. *)
+
+val retire : t -> (unit -> unit) -> unit
+(** Schedule a reclamation callback for when the current epoch expires. *)
+
+val flush : t -> unit
+(** Force reclamation of everything retired so far.  Only valid when no
+    operation is in flight (e.g. at the end of a benchmark run). *)
+
+val pending : t -> int
+(** Retired blocks not yet reclaimed. *)
+
+val freed : t -> int
+(** Blocks reclaimed so far. *)
+
+val global_epoch : t -> int

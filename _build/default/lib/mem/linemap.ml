@@ -1,0 +1,37 @@
+(* Side map classifying each cache line by what the allocator put there.
+   Used by the HTM simulator to attribute conflict aborts to the paper's
+   taxonomy (record data vs. shared metadata vs. lock words). *)
+
+type kind =
+  | Unknown
+  | Record (* key/value slots of tree nodes *)
+  | Node_meta (* per-node metadata: counts, versions, parent/next pointers *)
+  | Tree_meta (* tree-wide metadata: root pointer, depth *)
+  | Lock (* lock words, CCM bit vectors *)
+  | Reserved (* Eunomia reserved-keys transient buffers *)
+  | Scratch (* harness/benchmark scratch space *)
+
+let kind_to_string = function
+  | Unknown -> "unknown"
+  | Record -> "record"
+  | Node_meta -> "node-meta"
+  | Tree_meta -> "tree-meta"
+  | Lock -> "lock"
+  | Reserved -> "reserved"
+  | Scratch -> "scratch"
+
+type t = { table : (int, kind) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 4096 }
+
+let set_line t line kind = Hashtbl.replace t.table line kind
+
+let set_range t ~addr ~words kind =
+  let first = Memory.line_of_addr addr in
+  let last = Memory.line_of_addr (addr + words - 1) in
+  for line = first to last do
+    set_line t line kind
+  done
+
+let kind_of_line t line =
+  match Hashtbl.find_opt t.table line with Some k -> k | None -> Unknown

@@ -1,0 +1,30 @@
+(** Classification of cache lines by content.
+
+    The allocator records what lives on each line so the HTM simulator can
+    attribute a conflict abort to the paper's taxonomy (Section 2.3): true
+    conflicts on the same record, false conflicts between different records
+    sharing a line, and false conflicts on shared metadata. *)
+
+type kind =
+  | Unknown
+  | Record  (** key/value slots of tree nodes *)
+  | Node_meta  (** per-node metadata: counts, versions, parent/next *)
+  | Tree_meta  (** tree-wide metadata: root pointer, depth *)
+  | Lock  (** lock words and CCM bit vectors *)
+  | Reserved  (** Eunomia reserved-keys transient buffers *)
+  | Scratch  (** harness scratch space *)
+
+val kind_to_string : kind -> string
+
+type t
+
+val create : unit -> t
+
+val set_line : t -> int -> kind -> unit
+(** Tag one line. *)
+
+val set_range : t -> addr:int -> words:int -> kind -> unit
+(** Tag every line overlapping [addr, addr+words). *)
+
+val kind_of_line : t -> int -> kind
+(** Kind of a line ([Unknown] if never tagged). *)

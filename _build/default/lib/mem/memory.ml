@@ -1,0 +1,47 @@
+(* Simulated flat memory: a growable store of 8-byte words addressed by
+   integer word index.  64-byte cache lines group 8 consecutive words; the
+   line of address [a] is [a lsr line_shift].  The store is chunked so it can
+   grow without copying. *)
+
+let word_bytes = 8
+let line_words = 8
+let line_shift = 3
+let line_bytes = word_bytes * line_words
+
+let chunk_shift = 16
+let chunk_words = 1 lsl chunk_shift
+let chunk_mask = chunk_words - 1
+
+type t = {
+  mutable chunks : int array array;
+  mutable nchunks : int; (* chunks allocated so far *)
+}
+
+let create () = { chunks = Array.make 16 [||]; nchunks = 0 }
+
+let line_of_addr addr = addr lsr line_shift
+let addr_of_line line = line lsl line_shift
+
+(* Ensure the chunk containing [addr] exists. *)
+let ensure t addr =
+  let c = addr lsr chunk_shift in
+  if c >= Array.length t.chunks then begin
+    let n = Array.make (max (2 * Array.length t.chunks) (c + 1)) [||] in
+    Array.blit t.chunks 0 n 0 t.nchunks;
+    t.chunks <- n
+  end;
+  if c >= t.nchunks then
+    for i = t.nchunks to c do
+      t.chunks.(i) <- Array.make chunk_words 0;
+      t.nchunks <- i + 1
+    done
+
+let get t addr =
+  let c = addr lsr chunk_shift in
+  if c >= t.nchunks then 0 else Array.unsafe_get t.chunks.(c) (addr land chunk_mask)
+
+let set t addr v =
+  ensure t addr;
+  Array.unsafe_set t.chunks.(addr lsr chunk_shift) (addr land chunk_mask) v
+
+let words t = t.nchunks * chunk_words

@@ -1,0 +1,42 @@
+(** Simulated flat memory.
+
+    A growable store of 8-byte words addressed by an integer word index.
+    Cache lines are 64 bytes, i.e. 8 consecutive words; the HTM simulator
+    detects conflicts at line granularity, exactly like Intel RTM.  Unmapped
+    addresses read as 0 and are mapped on first write. *)
+
+val word_bytes : int
+(** Bytes per word (8). *)
+
+val line_words : int
+(** Words per cache line (8). *)
+
+val line_shift : int
+(** [line_of_addr a = a lsr line_shift]. *)
+
+val line_bytes : int
+(** Bytes per cache line (64). *)
+
+type t
+(** A simulated memory. *)
+
+val create : unit -> t
+(** Fresh, empty memory. *)
+
+val line_of_addr : int -> int
+(** Cache-line id containing a word address. *)
+
+val addr_of_line : int -> int
+(** First word address of a cache line. *)
+
+val get : t -> int -> int
+(** [get m a] reads the word at address [a] (0 if never written). *)
+
+val set : t -> int -> int -> unit
+(** [set m a v] writes [v] at address [a], mapping the chunk if needed. *)
+
+val ensure : t -> int -> unit
+(** [ensure m a] maps the chunk containing [a] without writing. *)
+
+val words : t -> int
+(** Number of words currently mapped (capacity, not liveness). *)

@@ -1,0 +1,1 @@
+lib/sim/abort.ml: Euno_mem Printf

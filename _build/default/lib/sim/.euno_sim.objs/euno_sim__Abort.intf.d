@@ -1,0 +1,1 @@
+lib/sim/abort.mli: Euno_mem

@@ -1,0 +1,1 @@
+lib/sim/api.mli: Euno_mem

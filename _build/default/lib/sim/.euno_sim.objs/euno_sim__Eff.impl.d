@@ -1,0 +1,1 @@
+lib/sim/eff.ml: Abort Effect Euno_mem

@@ -1,0 +1,1 @@
+lib/sim/eff.mli: Abort Effect Euno_mem

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Abort Array Cost Eff Effect Euno_mem Hashtbl Line_table List Rng Trace Txn

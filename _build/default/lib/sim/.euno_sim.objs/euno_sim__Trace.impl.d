@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Abort Array Euno_mem List Printf

@@ -1,0 +1,1 @@
+lib/sim/txn.ml: Euno_mem Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/txn.mli: Euno_mem Hashtbl

@@ -1,0 +1,85 @@
+(* RTM abort codes, extended with the paper's conflict taxonomy
+   (Section 2.3): conflicts are classified at doom time into true conflicts
+   (both operations target the same record), false conflicts between
+   different records sharing a cache line, and false conflicts on shared
+   metadata. *)
+
+type conflict_class =
+  | True_conflict (* attacker and victim target the same key *)
+  | False_record (* different keys, record-data line *)
+  | False_metadata (* different keys, metadata / version line *)
+  | Subscription
+    (* the line is an elision lock word: a fallback acquirer doomed every
+       transaction subscribed to the lock (the cascade of the lemming
+       effect), not a data conflict *)
+
+type code =
+  | Conflict of conflict_class
+  | Capacity_read
+  | Capacity_write
+  | Explicit of int (* xabort imm8, e.g. lock-elision "lock is held" *)
+  | Spurious (* interrupt / GC-like *)
+  | Timer (* transaction exceeded its cycle budget *)
+
+(* Conventional imm8 used by lock elision when the fallback lock is found
+   held inside the transaction. *)
+let xabort_lock_held = 0xff
+
+let n_classes = 9
+
+let index = function
+  | Conflict True_conflict -> 0
+  | Conflict False_record -> 1
+  | Conflict False_metadata -> 2
+  | Conflict Subscription -> 3
+  | Capacity_read -> 4
+  | Capacity_write -> 5
+  | Explicit _ -> 6
+  | Spurious -> 7
+  | Timer -> 8
+
+let class_name = function
+  | 0 -> "conflict:true"
+  | 1 -> "conflict:false-record"
+  | 2 -> "conflict:false-meta"
+  | 3 -> "conflict:subscription"
+  | 4 -> "capacity:read"
+  | 5 -> "capacity:write"
+  | 6 -> "explicit"
+  | 7 -> "spurious"
+  | 8 -> "timer"
+  | _ -> invalid_arg "Abort.class_name"
+
+let to_string = function
+  | Conflict True_conflict -> "conflict(true: same record)"
+  | Conflict False_record -> "conflict(false: different records)"
+  | Conflict False_metadata -> "conflict(false: shared metadata)"
+  | Conflict Subscription -> "conflict(lock subscription)"
+  | Capacity_read -> "capacity(read-set)"
+  | Capacity_write -> "capacity(write-set)"
+  | Explicit n -> Printf.sprintf "explicit(0x%x)" n
+  | Spurious -> "spurious"
+  | Timer -> "timer"
+
+let is_conflict = function Conflict _ -> true | _ -> false
+
+(* True data conflict on the structure (excludes subscription cascades):
+   what Eunomia's per-leaf contention detector should count. *)
+let is_data_conflict = function
+  | Conflict Subscription -> false
+  | Conflict (True_conflict | False_record | False_metadata) -> true
+  | Capacity_read | Capacity_write | Explicit _ | Spurious | Timer -> false
+
+(* Lock-kind lines are only ever CAS'd outside transactions; the one way a
+   transaction holds one is the elision subscription read at xbegin, so a
+   conflict there is a fallback-acquisition cascade, not a data conflict. *)
+let classify ~victim_key ~attacker_key ~(line_kind : Euno_mem.Linemap.kind) =
+  match line_kind with
+  | Euno_mem.Linemap.Lock -> Subscription
+  | Euno_mem.Linemap.Record | Euno_mem.Linemap.Reserved ->
+      if victim_key >= 0 && victim_key = attacker_key then True_conflict
+      else False_record
+  | Euno_mem.Linemap.Node_meta | Euno_mem.Linemap.Tree_meta
+  | Euno_mem.Linemap.Unknown | Euno_mem.Linemap.Scratch ->
+      if victim_key >= 0 && victim_key = attacker_key then True_conflict
+      else False_metadata

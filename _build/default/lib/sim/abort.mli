@@ -1,0 +1,49 @@
+(** RTM abort codes with the paper's conflict taxonomy.
+
+    Section 2.3 of the paper decomposes HTM aborts into true conflicts (two
+    requests to the same record), false conflicts between different records
+    sharing a cache line, and false conflicts on shared metadata.  The
+    simulator performs this classification at abort time using the victim's
+    and attacker's declared operation keys plus the {!Euno_mem.Linemap} kind
+    of the conflicting line. *)
+
+type conflict_class =
+  | True_conflict
+  | False_record
+  | False_metadata
+  | Subscription
+      (** doomed through the elision-lock subscription by a fallback
+          acquirer (the lemming-effect cascade), not by a data conflict *)
+
+type code =
+  | Conflict of conflict_class
+  | Capacity_read
+  | Capacity_write
+  | Explicit of int
+  | Spurious
+  | Timer
+
+val xabort_lock_held : int
+(** Conventional [xabort] imm8 meaning "fallback lock observed held". *)
+
+val n_classes : int
+(** Number of distinct counter buckets. *)
+
+val index : code -> int
+(** Bucket index of a code, in [\[0, n_classes)]. *)
+
+val class_name : int -> string
+(** Short name of a bucket. *)
+
+val to_string : code -> string
+val is_conflict : code -> bool
+
+val is_data_conflict : code -> bool
+(** A conflict on actual tree data (excludes subscription cascades). *)
+
+val classify :
+  victim_key:int -> attacker_key:int -> line_kind:Euno_mem.Linemap.kind ->
+  conflict_class
+(** Paper taxonomy: lock lines are subscription cascades; otherwise same
+    declared key => true conflict, record lines false-record, everything
+    else false-metadata.  Keys are [-1] when unset. *)

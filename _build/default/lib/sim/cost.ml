@@ -1,0 +1,64 @@
+(* Cycle-cost model of the simulated machine, loosely calibrated to the
+   paper's testbed (two-socket Intel Xeon E5-2650 v3, 2.3 GHz, 64-byte
+   lines, 32 KB L1D).  Absolute values only set the scale of reported
+   throughput; the reproduced *shapes* come from the RTM conflict protocol. *)
+
+type t = {
+  freq_ghz : float; (* converts cycles to wall-clock ops/s *)
+  cache_hit : int; (* access to a line warm in the local cache *)
+  cache_miss : int; (* local LLC / DRAM fill *)
+  remote_extra : int; (* additional cycles if line last written remotely *)
+  write_extra : int; (* store vs. load extra *)
+  cas : int; (* atomic RMW *)
+  xbegin : int;
+  xend : int;
+  abort_penalty : int; (* pipeline flush + restart *)
+  sockets : int;
+  cache_entries_log2 : int; (* per-thread warmth cache, direct-mapped *)
+  rs_capacity : int; (* max read-set lines before capacity abort *)
+  ws_capacity : int; (* max write-set lines (L1-bounded, 32KB/64B) *)
+  spurious_per_million : int; (* interrupt/GC-like aborts per tx access *)
+  txn_cycle_limit : int; (* timer-interrupt abort for long transactions *)
+}
+
+let default =
+  {
+    freq_ghz = 2.3;
+    cache_hit = 4;
+    cache_miss = 170; (* LLC miss to local DRAM at 2.3 GHz *)
+    remote_extra = 300; (* cross-socket HITM / dirty remote fill *)
+    write_extra = 2;
+    cas = 18;
+    xbegin = 42;
+    xend = 32;
+    abort_penalty = 250;
+    sockets = 2;
+    cache_entries_log2 = 10;
+    rs_capacity = 4096;
+    ws_capacity = 512;
+    spurious_per_million = 5;
+    txn_cycle_limit = 500_000;
+  }
+
+(* A frictionless variant useful in unit tests: still detects conflicts but
+   charges uniform unit costs so expected clocks are easy to compute. *)
+let unit_costs =
+  {
+    default with
+    cache_hit = 1;
+    cache_miss = 1;
+    remote_extra = 0;
+    write_extra = 0;
+    cas = 1;
+    xbegin = 1;
+    xend = 1;
+    abort_penalty = 1;
+    spurious_per_million = 0;
+    txn_cycle_limit = max_int;
+  }
+
+let cycles_to_seconds t cycles = float_of_int cycles /. (t.freq_ghz *. 1e9)
+
+let mops t ~ops ~cycles =
+  if cycles = 0 then 0.0
+  else float_of_int ops /. cycles_to_seconds t cycles /. 1e6

@@ -1,0 +1,35 @@
+(** Cycle-cost model of the simulated multicore.
+
+    Calibrated loosely to the paper's two-socket Xeon E5-2650 testbed.  The
+    RTM capacity limits (write set bounded by the 32 KB L1, larger read set)
+    and the spurious-abort and transaction-duration limits model the quirks
+    of real Intel TSX. *)
+
+type t = {
+  freq_ghz : float;
+  cache_hit : int;
+  cache_miss : int;
+  remote_extra : int;
+  write_extra : int;
+  cas : int;
+  xbegin : int;
+  xend : int;
+  abort_penalty : int;
+  sockets : int;
+  cache_entries_log2 : int;
+  rs_capacity : int;
+  ws_capacity : int;
+  spurious_per_million : int;
+  txn_cycle_limit : int;
+}
+
+val default : t
+(** Calibrated model used by all benchmarks. *)
+
+val unit_costs : t
+(** Unit costs, no spurious aborts: for unit tests with predictable clocks. *)
+
+val cycles_to_seconds : t -> int -> float
+
+val mops : t -> ops:int -> cycles:int -> float
+(** Throughput in million operations per second. *)

@@ -1,0 +1,64 @@
+(* Transactional ownership of cache lines.
+
+   Only lines currently inside some active transaction's read or write set
+   have an entry.  Readers are a bitmask over thread ids (the simulator
+   supports up to 62 hardware threads); the writer is a single thread id or
+   -1.  This mirrors how real HTM piggybacks on the coherence protocol:
+   S-state sharers and a single M-state owner. *)
+
+type entry = { mutable writer : int; mutable readers : int }
+
+type t = { tbl : (int, entry) Hashtbl.t }
+
+let max_threads = 62
+
+let create () = { tbl = Hashtbl.create 4096 }
+
+let find_or_add t line =
+  match Hashtbl.find_opt t.tbl line with
+  | Some e -> e
+  | None ->
+      let e = { writer = -1; readers = 0 } in
+      Hashtbl.add t.tbl line e;
+      e
+
+let find t line = Hashtbl.find_opt t.tbl line
+
+let add_reader t line tid =
+  let e = find_or_add t line in
+  e.readers <- e.readers lor (1 lsl tid)
+
+let set_writer t line tid =
+  let e = find_or_add t line in
+  e.writer <- tid
+
+let writer_of t line =
+  match find t line with
+  | Some e when e.writer >= 0 -> Some e.writer
+  | Some _ | None -> None
+
+(* Thread ids of all readers except [tid]. *)
+let readers_except t line tid =
+  match find t line with
+  | None -> []
+  | Some e ->
+      let mask = e.readers land lnot (1 lsl tid) in
+      if mask = 0 then []
+      else begin
+        let acc = ref [] in
+        for i = max_threads - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then acc := i :: !acc
+        done;
+        !acc
+      end
+
+let remove_thread t line tid =
+  match find t line with
+  | None -> ()
+  | Some e ->
+      if e.writer = tid then e.writer <- -1;
+      e.readers <- e.readers land lnot (1 lsl tid);
+      if e.writer = -1 && e.readers = 0 then Hashtbl.remove t.tbl line
+
+let clear t = Hashtbl.reset t.tbl
+let size t = Hashtbl.length t.tbl

@@ -1,0 +1,30 @@
+(** Transactional cache-line ownership table.
+
+    Models the coherence-protocol state real HTM uses for conflict
+    detection: each line touched by an active transaction has at most one
+    writer (M state) and a set of readers (S state).  Supports up to 62
+    simulated hardware threads (reader sets are int bitmasks). *)
+
+type t
+
+val max_threads : int
+
+val create : unit -> t
+
+val add_reader : t -> int -> int -> unit
+(** [add_reader t line tid]. *)
+
+val set_writer : t -> int -> int -> unit
+
+val writer_of : t -> int -> int option
+
+val readers_except : t -> int -> int -> int list
+(** All reader thread ids of a line except the given one. *)
+
+val remove_thread : t -> int -> int -> unit
+(** Drop a thread's ownership of one line, removing empty entries. *)
+
+val clear : t -> unit
+
+val size : t -> int
+(** Number of lines currently owned by any transaction. *)

@@ -1,0 +1,590 @@
+(* The simulated multicore.
+
+   Each simulated hardware thread is an effects-handler coroutine.  The
+   scheduler always resumes the ready thread with the smallest local cycle
+   clock, interprets its next effect (memory access, atomic, RTM
+   primitive), charges cycles from the Cost model, performs eager
+   requester-wins conflict detection at cache-line granularity, and parks
+   the continuation again.  Doomed transactions observe their abort as a
+   Txn_abort exception delivered at their next instruction, exactly like a
+   real RTM abort rolling back to the xbegin point.
+
+   The whole machine runs on one host thread; given a seed, every run is
+   bit-for-bit reproducible. *)
+
+module Mem = Euno_mem.Memory
+module Lmap = Euno_mem.Linemap
+module Al = Euno_mem.Alloc
+
+let n_user_counters = 16
+
+type counters = {
+  mutable ops : int;
+  mutable commits : int;
+  aborts : int array; (* indexed by Abort.index *)
+  conflict_kinds : int array; (* conflicts by Linemap kind of the line *)
+  mutable wasted_cycles : int; (* cycles inside aborted transactions *)
+  mutable committed_cycles : int; (* cycles inside committed transactions *)
+  mutable accesses : int; (* instruction-count proxy: effects interpreted *)
+  user : int array;
+}
+
+let fresh_counters () =
+  {
+    ops = 0;
+    commits = 0;
+    aborts = Array.make Abort.n_classes 0;
+    conflict_kinds = Array.make Al.nkinds 0;
+    wasted_cycles = 0;
+    committed_cycles = 0;
+    accesses = 0;
+    user = Array.make n_user_counters 0;
+  }
+
+type resume = Resume : ('a, unit) Effect.Deep.continuation * 'a -> resume
+
+type status =
+  | Start of (unit -> unit)
+  | Ready of resume
+  | Running
+  | Done
+  | Failed of exn
+
+type tstate = {
+  tid : int;
+  socket : int;
+  mutable clock : int;
+  mutable status : status;
+  mutable doom : Abort.code option;
+  mutable txn : Txn.t option;
+  rng : Rng.t;
+  mutable op_key : int;
+  cache : int array; (* direct-mapped warmth cache of line ids *)
+  cnt : counters;
+}
+
+type t = {
+  mem : Mem.t;
+  map : Lmap.t;
+  alloc : Al.t;
+  cost : Cost.t;
+  lt : Line_table.t;
+  threads : tstate array;
+  mutable current : int;
+  owner_socket : (int, int) Hashtbl.t; (* line -> socket of last writer *)
+  cache_mask : int;
+  mutable tracer : (Trace.event -> unit) option;
+}
+
+let create ~threads ~seed ~cost ~mem ~map ~alloc =
+  if threads < 1 || threads > Line_table.max_threads then
+    invalid_arg "Machine.create: bad thread count";
+  let cache_size = 1 lsl cost.Cost.cache_entries_log2 in
+  let mk tid =
+    {
+      tid;
+      socket = tid mod cost.Cost.sockets;
+      clock = 0;
+      status = Done;
+      doom = None;
+      txn = None;
+      rng = Rng.create (seed + (tid * 7919) + 1);
+      op_key = -1;
+      cache = Array.make cache_size (-1);
+      cnt = fresh_counters ();
+    }
+  in
+  {
+    mem;
+    map;
+    alloc;
+    cost;
+    lt = Line_table.create ();
+    threads = Array.init threads mk;
+    current = 0;
+    owner_socket = Hashtbl.create 4096;
+    cache_mask = cache_size - 1;
+    tracer = None;
+  }
+
+let set_tracer m tracer = m.tracer <- tracer
+
+let trace m e = match m.tracer with Some f -> f e | None -> ()
+
+let n_threads m = Array.length m.threads
+let memory m = m.mem
+let linemap m = m.map
+let allocator m = m.alloc
+let cost m = m.cost
+
+(* ---------- cache warmth and cycle charging ---------- *)
+
+let charge t c = t.clock <- t.clock + c
+
+let mem_cost m t line ~write =
+  let idx = line land m.cache_mask in
+  let c =
+    if t.cache.(idx) = line then m.cost.Cost.cache_hit
+    else begin
+      let remote =
+        match Hashtbl.find_opt m.owner_socket line with
+        | Some s when s <> t.socket -> m.cost.Cost.remote_extra
+        | Some _ | None -> 0
+      in
+      t.cache.(idx) <- line;
+      m.cost.Cost.cache_miss + remote
+    end
+  in
+  if write then c + m.cost.Cost.write_extra else c
+
+(* A write that becomes visible: invalidate the line in every other thread's
+   warmth cache and record which socket owns it now. *)
+let publish_write m ~writer line =
+  let idx = line land m.cache_mask in
+  Array.iter
+    (fun t -> if t.tid <> writer && t.cache.(idx) = line then t.cache.(idx) <- -1)
+    m.threads;
+  Hashtbl.replace m.owner_socket line m.threads.(writer).socket
+
+(* ---------- aborting transactions ---------- *)
+
+let release_txn m (v : tstate) (txn : Txn.t) =
+  Txn.iter_lines txn (fun line -> Line_table.remove_thread m.lt line v.tid)
+
+let rollback_allocs m (txn : Txn.t) =
+  List.iter
+    (fun (from_kind, to_kind, words) ->
+      Al.reclassify m.alloc ~from_kind:to_kind ~to_kind:from_kind ~words)
+    txn.Txn.reclassifies;
+  List.iter
+    (fun (kind, addr, words) -> Al.free m.alloc ~kind ~addr ~words)
+    txn.Txn.allocs
+
+(* Abort a thread's active transaction: release ownership, roll back
+   allocations, account wasted cycles, and arrange for Txn_abort to be
+   delivered at the victim's next resumption. *)
+let abort_txn m (v : tstate) (code : Abort.code) =
+  match v.txn with
+  | None -> ()
+  | Some txn ->
+      release_txn m v txn;
+      rollback_allocs m txn;
+      v.txn <- None;
+      v.cnt.aborts.(Abort.index code) <- v.cnt.aborts.(Abort.index code) + 1;
+      v.cnt.wasted_cycles <-
+        v.cnt.wasted_cycles + (v.clock - txn.Txn.start_clock)
+        + m.cost.Cost.abort_penalty;
+      charge v m.cost.Cost.abort_penalty;
+      trace m (Trace.Aborted { tid = v.tid; clock = v.clock; code });
+      v.doom <- Some code
+
+(* Requester-wins: the thread currently issuing the access survives; the
+   transactional holder is doomed (as in TSX, where the incoming coherence
+   request aborts the transaction that owns the line). *)
+let doom_holder m ~attacker ~victim_tid line =
+  let v = m.threads.(victim_tid) in
+  let a = m.threads.(attacker) in
+  let kind = Lmap.kind_of_line m.map line in
+  let cls =
+    Abort.classify ~victim_key:v.op_key ~attacker_key:a.op_key
+      ~line_kind:kind
+  in
+  let ki = Al.kind_index kind in
+  v.cnt.conflict_kinds.(ki) <- v.cnt.conflict_kinds.(ki) + 1;
+  trace m
+    (Trace.Conflict
+       { attacker; victim = victim_tid; line; kind; clock = a.clock });
+  abort_txn m v (Abort.Conflict cls)
+
+let doom_writer_of m ~attacker line =
+  match Line_table.writer_of m.lt line with
+  | Some w when w <> attacker -> doom_holder m ~attacker ~victim_tid:w line
+  | Some _ | None -> ()
+
+let doom_readers_of m ~attacker line =
+  List.iter
+    (fun r -> doom_holder m ~attacker ~victim_tid:r line)
+    (Line_table.readers_except m.lt line attacker)
+
+(* ---------- transactional hazards ---------- *)
+
+(* Spurious (interrupt/GC-like) and timer aborts, checked on every
+   transactional access.  Returns true if the transaction just died. *)
+let txn_hazards m (t : tstate) (txn : Txn.t) =
+  let spur = m.cost.Cost.spurious_per_million in
+  if spur > 0 && Rng.int t.rng 1_000_000 < spur then begin
+    abort_txn m t Abort.Spurious;
+    true
+  end
+  else if t.clock - txn.Txn.start_clock > m.cost.Cost.txn_cycle_limit then begin
+    abort_txn m t Abort.Timer;
+    true
+  end
+  else false
+
+(* ---------- effect interpretation ---------- *)
+
+let process_read m (t : tstate) addr =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  let line = Mem.line_of_addr addr in
+  charge t (mem_cost m t line ~write:false);
+  match t.txn with
+  | None ->
+      doom_writer_of m ~attacker:t.tid line;
+      Mem.get m.mem addr
+  | Some txn ->
+      if txn_hazards m t txn then 0
+      else begin
+        match Txn.buffered_value txn addr with
+        | Some v -> v
+        | None ->
+            doom_writer_of m ~attacker:t.tid line;
+            if Txn.track_read txn line
+               && txn.Txn.reads > m.cost.Cost.rs_capacity
+            then begin
+              abort_txn m t Abort.Capacity_read;
+              0
+            end
+            else begin
+              Line_table.add_reader m.lt line t.tid;
+              Mem.get m.mem addr
+            end
+      end
+
+let process_write m (t : tstate) addr value =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  let line = Mem.line_of_addr addr in
+  charge t (mem_cost m t line ~write:true);
+  match t.txn with
+  | None ->
+      doom_writer_of m ~attacker:t.tid line;
+      doom_readers_of m ~attacker:t.tid line;
+      Mem.set m.mem addr value;
+      publish_write m ~writer:t.tid line
+  | Some txn ->
+      if txn_hazards m t txn then ()
+      else begin
+        doom_writer_of m ~attacker:t.tid line;
+        doom_readers_of m ~attacker:t.tid line;
+        if Txn.track_write txn line
+           && txn.Txn.written > m.cost.Cost.ws_capacity
+        then abort_txn m t Abort.Capacity_write
+        else begin
+          Line_table.set_writer m.lt line t.tid;
+          (* A written line is implicitly monitored for reads too. *)
+          if Txn.track_read txn line then Line_table.add_reader m.lt line t.tid;
+          Txn.buffer_write txn addr value
+        end
+      end
+
+let current_value m (t : tstate) addr =
+  match t.txn with
+  | Some txn -> (
+      match Txn.buffered_value txn addr with
+      | Some v -> v
+      | None -> Mem.get m.mem addr)
+  | None -> Mem.get m.mem addr
+
+let process_cas m (t : tstate) addr expected desired =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  let line = Mem.line_of_addr addr in
+  charge t (m.cost.Cost.cas + mem_cost m t line ~write:true);
+  let old = current_value m t addr in
+  let success = old = expected in
+  (match t.txn with
+  | None ->
+      doom_writer_of m ~attacker:t.tid line;
+      if success then begin
+        doom_readers_of m ~attacker:t.tid line;
+        Mem.set m.mem addr desired;
+        publish_write m ~writer:t.tid line
+      end
+  | Some txn ->
+      if txn_hazards m t txn then ()
+      else begin
+        doom_writer_of m ~attacker:t.tid line;
+        if success then begin
+          doom_readers_of m ~attacker:t.tid line;
+          if Txn.track_write txn line
+             && txn.Txn.written > m.cost.Cost.ws_capacity
+          then abort_txn m t Abort.Capacity_write
+          else begin
+            Line_table.set_writer m.lt line t.tid;
+            if Txn.track_read txn line then
+              Line_table.add_reader m.lt line t.tid;
+            Txn.buffer_write txn addr desired
+          end
+        end
+        else if Txn.track_read txn line then begin
+          if txn.Txn.reads > m.cost.Cost.rs_capacity then
+            abort_txn m t Abort.Capacity_read
+          else Line_table.add_reader m.lt line t.tid
+        end
+      end);
+  success
+
+let process_faa m (t : tstate) addr delta =
+  let old = current_value m t addr in
+  let (_ : bool) = process_cas m t addr old (old + delta) in
+  old
+
+let process_xbegin m (t : tstate) =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  (match t.txn with
+  | Some _ -> failwith "Machine: nested transactions are not supported"
+  | None -> ());
+  charge t m.cost.Cost.xbegin;
+  trace m (Trace.Xbegin { tid = t.tid; clock = t.clock });
+  t.txn <- Some (Txn.create ~tid:t.tid ~start_clock:t.clock)
+
+let process_xend m (t : tstate) =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  match t.txn with
+  | None -> failwith "Machine: xend outside a transaction"
+  | Some txn ->
+      charge t m.cost.Cost.xend;
+      (* Eager conflict detection guarantees exclusive ownership of the
+         write set here, so commit always succeeds. *)
+      Txn.iter_writes txn (fun addr value ->
+          Mem.set m.mem addr value;
+          publish_write m ~writer:t.tid (Mem.line_of_addr addr));
+      List.iter
+        (fun (kind, addr, words) -> Al.free m.alloc ~kind ~addr ~words)
+        txn.Txn.frees;
+      release_txn m t txn;
+      t.cnt.commits <- t.cnt.commits + 1;
+      t.cnt.committed_cycles <-
+        t.cnt.committed_cycles + (t.clock - txn.Txn.start_clock);
+      trace m
+        (Trace.Commit
+           {
+             tid = t.tid;
+             clock = t.clock;
+             reads = txn.Txn.reads;
+             writes = txn.Txn.written;
+           });
+      t.txn <- None
+
+let process_alloc m (t : tstate) kind words =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  charge t m.cost.Cost.cache_miss;
+  let addr = Al.alloc m.alloc ~kind ~words in
+  (match t.txn with
+  | Some txn -> Txn.record_alloc txn kind addr words
+  | None -> ());
+  addr
+
+let process_reclassify m (t : tstate) from_kind to_kind words =
+  Al.reclassify m.alloc ~from_kind ~to_kind ~words;
+  match t.txn with
+  | Some txn -> Txn.record_reclassify txn from_kind to_kind words
+  | None -> ()
+
+let process_free m (t : tstate) kind addr words =
+  t.cnt.accesses <- t.cnt.accesses + 1;
+  charge t m.cost.Cost.cache_hit;
+  match t.txn with
+  | Some txn -> Txn.record_free txn kind addr words
+  | None -> Al.free m.alloc ~kind ~addr ~words
+
+(* ---------- scheduler ---------- *)
+
+let pick m =
+  let best = ref (-1) and best_clock = ref max_int in
+  Array.iter
+    (fun t ->
+      match t.status with
+      | Start _ | Ready _ ->
+          if t.clock < !best_clock then begin
+            best_clock := t.clock;
+            best := t.tid
+          end
+      | Running | Done | Failed _ -> ())
+    m.threads;
+  !best
+
+let run m bodies =
+  let handler (t : tstate) : (unit, unit) Effect.Deep.handler =
+    let park : type a. (a, unit) Effect.Deep.continuation -> a -> unit =
+     fun k v -> t.status <- Ready (Resume (k, v))
+    in
+    {
+      retc = (fun () -> t.status <- Done);
+      exnc =
+        (fun e ->
+          (match t.txn with
+          | Some txn ->
+              release_txn m t txn;
+              rollback_allocs m txn;
+              t.txn <- None
+          | None -> ());
+          t.status <- Failed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Eff.Read addr ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  park k (process_read m t addr))
+          | Eff.Write (addr, v) -> Some (fun k -> park k (process_write m t addr v))
+          | Eff.Cas (addr, e0, d) -> Some (fun k -> park k (process_cas m t addr e0 d))
+          | Eff.Faa (addr, d) -> Some (fun k -> park k (process_faa m t addr d))
+          | Eff.Work c ->
+              Some
+                (fun k ->
+                  charge t (max 0 c);
+                  park k ())
+          | Eff.Xbegin -> Some (fun k -> park k (process_xbegin m t))
+          | Eff.Xend -> Some (fun k -> park k (process_xend m t))
+          | Eff.Xabort code ->
+              Some
+                (fun k ->
+                  abort_txn m t (Abort.Explicit code);
+                  park k ())
+          | Eff.Xtest -> Some (fun k -> park k (t.txn <> None))
+          | Eff.Tid -> Some (fun k -> park k t.tid)
+          | Eff.Clock -> Some (fun k -> park k t.clock)
+          | Eff.Rand n -> Some (fun k -> park k (Rng.int t.rng n))
+          | Eff.Alloc (kind, words) ->
+              Some (fun k -> park k (process_alloc m t kind words))
+          | Eff.Free (kind, addr, words) ->
+              Some (fun k -> park k (process_free m t kind addr words))
+          | Eff.Reclassify (from_kind, to_kind, words) ->
+              Some (fun k -> park k (process_reclassify m t from_kind to_kind words))
+          | Eff.Op_key key ->
+              Some
+                (fun k ->
+                  t.op_key <- key;
+                  park k ())
+          | Eff.Op_done ->
+              Some
+                (fun k ->
+                  t.cnt.ops <- t.cnt.ops + 1;
+                  trace m
+                    (Trace.Op_done
+                       { tid = t.tid; clock = t.clock; key = t.op_key });
+                  t.op_key <- -1;
+                  park k ())
+          | Eff.Count (i, d) ->
+              Some
+                (fun k ->
+                  t.cnt.user.(i) <- t.cnt.user.(i) + d;
+                  park k ())
+          | Eff.Untracked_read addr ->
+              Some
+                (fun k ->
+                  charge t 1;
+                  park k (Mem.get m.mem addr))
+          | Eff.Untracked_write (addr, v) ->
+              Some
+                (fun k ->
+                  charge t 1;
+                  park k (Mem.set m.mem addr v))
+          | _ -> None)
+    }
+  in
+  Array.iter
+    (fun t ->
+      t.status <- Start (fun () -> bodies t.tid);
+      t.clock <- 0;
+      t.doom <- None;
+      t.txn <- None)
+    m.threads;
+  let rec loop () =
+    let tid = pick m in
+    if tid >= 0 then begin
+      let t = m.threads.(tid) in
+      m.current <- tid;
+      (match t.status with
+      | Start f ->
+          t.status <- Running;
+          Effect.Deep.match_with f () (handler t)
+      | Ready (Resume (k, v)) -> (
+          t.status <- Running;
+          match t.doom with
+          | Some code ->
+              t.doom <- None;
+              Effect.Deep.discontinue k (Eff.Txn_abort code)
+          | None -> Effect.Deep.continue k v)
+      | Running | Done | Failed _ -> assert false);
+      loop ()
+    end
+  in
+  loop ();
+  Array.iter
+    (fun t -> match t.status with Failed e -> raise e | _ -> ())
+    m.threads
+
+(* ---------- results ---------- *)
+
+type snapshot = {
+  s_ops : int;
+  s_commits : int;
+  s_aborts : int array;
+  s_conflict_kinds : int array;
+  s_wasted_cycles : int;
+  s_committed_cycles : int;
+  s_accesses : int;
+  s_user : int array;
+  s_clock : int;
+}
+
+let snapshot_thread m tid =
+  let t = m.threads.(tid) in
+  {
+    s_ops = t.cnt.ops;
+    s_commits = t.cnt.commits;
+    s_aborts = Array.copy t.cnt.aborts;
+    s_conflict_kinds = Array.copy t.cnt.conflict_kinds;
+    s_wasted_cycles = t.cnt.wasted_cycles;
+    s_committed_cycles = t.cnt.committed_cycles;
+    s_accesses = t.cnt.accesses;
+    s_user = Array.copy t.cnt.user;
+    s_clock = t.clock;
+  }
+
+let aggregate m =
+  let acc =
+    {
+      s_ops = 0;
+      s_commits = 0;
+      s_aborts = Array.make Abort.n_classes 0;
+      s_conflict_kinds = Array.make Al.nkinds 0;
+      s_wasted_cycles = 0;
+      s_committed_cycles = 0;
+      s_accesses = 0;
+      s_user = Array.make n_user_counters 0;
+      s_clock = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc t ->
+      Array.iteri (fun i v -> acc.s_aborts.(i) <- acc.s_aborts.(i) + v) t.cnt.aborts;
+      Array.iteri
+        (fun i v -> acc.s_conflict_kinds.(i) <- acc.s_conflict_kinds.(i) + v)
+        t.cnt.conflict_kinds;
+      Array.iteri (fun i v -> acc.s_user.(i) <- acc.s_user.(i) + v) t.cnt.user;
+      {
+        acc with
+        s_ops = acc.s_ops + t.cnt.ops;
+        s_commits = acc.s_commits + t.cnt.commits;
+        s_wasted_cycles = acc.s_wasted_cycles + t.cnt.wasted_cycles;
+        s_committed_cycles = acc.s_committed_cycles + t.cnt.committed_cycles;
+        s_accesses = acc.s_accesses + t.cnt.accesses;
+        s_clock = max acc.s_clock t.clock;
+      })
+    acc m.threads
+
+let elapsed m = Array.fold_left (fun acc t -> max acc t.clock) 0 m.threads
+
+let total_aborts s = Array.fold_left ( + ) 0 s.s_aborts
+
+(* Run a single-threaded computation to completion and return its result.
+   Used for tree preloading and unit tests. *)
+let run_single ?(seed = 1) ?(cost = Cost.unit_costs) ~mem ~map ~alloc f =
+  let m = create ~threads:1 ~seed ~cost ~mem ~map ~alloc in
+  let result = ref None in
+  run m (fun _ -> result := Some (f ()));
+  match !result with
+  | Some v -> v
+  | None -> assert false

@@ -1,0 +1,78 @@
+(** The simulated multicore: deterministic discrete-event execution of
+    effect-coroutine "hardware threads" with Intel-RTM transactional
+    semantics.
+
+    Conflict detection is eager and requester-wins at 64-byte-line
+    granularity: a coherence request from the running thread dooms the
+    transactional holder of the line, matching TSX behaviour.  Stores inside
+    transactions are buffered and applied at commit; a doomed transaction
+    sees {!Eff.Txn_abort} at its next instruction.  Non-transactional
+    accesses participate in conflict detection (strong atomicity).
+
+    Given a seed, a run is bit-for-bit reproducible regardless of host
+    parallelism. *)
+
+type t
+
+val create :
+  threads:int ->
+  seed:int ->
+  cost:Cost.t ->
+  mem:Euno_mem.Memory.t ->
+  map:Euno_mem.Linemap.t ->
+  alloc:Euno_mem.Alloc.t ->
+  t
+(** A machine with [threads] hardware threads (max 62), interleaved evenly
+    across [cost.sockets] sockets. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run m body] executes [body tid] on every thread to completion.  Thread
+    code may only interact with simulated state through {!Api} (i.e. the
+    {!Eff} effects).  Re-raises the first thread failure, after cleaning up
+    its transaction.  A machine is single-shot: create a fresh one per
+    measurement phase. *)
+
+val run_single :
+  ?seed:int ->
+  ?cost:Cost.t ->
+  mem:Euno_mem.Memory.t ->
+  map:Euno_mem.Linemap.t ->
+  alloc:Euno_mem.Alloc.t ->
+  (unit -> 'a) ->
+  'a
+(** Run a one-thread machine and return the body's result.  Used for
+    preloading trees and for unit tests. *)
+
+val set_tracer : t -> (Trace.event -> unit) option -> unit
+(** Install (or remove) a trace sink; see {!Trace}.  Tracing never affects
+    simulated results. *)
+
+val n_threads : t -> int
+val memory : t -> Euno_mem.Memory.t
+val linemap : t -> Euno_mem.Linemap.t
+val allocator : t -> Euno_mem.Alloc.t
+val cost : t -> Cost.t
+
+val elapsed : t -> int
+(** Max thread clock = simulated wall-clock cycles of the run. *)
+
+val n_user_counters : int
+
+(** Per-thread (or aggregated) statistics of a run. *)
+type snapshot = {
+  s_ops : int;  (** benchmark operations completed (Op_done) *)
+  s_commits : int;  (** committed transactions *)
+  s_aborts : int array;  (** per {!Abort.index} bucket *)
+  s_conflict_kinds : int array;
+      (** conflict aborts by the {!Euno_mem.Alloc.kind_index} of the
+          conflicting line *)
+  s_wasted_cycles : int;  (** cycles spent in aborted transactions *)
+  s_committed_cycles : int;
+  s_accesses : int;  (** interpreted effects: instruction-count proxy *)
+  s_user : int array;
+  s_clock : int;
+}
+
+val snapshot_thread : t -> int -> snapshot
+val aggregate : t -> snapshot
+val total_aborts : snapshot -> int

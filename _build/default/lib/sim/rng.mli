@@ -1,0 +1,24 @@
+(** Deterministic SplitMix64 PRNG.
+
+    All simulator randomness (scheduling jitter, workload generation, the
+    Eunomia write scheduler) flows through explicitly seeded instances so
+    that every experiment replays exactly. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int
+(** Uniform non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t b] is uniform in [\[0, b)]. Raises [Invalid_argument] if [b <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Independent child generator. *)

@@ -1,0 +1,76 @@
+(* Event tracing for the simulated machine: a bounded ring of transaction
+   lifecycle events (begin / commit / abort / conflict / completed op)
+   that answers the debugging question an HTM simulator always gets asked:
+   "why did this transaction abort?".
+
+   Install with Machine.set_tracer; the hooks fire only at transaction
+   boundaries and conflicts, never on individual accesses, so tracing has
+   negligible host cost and zero effect on simulated results. *)
+
+type event =
+  | Xbegin of { tid : int; clock : int }
+  | Commit of { tid : int; clock : int; reads : int; writes : int }
+  | Aborted of { tid : int; clock : int; code : Abort.code }
+  | Conflict of {
+      attacker : int;
+      victim : int;
+      line : int;
+      kind : Euno_mem.Linemap.kind;
+      clock : int; (* attacker's clock at the coherence request *)
+    }
+  | Op_done of { tid : int; clock : int; key : int }
+
+let event_to_string = function
+  | Xbegin { tid; clock } -> Printf.sprintf "[%10d] t%-2d xbegin" clock tid
+  | Commit { tid; clock; reads; writes } ->
+      Printf.sprintf "[%10d] t%-2d commit (rs=%d ws=%d)" clock tid reads writes
+  | Aborted { tid; clock; code } ->
+      Printf.sprintf "[%10d] t%-2d ABORT %s" clock tid (Abort.to_string code)
+  | Conflict { attacker; victim; line; kind; clock } ->
+      Printf.sprintf "[%10d] t%-2d dooms t%-2d on line %d (%s)" clock attacker
+        victim line
+        (Euno_mem.Linemap.kind_to_string kind)
+  | Op_done { tid; clock; key } ->
+      Printf.sprintf "[%10d] t%-2d op done (key %d)" clock tid key
+
+(* Bounded ring buffer of the most recent events. *)
+type ring = {
+  buf : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity < 1";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let push r e =
+  r.buf.(r.next) <- Some e;
+  r.next <- (r.next + 1) mod Array.length r.buf;
+  r.total <- r.total + 1
+
+let total r = r.total
+
+(* Oldest-first retained events. *)
+let events r =
+  let n = Array.length r.buf in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match r.buf.((r.next + i) mod n) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let to_strings r = List.map event_to_string (events r)
+
+(* Events selected by thread, oldest first. *)
+let for_thread r tid =
+  List.filter
+    (function
+      | Xbegin e -> e.tid = tid
+      | Commit e -> e.tid = tid
+      | Aborted e -> e.tid = tid
+      | Conflict e -> e.attacker = tid || e.victim = tid
+      | Op_done e -> e.tid = tid)
+    (events r)

@@ -1,0 +1,39 @@
+(** Event tracing for the simulated machine.
+
+    A bounded ring of transaction lifecycle events (begin, commit, abort,
+    conflict, completed operation), installed with
+    {!Machine.set_tracer}.  Hooks fire only at transaction boundaries and
+    conflicts, so tracing never perturbs simulated results. *)
+
+type event =
+  | Xbegin of { tid : int; clock : int }
+  | Commit of { tid : int; clock : int; reads : int; writes : int }
+  | Aborted of { tid : int; clock : int; code : Abort.code }
+  | Conflict of {
+      attacker : int;
+      victim : int;
+      line : int;
+      kind : Euno_mem.Linemap.kind;
+      clock : int;
+    }
+  | Op_done of { tid : int; clock : int; key : int }
+
+val event_to_string : event -> string
+
+type ring
+
+val ring : capacity:int -> ring
+(** Retains the most recent [capacity] events. *)
+
+val push : ring -> event -> unit
+
+val total : ring -> int
+(** Events ever pushed (including evicted ones). *)
+
+val events : ring -> event list
+(** Retained events, oldest first. *)
+
+val to_strings : ring -> string list
+
+val for_thread : ring -> int -> event list
+(** Retained events involving one thread (as owner, attacker or victim). *)

@@ -1,0 +1,77 @@
+(* Per-thread RTM transaction state: eager conflict detection (ownership is
+   acquired at access time via the Line_table) with lazy versioning (stores
+   are buffered and applied at commit, so an abort simply discards the
+   buffer).  Allocations performed inside the transaction are recorded for
+   rollback; frees are deferred until commit. *)
+
+type t = {
+  tid : int;
+  start_clock : int;
+  read_set : (int, unit) Hashtbl.t; (* lines *)
+  write_set : (int, unit) Hashtbl.t; (* lines *)
+  writes : (int, int) Hashtbl.t; (* addr -> buffered value *)
+  mutable write_log : int list; (* addrs in first-write order *)
+  mutable allocs : (Euno_mem.Linemap.kind * int * int) list;
+  mutable frees : (Euno_mem.Linemap.kind * int * int) list;
+  mutable reclassifies : (Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int) list;
+  mutable reads : int; (* distinct lines in read set *)
+  mutable written : int; (* distinct lines in write set *)
+}
+
+let create ~tid ~start_clock =
+  {
+    tid;
+    start_clock;
+    read_set = Hashtbl.create 64;
+    write_set = Hashtbl.create 16;
+    writes = Hashtbl.create 16;
+    write_log = [];
+    allocs = [];
+    frees = [];
+    reclassifies = [];
+    reads = 0;
+    written = 0;
+  }
+
+(* Returns true if the line is new to the read set. *)
+let track_read t line =
+  if Hashtbl.mem t.read_set line then false
+  else begin
+    Hashtbl.add t.read_set line ();
+    t.reads <- t.reads + 1;
+    true
+  end
+
+let track_write t line =
+  if Hashtbl.mem t.write_set line then false
+  else begin
+    Hashtbl.add t.write_set line ();
+    t.written <- t.written + 1;
+    true
+  end
+
+let buffer_write t addr value =
+  if not (Hashtbl.mem t.writes addr) then t.write_log <- addr :: t.write_log;
+  Hashtbl.replace t.writes addr value
+
+let buffered_value t addr = Hashtbl.find_opt t.writes addr
+
+let in_read_set t line = Hashtbl.mem t.read_set line
+let in_write_set t line = Hashtbl.mem t.write_set line
+
+let iter_lines t f =
+  Hashtbl.iter (fun line () -> f line) t.read_set;
+  Hashtbl.iter
+    (fun line () -> if not (Hashtbl.mem t.read_set line) then f line)
+    t.write_set
+
+(* Buffered writes in program order of first write; last value per addr. *)
+let iter_writes t f =
+  List.iter (fun addr -> f addr (Hashtbl.find t.writes addr))
+    (List.rev t.write_log)
+
+let record_alloc t kind addr words = t.allocs <- (kind, addr, words) :: t.allocs
+let record_free t kind addr words = t.frees <- (kind, addr, words) :: t.frees
+
+let record_reclassify t from_kind to_kind words =
+  t.reclassifies <- (from_kind, to_kind, words) :: t.reclassifies

@@ -1,0 +1,43 @@
+(** Per-thread RTM transaction state.
+
+    Eager conflict detection (ownership acquired at access time), lazy
+    versioning (stores buffered until commit) — the combination used by
+    Intel TSX, where the L1 cache holds speculative state and the coherence
+    protocol detects conflicts as they happen. *)
+
+type t = {
+  tid : int;
+  start_clock : int;
+  read_set : (int, unit) Hashtbl.t;
+  write_set : (int, unit) Hashtbl.t;
+  writes : (int, int) Hashtbl.t;
+  mutable write_log : int list;
+  mutable allocs : (Euno_mem.Linemap.kind * int * int) list;
+  mutable frees : (Euno_mem.Linemap.kind * int * int) list;
+  mutable reclassifies : (Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int) list;
+  mutable reads : int;
+  mutable written : int;
+}
+
+val create : tid:int -> start_clock:int -> t
+
+val track_read : t -> int -> bool
+(** Add a line to the read set; true if it was not already present. *)
+
+val track_write : t -> int -> bool
+
+val buffer_write : t -> int -> int -> unit
+val buffered_value : t -> int -> int option
+
+val in_read_set : t -> int -> bool
+val in_write_set : t -> int -> bool
+
+val iter_lines : t -> (int -> unit) -> unit
+(** Every line in either set, once. *)
+
+val iter_writes : t -> (int -> int -> unit) -> unit
+(** Buffered writes, first-write order, final value per address. *)
+
+val record_alloc : t -> Euno_mem.Linemap.kind -> int -> int -> unit
+val record_free : t -> Euno_mem.Linemap.kind -> int -> int -> unit
+val record_reclassify : t -> Euno_mem.Linemap.kind -> Euno_mem.Linemap.kind -> int -> unit

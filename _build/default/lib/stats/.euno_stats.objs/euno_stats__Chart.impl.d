@@ -1,0 +1,1 @@
+lib/stats/chart.ml: Array Buffer Bytes Float List Printf String

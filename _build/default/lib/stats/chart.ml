@@ -1,0 +1,114 @@
+(* ASCII line charts for terminal-only environments: render benchmark
+   series (throughput vs. skew, throughput vs. threads) as a plotted grid
+   with axes, one mark per series.
+
+   The x axis uses the positions of the sampled points (categorical
+   spacing), which matches how the paper's figures place their ticks. *)
+
+type series = { label : string; points : float list }
+
+let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let nice_max v =
+  (* Round the axis top up to 1/2/5 x 10^k. *)
+  if v <= 0.0 then 1.0
+  else begin
+    let exp10 = Float.pow 10.0 (Float.of_int (int_of_float (Float.log10 v))) in
+    let m = v /. exp10 in
+    let m' =
+      if m <= 1.0 then 1.0
+      else if m <= 2.0 then 2.0
+      else if m <= 2.5 then 2.5
+      else if m <= 5.0 then 5.0
+      else 10.0
+    in
+    m' *. exp10
+  end
+
+let render ?(width = 64) ?(height = 16) ~title ~x_labels series =
+  let npoints =
+    List.fold_left (fun acc s -> max acc (List.length s.points)) 0 series
+  in
+  if npoints < 2 then invalid_arg "Chart.render: need at least two points";
+  let vmax =
+    nice_max
+      (List.fold_left
+         (fun acc s -> List.fold_left Float.max acc s.points)
+         0.0 series)
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let col_of i = i * (width - 1) / (npoints - 1) in
+  let row_of v =
+    let r = int_of_float (v /. vmax *. float_of_int (height - 1)) in
+    height - 1 - min (height - 1) (max 0 r)
+  in
+  (* connect consecutive points with interpolated marks, then overdraw the
+     sample points with the series mark *)
+  List.iteri
+    (fun si s ->
+      let mark = marks.(si mod Array.length marks) in
+      let pts = Array.of_list s.points in
+      for i = 0 to Array.length pts - 2 do
+        let c0 = col_of i and c1 = col_of (i + 1) in
+        for c = c0 to c1 do
+          let frac =
+            if c1 = c0 then 0.0
+            else float_of_int (c - c0) /. float_of_int (c1 - c0)
+          in
+          let v = pts.(i) +. (frac *. (pts.(i + 1) -. pts.(i))) in
+          let r = row_of v in
+          if grid.(r).(c) = ' ' then grid.(r).(c) <- '.'
+        done
+      done;
+      Array.iteri
+        (fun i v -> grid.(row_of v).(col_of i) <- mark)
+        pts)
+    series;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n");
+  let y_label_width = 8 in
+  Array.iteri
+    (fun r row ->
+      let v = vmax *. float_of_int (height - 1 - r) /. float_of_int (height - 1) in
+      let label =
+        if r = 0 || r = height - 1 || r = height / 2 then
+          Printf.sprintf "%*.1f |" (y_label_width - 2) v
+        else String.make (y_label_width - 1) ' ' ^ "|"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> row.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make (y_label_width - 1) ' ' ^ "+");
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  (* x tick labels: first, middle, last *)
+  (match x_labels with
+  | [] -> ()
+  | labels ->
+      let n = List.length labels in
+      let first = List.nth labels 0 in
+      let mid = List.nth labels (n / 2) in
+      let last = List.nth labels (n - 1) in
+      let line = Bytes.make (y_label_width + width) ' ' in
+      let put col s =
+        let start =
+          max 0 (min (y_label_width + width - String.length s) (y_label_width + col - (String.length s / 2)))
+        in
+        String.iteri (fun i ch -> Bytes.set line (start + i) ch) s
+      in
+      put 0 first;
+      put (col_of (n / 2)) mid;
+      put (width - 1) last;
+      Buffer.add_string buf (Bytes.to_string line);
+      Buffer.add_char buf '\n');
+  (* legend *)
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n" marks.(si mod Array.length marks) s.label))
+    series;
+  Buffer.contents buf
+
+let print ?width ?height ~title ~x_labels series =
+  print_string (render ?width ?height ~title ~x_labels series)

@@ -1,0 +1,27 @@
+(** ASCII line charts for terminal-only environments.
+
+    Renders benchmark series (e.g. throughput vs. skew or vs. threads) as
+    a plotted grid with y-axis labels, interpolated connecting dots, one
+    mark character per series, x tick labels and a legend.  Used by
+    [euno_repro --charts]. *)
+
+type series = { label : string; points : float list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_labels:string list ->
+  series list ->
+  string
+(** All series must sample the same x positions (shorter series are drawn
+    over their own prefix).  Raises [Invalid_argument] with fewer than two
+    points. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_labels:string list ->
+  series list ->
+  unit

@@ -1,0 +1,56 @@
+(* Streaming summary statistics (Welford) plus exact percentiles over a
+   retained sample, used by the harness for latency and ratio reporting. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable sample : float list; (* all observations, for exact percentiles *)
+  keep_sample : bool;
+}
+
+let create ?(keep_sample = true) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    minv = infinity;
+    maxv = neg_infinity;
+    sample = [];
+    keep_sample;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  if t.keep_sample then t.sample <- x :: t.sample
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t =
+  if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then nan else t.minv
+let max_value t = if t.n = 0 then nan else t.maxv
+
+let percentile t p =
+  if not t.keep_sample then invalid_arg "Summary.percentile: no sample kept";
+  match t.sample with
+  | [] -> nan
+  | sample ->
+      let arr = Array.of_list sample in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)

@@ -1,0 +1,21 @@
+(** Streaming summary statistics (Welford's algorithm) with optional exact
+    percentiles over the retained sample. *)
+
+type t
+
+val create : ?keep_sample:bool -> unit -> t
+(** [keep_sample] (default true) retains observations for {!percentile}. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** Exact linear-interpolated percentile, e.g. [percentile t 99.0].
+    Raises [Invalid_argument] if the sample was not kept. *)

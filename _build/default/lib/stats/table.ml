@@ -1,0 +1,85 @@
+(* Plain-text table rendering for benchmark reports: fixed-width columns
+   sized to content, a header rule, and right-aligned numeric cells. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* newest first *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t cells = t.rows <- cells :: t.rows
+
+let cell_f f = Printf.sprintf "%.2f" f
+let cell_f1 f = Printf.sprintf "%.1f" f
+let cell_i i = string_of_int i
+let cell_pct f = Printf.sprintf "%.1f%%" f
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let align_of c = if c = 0 then Left else Right in
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> pad (align_of c) (List.nth widths c) cell)
+         row)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun row ->
+      (* Short rows are padded with empty cells. *)
+      let row =
+        row @ List.init (max 0 (ncols - List.length row)) (fun _ -> "")
+      in
+      Buffer.add_string buf (line row ^ "\n"))
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* CSV with a minimal quoting rule (fields with commas or quotes). *)
+let csv_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line t.headers :: List.rev_map line t.rows) ^ "\n"
+
+(* A filesystem-safe slug of the title, for CSV file names. *)
+let slug t =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    (String.lowercase_ascii t.title)

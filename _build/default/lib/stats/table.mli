@@ -1,0 +1,25 @@
+(** Plain-text benchmark tables: content-sized columns, first column
+    left-aligned, the rest right-aligned. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+
+val cell_f : float -> string
+(** Two decimals. *)
+
+val cell_f1 : float -> string
+(** One decimal. *)
+
+val cell_i : int -> string
+val cell_pct : float -> string
+
+val render : t -> string
+val print : t -> unit
+
+val to_csv : t -> string
+(** Headers plus rows, minimally quoted. *)
+
+val slug : t -> string
+(** Filesystem-safe name derived from the title. *)

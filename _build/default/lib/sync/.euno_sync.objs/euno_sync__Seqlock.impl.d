@@ -1,0 +1,1 @@
+lib/sync/seqlock.ml: Euno_mem Euno_sim

@@ -1,0 +1,1 @@
+lib/sync/spinlock.ml: Backoff Euno_mem Euno_sim

@@ -1,0 +1,1 @@
+lib/sync/ticketlock.ml: Euno_mem Euno_sim

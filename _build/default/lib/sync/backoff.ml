@@ -1,0 +1,15 @@
+(* Bounded exponential backoff with deterministic jitter, expressed in
+   simulated cycles.  Used by spin loops and by the HTM retry policy. *)
+
+module Api = Euno_sim.Api
+
+type t = { base : int; cap : int; mutable current : int }
+
+let create ?(base = 32) ?(cap = 4096) () = { base; cap; current = base }
+
+let reset t = t.current <- t.base
+
+let once t =
+  let jitter = Api.rand t.current in
+  Api.work (t.current + jitter);
+  t.current <- min t.cap (t.current * 2)

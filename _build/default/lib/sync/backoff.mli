@@ -1,0 +1,12 @@
+(** Bounded exponential backoff in simulated cycles, with deterministic
+    per-thread jitter. *)
+
+type t
+
+val create : ?base:int -> ?cap:int -> unit -> t
+(** Defaults: base 32 cycles, cap 4096 cycles. *)
+
+val reset : t -> unit
+
+val once : t -> unit
+(** Spin for the current delay (plus jitter) and double it, up to the cap. *)

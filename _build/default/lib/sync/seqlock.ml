@@ -1,0 +1,44 @@
+(* Sequence lock on one simulated word: even = stable, odd = writer in
+   critical section.  Readers retry until they observe the same even value
+   before and after; writers must be externally serialized (or use
+   [write_lock]). *)
+
+module Api = Euno_sim.Api
+
+let alloc () =
+  Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Euno_mem.Memory.line_words
+
+let read_begin addr =
+  let rec stable () =
+    let v = Api.read addr in
+    if v land 1 = 1 then begin
+      Api.work 16;
+      stable ()
+    end
+    else v
+  in
+  stable ()
+
+let read_validate addr v0 = Api.read addr = v0
+
+let write_begin addr =
+  let rec try_lock () =
+    let v = Api.read addr in
+    if v land 1 = 1 || not (Api.cas addr ~expected:v ~desired:(v + 1)) then begin
+      Api.work 16;
+      try_lock ()
+    end
+  in
+  try_lock ()
+
+let write_end addr = Api.write addr (Api.read addr + 1)
+
+let read addr f =
+  let rec attempt () =
+    let v0 = read_begin addr in
+    let result = f () in
+    if read_validate addr v0 then result else attempt ()
+  in
+  attempt ()
+
+let version addr = Api.read addr

@@ -1,0 +1,25 @@
+(** Sequence lock on one simulated word (even = stable, odd = writing).
+
+    The building block of the Masstree-style "before-and-after" version
+    validation and of Eunomia's leaf sequence numbers. *)
+
+val alloc : unit -> int
+(** Fresh sequence word on its own line, initially 0 (stable). *)
+
+val read_begin : int -> int
+(** Spin until stable; return the observed even version. *)
+
+val read_validate : int -> int -> bool
+(** True if the version is unchanged since [read_begin]. *)
+
+val write_begin : int -> unit
+(** Acquire the writer side (version becomes odd). *)
+
+val write_end : int -> unit
+(** Release (version becomes even, one step up). *)
+
+val read : int -> (unit -> 'a) -> 'a
+(** Optimistic read section: retries [f] until it runs under a stable,
+    unchanged version. [f] must be side-effect-free. *)
+
+val version : int -> int

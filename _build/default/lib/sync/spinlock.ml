@@ -1,0 +1,45 @@
+(* Test-and-test-and-set spinlock on one simulated word with exponential
+   backoff.  The word lives on its own cache line (the allocator
+   line-aligns), so lock traffic never false-shares with data. *)
+
+module Api = Euno_sim.Api
+
+let unlocked = 0
+let locked = 1
+
+(* Allocate a fresh lock word (entire line, kind Lock). *)
+let alloc () =
+  Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Euno_mem.Memory.line_words
+
+let try_acquire addr =
+  Api.read addr = unlocked && Api.cas addr ~expected:unlocked ~desired:locked
+
+let acquire addr =
+  let b = Backoff.create () in
+  let rec loop () =
+    if Api.read addr = unlocked then begin
+      if not (Api.cas addr ~expected:unlocked ~desired:locked) then begin
+        Backoff.once b;
+        loop ()
+      end
+    end
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release addr = Api.write addr unlocked
+
+let is_locked addr = Api.read addr = locked
+
+let with_lock addr f =
+  acquire addr;
+  match f () with
+  | v ->
+      release addr;
+      v
+  | exception e ->
+      release addr;
+      raise e

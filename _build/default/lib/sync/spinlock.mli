@@ -1,0 +1,16 @@
+(** Test-and-test-and-set spinlock on one simulated word.
+
+    A lock is just a word address; {!alloc} returns one on a private cache
+    line.  Any line-aligned word a data structure reserves (e.g. the
+    Euno-B+Tree per-leaf split lock) works with the same operations. *)
+
+val alloc : unit -> int
+(** Fresh lock word on its own line (kind [Lock]), initially unlocked. *)
+
+val try_acquire : int -> bool
+val acquire : int -> unit
+val release : int -> unit
+val is_locked : int -> bool
+
+val with_lock : int -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)

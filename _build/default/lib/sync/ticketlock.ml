@@ -1,0 +1,35 @@
+(* Fair FIFO ticket lock on two simulated words (next-ticket, now-serving),
+   placed on separate cache lines to avoid ping-pong between enqueuers and
+   the release path. *)
+
+module Api = Euno_sim.Api
+module Memory = Euno_mem.Memory
+
+type t = { next : int; serving : int }
+
+let alloc () =
+  let next = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Memory.line_words in
+  let serving = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Memory.line_words in
+  { next; serving }
+
+let acquire t =
+  let ticket = Api.faa t.next 1 in
+  let rec wait () =
+    if Api.read t.serving <> ticket then begin
+      Api.work 24;
+      wait ()
+    end
+  in
+  wait ()
+
+let release t = Api.write t.serving (Api.read t.serving + 1)
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

@@ -1,0 +1,8 @@
+(** Fair FIFO ticket lock (two simulated words on separate lines). *)
+
+type t
+
+val alloc : unit -> t
+val acquire : t -> unit
+val release : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

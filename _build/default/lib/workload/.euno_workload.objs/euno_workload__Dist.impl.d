@@ -1,0 +1,1 @@
+lib/workload/dist.ml: Euno_sim Float Hashtbl List Option Printf

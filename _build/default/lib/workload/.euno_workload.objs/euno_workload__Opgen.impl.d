@@ -1,0 +1,1 @@
+lib/workload/opgen.ml: Dist Euno_sim

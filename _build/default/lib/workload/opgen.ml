@@ -1,0 +1,61 @@
+(* Operation streams: a distribution plus a get/put/scan/delete mix.
+   One instance per simulated thread (the paper's workloads are private to
+   each thread, with intra-thread locality). *)
+
+module Rng = Euno_sim.Rng
+
+type op =
+  | Get of int
+  | Put of int * int (* key, value *)
+  | Scan of int * int (* start key, count *)
+  | Delete of int
+  | Rmw of int * int (* read-modify-write: get then put (YCSB F) *)
+
+let op_key = function
+  | Get k | Put (k, _) | Scan (k, _) | Delete k | Rmw (k, _) -> k
+
+type mix = { get : int; put : int; scan : int; delete : int; rmw : int }
+
+let mix_total m = m.get + m.put + m.scan + m.delete + m.rmw
+
+let read_write ~get_pct =
+  { get = get_pct; put = 100 - get_pct; scan = 0; delete = 0; rmw = 0 }
+
+let ycsb_default = read_write ~get_pct:50
+
+(* The standard YCSB core workload mixes (A-F).  D's "latest" and E's
+   "scan" character come from the distribution and the scan share; the
+   paper itself uses A-style get/put mixes only. *)
+let ycsb_a = read_write ~get_pct:50
+let ycsb_b = read_write ~get_pct:95
+let ycsb_c = read_write ~get_pct:100
+let ycsb_d = read_write ~get_pct:95
+let ycsb_e = { get = 5; put = 0; scan = 95; delete = 0; rmw = 0 }
+let ycsb_f = { get = 50; put = 0; scan = 0; delete = 0; rmw = 50 }
+
+type t = {
+  dist : Dist.t;
+  mix : mix;
+  rng : Rng.t;
+  scan_len : int;
+  mutable seq : int; (* distinguishes successive put values *)
+}
+
+let create ?(scan_len = 16) ~dist ~mix ~seed () =
+  if mix_total mix <> 100 then invalid_arg "Opgen.create: mix must sum to 100";
+  { dist; mix; rng = Rng.create seed; scan_len; seq = 0 }
+
+let next t =
+  let key = Dist.next t.dist in
+  let r = Rng.int t.rng 100 in
+  if r < t.mix.get then Get key
+  else if r < t.mix.get + t.mix.put then begin
+    t.seq <- t.seq + 1;
+    Put (key, (key * 1_000_003) + t.seq)
+  end
+  else if r < t.mix.get + t.mix.put + t.mix.scan then Scan (key, t.scan_len)
+  else if r < t.mix.get + t.mix.put + t.mix.scan + t.mix.delete then Delete key
+  else begin
+    t.seq <- t.seq + 1;
+    Rmw (key, (key * 1_000_003) + t.seq)
+  end

@@ -1,0 +1,48 @@
+(** Per-thread operation streams: a key distribution plus an operation mix.
+
+    Matches the paper's YCSB setup: 8-byte keys and values, a configurable
+    get/put ratio (default 50/50), and streams private to each thread. *)
+
+type op =
+  | Get of int
+  | Put of int * int
+  | Scan of int * int
+  | Delete of int
+  | Rmw of int * int  (** read-modify-write: get then put (YCSB F) *)
+
+val op_key : op -> int
+
+type mix = { get : int; put : int; scan : int; delete : int; rmw : int }
+(** Percentages; must sum to 100. *)
+
+val mix_total : mix -> int
+
+val read_write : get_pct:int -> mix
+(** A get/put-only mix. *)
+
+val ycsb_default : mix
+(** 50% get / 50% put, the YCSB default the paper uses. *)
+
+val ycsb_a : mix
+(** 50/50 update/read. *)
+
+val ycsb_b : mix
+(** 95/5 read-mostly. *)
+
+val ycsb_c : mix
+(** read-only. *)
+
+val ycsb_d : mix
+(** 95/5 read-latest (pair with {!Dist.Latest}). *)
+
+val ycsb_e : mix
+(** 95% short scans. *)
+
+val ycsb_f : mix
+(** 50% read / 50% read-modify-write. *)
+
+type t
+
+val create : ?scan_len:int -> dist:Dist.t -> mix:mix -> seed:int -> unit -> t
+
+val next : t -> op

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_bptree Test_eunomia Test_harness Test_history Test_htm Test_index Test_leaf Test_masstree Test_mem Test_sim Test_stats Test_sync Test_workload

@@ -1,0 +1,1 @@
+test/test_bptree.ml: Alcotest Array Euno_bptree Euno_sim Gen Int List Map QCheck QCheck_alcotest Util

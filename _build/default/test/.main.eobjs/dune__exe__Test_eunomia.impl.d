@@ -1,0 +1,1 @@
+test/test_eunomia.ml: Alcotest Array Euno_ccm Euno_mem Euno_sim Eunomia Gen Int List Map Printf QCheck QCheck_alcotest Util

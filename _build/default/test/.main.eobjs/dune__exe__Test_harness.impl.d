@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Euno_harness Euno_sim Euno_workload Eunomia Int List Map Printf Util

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Euno_harness Euno_sim Eunomia Int List Map Printf QCheck QCheck_alcotest Util

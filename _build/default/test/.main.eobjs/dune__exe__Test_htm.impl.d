@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Array Euno_htm Euno_mem Euno_sim Euno_sync List String Util

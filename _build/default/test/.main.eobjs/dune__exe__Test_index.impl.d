@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Euno_bptree Euno_mem Euno_sim Util

@@ -1,0 +1,1 @@
+test/test_leaf.ml: Alcotest Euno_ccm Euno_mem Euno_sim Eunomia Gen List QCheck QCheck_alcotest Util

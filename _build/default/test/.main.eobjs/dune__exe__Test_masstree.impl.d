@@ -1,0 +1,1 @@
+test/test_masstree.ml: Alcotest Euno_masstree Euno_sim Gen Int List Map QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Euno_mem Gen Hashtbl List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Euno_htm Euno_mem Euno_sim Euno_sync List QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Euno_stats Gen List QCheck QCheck_alcotest String Util

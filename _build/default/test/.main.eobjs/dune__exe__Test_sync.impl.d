@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Euno_mem Euno_sim Euno_sync List Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Euno_workload Float Hashtbl List Printf QCheck QCheck_alcotest Util

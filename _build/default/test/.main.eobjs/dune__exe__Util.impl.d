@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Euno_mem Euno_sim

@@ -1,0 +1,18 @@
+(* Aggregated alcotest runner for all suites. *)
+let () =
+  Alcotest.run "eunomia"
+    [
+      ("mem", Test_mem.suite);
+      ("sim", Test_sim.suite);
+      ("htm", Test_htm.suite);
+      ("sync", Test_sync.suite);
+      ("workload", Test_workload.suite);
+      ("bptree", Test_bptree.suite);
+      ("index", Test_index.suite);
+      ("eunomia", Test_eunomia.suite);
+      ("leaf", Test_leaf.suite);
+      ("masstree", Test_masstree.suite);
+      ("stats", Test_stats.suite);
+      ("harness", Test_harness.suite);
+      ("history", Test_history.suite);
+    ]

@@ -1,0 +1,333 @@
+(* Tests of the conventional B+Tree and its monolithic-HTM wrapper:
+   model-based correctness, structural invariants, and concurrent
+   atomicity under the simulated machine. *)
+
+open Util
+module Api = Euno_sim.Api
+module Cost = Euno_sim.Cost
+module Machine = Euno_sim.Machine
+module Bptree = Euno_bptree.Bptree
+module Htm_bptree = Euno_bptree.Htm_bptree
+module IntMap = Map.Make (Int)
+
+let with_tree ?(fanout = 8) w f =
+  run_one w (fun () ->
+      let t = Bptree.create ~fanout ~map:w.map () in
+      f t)
+
+let test_empty_tree () =
+  let w = fresh_world () in
+  with_tree w (fun t ->
+      check_bool "get on empty" true (Bptree.get t 5 = None);
+      check_int "size 0" 0 (Bptree.size t);
+      Bptree.check_invariants t)
+
+let test_insert_get_sequential () =
+  let w = fresh_world () in
+  with_tree w (fun t ->
+      for k = 0 to 499 do
+        Bptree.put t k (k * 10)
+      done;
+      for k = 0 to 499 do
+        match Bptree.get t k with
+        | Some v -> check_int "value" (k * 10) v
+        | None -> Alcotest.failf "missing key %d" k
+      done;
+      check_bool "absent key" true (Bptree.get t 1000 = None);
+      Bptree.check_invariants t)
+
+let test_insert_shuffled () =
+  let w = fresh_world () in
+  let keys = Array.init 1000 (fun i -> i) in
+  let rng = Euno_sim.Rng.create 33 in
+  for i = 999 downto 1 do
+    let j = Euno_sim.Rng.int rng (i + 1) in
+    let tmp = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- tmp
+  done;
+  with_tree w (fun t ->
+      Array.iter (fun k -> Bptree.put t k (k + 7)) keys;
+      Bptree.check_invariants t;
+      check_int "all present" 1000 (Bptree.size t);
+      let l = Bptree.to_list t in
+      check_bool "sorted output" true
+        (List.map fst l = List.init 1000 (fun i -> i)))
+
+let test_update_overwrites () =
+  let w = fresh_world () in
+  with_tree w (fun t ->
+      Bptree.put t 42 1;
+      Bptree.put t 42 2;
+      check_bool "updated" true (Bptree.get t 42 = Some 2);
+      check_int "no duplicate" 1 (Bptree.size t))
+
+let test_depth_grows () =
+  let w = fresh_world () in
+  with_tree ~fanout:4 w (fun t ->
+      check_int "initial depth" 1 (Bptree.depth t);
+      for k = 0 to 199 do
+        Bptree.put t k k
+      done;
+      check_bool "depth grew" true (Bptree.depth t >= 4);
+      Bptree.check_invariants t)
+
+let test_delete () =
+  let w = fresh_world () in
+  with_tree w (fun t ->
+      for k = 0 to 99 do
+        Bptree.put t k k
+      done;
+      for k = 0 to 99 do
+        if k mod 2 = 0 then check_bool "deleted" true (Bptree.delete t k)
+      done;
+      check_bool "delete absent" false (Bptree.delete t 0);
+      check_int "half remain" 50 (Bptree.size t);
+      for k = 0 to 99 do
+        let expect = if k mod 2 = 0 then None else Some k in
+        check_bool "presence" true (Bptree.get t k = expect)
+      done;
+      Bptree.check_invariants t)
+
+let test_scan () =
+  let w = fresh_world () in
+  with_tree w (fun t ->
+      for k = 0 to 299 do
+        Bptree.put t (k * 2) k (* even keys only *)
+      done;
+      let r = Bptree.scan t ~from:100 ~count:10 in
+      check_int "scan length" 10 (List.length r);
+      check_bool "scan starts at 100" true (fst (List.hd r) = 100);
+      let keys = List.map fst r in
+      check_bool "scan sorted ascending" true
+        (keys = List.sort compare keys);
+      (* from between keys *)
+      let r2 = Bptree.scan t ~from:101 ~count:3 in
+      check_bool "starts above" true (fst (List.hd r2) = 102);
+      (* scan past the end *)
+      let r3 = Bptree.scan t ~from:598 ~count:10 in
+      check_int "tail scan" 1 (List.length r3))
+
+(* Random op sequences vs a Map model. *)
+let prop_model_based =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"bptree matches Map model"
+       QCheck.(
+         pair (int_bound 1_000_000)
+           (list_of_size Gen.(50 -- 400) (pair (int_bound 200) (int_bound 3))))
+       (fun (salt, ops) ->
+         let w = fresh_world () in
+         with_tree ~fanout:8 w (fun t ->
+             let model = ref IntMap.empty in
+             let ok = ref true in
+             List.iteri
+               (fun i (key, kind) ->
+                 let key = (key + salt) mod 200 in
+                 match kind with
+                 | 0 | 3 ->
+                     Bptree.put t key i;
+                     model := IntMap.add key i !model
+                 | 1 ->
+                     let got = Bptree.get t key in
+                     if got <> IntMap.find_opt key !model then ok := false
+                 | _ ->
+                     let deleted = Bptree.delete t key in
+                     if deleted <> IntMap.mem key !model then ok := false;
+                     model := IntMap.remove key !model)
+               ops;
+             Bptree.check_invariants t;
+             let final = Bptree.to_list t in
+             !ok && final = IntMap.bindings !model)))
+
+(* Invariants hold after every single operation on a tiny-fanout tree
+   (stresses splits and root growth). *)
+let prop_invariants_every_step =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"invariants after every op"
+       QCheck.(list_of_size Gen.(10 -- 120) (int_bound 60))
+       (fun keys ->
+         let w = fresh_world () in
+         with_tree ~fanout:4 w (fun t ->
+             List.iter
+               (fun k ->
+                 Bptree.put t k k;
+                 Bptree.check_invariants t)
+               keys;
+             true)))
+
+(* ---------- concurrent (HTM-wrapped) ---------- *)
+
+let preload w ~fanout ~n =
+  run_one w (fun () ->
+      let t = Bptree.create ~fanout ~map:w.map () in
+      for k = 0 to n - 1 do
+        Bptree.put t k k
+      done;
+      t)
+
+let test_concurrent_disjoint_inserts () =
+  let w = fresh_world () in
+  let tree = run_one w (fun () -> Bptree.create ~fanout:8 ~map:w.map ()) in
+  let ht = run_one w (fun () -> Htm_bptree.of_tree tree) in
+  let threads = 8 and per = 100 in
+  let (_ : Machine.t) =
+    run_threads ~threads ~cost:Cost.default ~seed:17 w (fun tid ->
+        for i = 0 to per - 1 do
+          let k = (tid * 10_000) + i in
+          Htm_bptree.put ht k (k * 2)
+        done)
+  in
+  run_one w (fun () ->
+      Bptree.check_invariants tree;
+      check_int "all inserted" (threads * per) (Bptree.size tree);
+      for tid = 0 to threads - 1 do
+        for i = 0 to per - 1 do
+          let k = (tid * 10_000) + i in
+          if Bptree.get tree k <> Some (k * 2) then
+            Alcotest.failf "missing %d" k
+        done
+      done)
+
+let test_concurrent_hot_updates_no_lost_value () =
+  let w = fresh_world () in
+  let tree = preload w ~fanout:8 ~n:64 in
+  let ht = run_one w (fun () -> Htm_bptree.of_tree tree) in
+  let threads = 6 and per = 60 in
+  let m =
+    run_threads ~threads ~cost:Cost.default ~seed:19 w (fun tid ->
+        for i = 1 to per do
+          (* Everyone hammers the same few keys: guaranteed conflicts. *)
+          let k = i mod 4 in
+          Htm_bptree.put ht k ((tid * 1000) + i)
+        done)
+  in
+  let s = Machine.aggregate m in
+  check_bool "contention produced aborts" true (Machine.total_aborts s > 0);
+  run_one w (fun () ->
+      Bptree.check_invariants tree;
+      for k = 0 to 3 do
+        match Bptree.get tree k with
+        | Some v ->
+            (* Final value must be one some thread actually wrote. *)
+            let tid = v / 1000 and i = v mod 1000 in
+            if not (tid >= 0 && tid < threads && i >= 1 && i <= per) then
+              Alcotest.failf "impossible value %d at key %d" v k
+        | None -> Alcotest.failf "key %d vanished" k
+      done)
+
+let test_concurrent_mixed_ops_invariants () =
+  let w = fresh_world () in
+  let tree = preload w ~fanout:8 ~n:200 in
+  let ht = run_one w (fun () -> Htm_bptree.of_tree tree) in
+  let (_ : Machine.t) =
+    run_threads ~threads:6 ~cost:Cost.default ~seed:23 w (fun tid ->
+        for i = 1 to 80 do
+          let k = Api.rand 400 in
+          match (tid + i) mod 4 with
+          | 0 -> ignore (Htm_bptree.get ht k)
+          | 1 | 2 -> Htm_bptree.put ht k ((tid * 10_000) + i)
+          | _ -> ignore (Htm_bptree.delete ht k)
+        done)
+  in
+  run_one w (fun () -> Bptree.check_invariants tree)
+
+let test_concurrent_scan_consistent () =
+  let w = fresh_world () in
+  let tree = preload w ~fanout:8 ~n:100 in
+  let ht = run_one w (fun () -> Htm_bptree.of_tree tree) in
+  let bad = ref 0 in
+  let (_ : Machine.t) =
+    run_threads ~threads:4 ~cost:Cost.default ~seed:29 w (fun tid ->
+        if tid < 2 then
+          for i = 0 to 40 do
+            Htm_bptree.put ht (100 + (tid * 1000) + i) i
+          done
+        else
+          for _ = 0 to 20 do
+            let r = Htm_bptree.scan ht ~from:0 ~count:50 in
+            let keys = List.map fst r in
+            if keys <> List.sort compare keys then incr bad
+          done)
+  in
+  check_int "scans always sorted" 0 !bad
+
+let test_bulk_load_matches_incremental () =
+  let w = fresh_world () in
+  let records = List.init 1000 (fun i -> (i * 3, i)) in
+  let t =
+    run_one w (fun () -> Bptree.bulk_load ~fanout:16 ~map:w.map records)
+  in
+  run_one w (fun () ->
+      Bptree.check_invariants t;
+      check_bool "contents" true (Bptree.to_list t = records);
+      check_bool "lookup hit" true (Bptree.get t 30 = Some 10);
+      check_bool "lookup miss" true (Bptree.get t 31 = None);
+      (* the tree remains fully usable *)
+      Bptree.put t 31 999;
+      check_bool "insert after bulk load" true (Bptree.get t 31 = Some 999);
+      check_bool "delete after bulk load" true (Bptree.delete t 30);
+      Bptree.check_invariants t)
+
+let test_tree_stats () =
+  let w = fresh_world () in
+  with_tree ~fanout:8 w (fun t ->
+      for k = 0 to 199 do
+        Bptree.put t k k
+      done;
+      let st = Bptree.stats t in
+      check_int "records" 200 st.Bptree.st_records;
+      check_int "depth agrees" (Bptree.depth t) st.Bptree.st_depth;
+      check_bool "fill in (0,1]" true
+        (st.Bptree.st_avg_leaf_fill > 0.0 && st.Bptree.st_avg_leaf_fill <= 1.0);
+      check_bool "leaves x fill ~ records" true
+        (st.Bptree.st_leaves * 8 >= st.Bptree.st_records))
+
+let test_bulk_load_empty_and_tiny () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let t0 = Bptree.bulk_load ~fanout:8 ~map:w.map [] in
+      check_int "empty" 0 (Bptree.size t0);
+      Bptree.check_invariants t0;
+      let t1 = Bptree.bulk_load ~fanout:8 ~map:w.map [ (5, 50) ] in
+      check_bool "single" true (Bptree.get t1 5 = Some 50);
+      Bptree.check_invariants t1)
+
+let prop_bulk_load_any_size =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"bulk load valid for any size"
+       QCheck.(int_range 0 600)
+       (fun n ->
+         let w = fresh_world () in
+         let records = List.init n (fun i -> (i, i)) in
+         run_one w (fun () ->
+             let t = Bptree.bulk_load ~fanout:8 ~map:w.map records in
+             Bptree.check_invariants t;
+             Bptree.to_list t = records)))
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty_tree;
+    Alcotest.test_case "bulk load matches incremental" `Quick
+      test_bulk_load_matches_incremental;
+    Alcotest.test_case "bulk load empty/tiny" `Quick
+      test_bulk_load_empty_and_tiny;
+    Alcotest.test_case "tree stats" `Quick test_tree_stats;
+    prop_bulk_load_any_size;
+    Alcotest.test_case "insert+get sequential" `Quick
+      test_insert_get_sequential;
+    Alcotest.test_case "insert shuffled" `Quick test_insert_shuffled;
+    Alcotest.test_case "update overwrites" `Quick test_update_overwrites;
+    Alcotest.test_case "depth grows" `Quick test_depth_grows;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "scan" `Quick test_scan;
+    prop_model_based;
+    prop_invariants_every_step;
+    Alcotest.test_case "concurrent disjoint inserts" `Quick
+      test_concurrent_disjoint_inserts;
+    Alcotest.test_case "concurrent hot updates" `Quick
+      test_concurrent_hot_updates_no_lost_value;
+    Alcotest.test_case "concurrent mixed ops keep invariants" `Quick
+      test_concurrent_mixed_ops_invariants;
+    Alcotest.test_case "concurrent scans see sorted data" `Quick
+      test_concurrent_scan_consistent;
+  ]

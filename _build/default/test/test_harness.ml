@@ -1,0 +1,220 @@
+(* Tests of the benchmark harness: the uniform Kv interface behaves
+   identically across all four trees, and the Runner produces sane,
+   deterministic results. *)
+
+open Util
+module Runner = Euno_harness.Runner
+module Kv = Euno_harness.Kv
+module Dist = Euno_workload.Dist
+module Opgen = Euno_workload.Opgen
+module Config = Eunomia.Config
+module IntMap = Map.Make (Int)
+
+let small_workload ?(theta = 0.6) () =
+  {
+    Runner.default_workload with
+    Runner.dist = Dist.Zipfian theta;
+    key_space = 1 lsl 10;
+  }
+
+let small_setup ?(threads = 4) () =
+  {
+    Runner.default_setup with
+    Runner.threads;
+    ops_per_thread = 150;
+    check_after = true;
+  }
+
+(* Same random op sequence applied through the Kv facade of every tree
+   kind must produce exactly the same observable results. *)
+let test_kv_semantic_parity () =
+  let trace =
+    let rng = Euno_sim.Rng.create 77 in
+    List.init 400 (fun i ->
+        let k = Euno_sim.Rng.int rng 120 in
+        match Euno_sim.Rng.int rng 4 with
+        | 0 -> `Put (k, i)
+        | 1 -> `Get k
+        | 2 -> `Del k
+        | _ -> `Scan k)
+  in
+  let observe kind =
+    let w = fresh_world () in
+    run_one w (fun () ->
+        let kv = Kv.build kind ~fanout:8 ~map:w.map in
+        List.map
+          (function
+            | `Put (k, v) ->
+                kv.Kv.put k v;
+                `Unit
+            | `Get k -> `Got (kv.Kv.get k)
+            | `Del k -> `Deleted (kv.Kv.delete k)
+            | `Scan k -> `Scanned (kv.Kv.scan ~from:k ~count:5))
+          trace)
+  in
+  let reference = observe Kv.Htm_bptree in
+  List.iter
+    (fun kind ->
+      if observe kind <> reference then
+        Alcotest.failf "%s disagrees with HTM-B+Tree" (Kv.kind_name kind))
+    [ Kv.Euno Config.full; Kv.Masstree; Kv.Htm_masstree; Kv.Lock_bptree ]
+
+let test_runner_produces_sane_result () =
+  let r = Runner.run Kv.Htm_bptree (small_workload ()) (small_setup ()) in
+  check_int "all ops accounted" (4 * 150) r.Runner.r_ops;
+  check_bool "positive throughput" true (r.Runner.r_mops > 0.0);
+  check_bool "cycles advanced" true (r.Runner.r_cycles > 0);
+  check_bool "commits at least upper+lower" true (r.Runner.r_commits_per_op >= 0.9);
+  check_bool "instr/op sensible" true
+    (r.Runner.r_instr_per_op > 10.0 && r.Runner.r_instr_per_op < 10_000.0);
+  check_bool "memory recorded" true (r.Runner.r_mem_live_bytes > 0)
+
+let test_runner_deterministic () =
+  let go () =
+    let r = Runner.run (Kv.Euno Config.full) (small_workload ()) (small_setup ()) in
+    (r.Runner.r_mops, r.Runner.r_cycles, r.Runner.r_aborts_per_op)
+  in
+  check_bool "identical results across runs" true (go () = go ())
+
+let test_runner_seed_changes_schedule () =
+  let go seed =
+    Runner.run Kv.Htm_bptree (small_workload ~theta:0.9 ())
+      { (small_setup ~threads:6 ()) with Runner.seed }
+  in
+  let a = go 1 and b = go 2 in
+  check_bool "different seeds give different cycle counts" true
+    (a.Runner.r_cycles <> b.Runner.r_cycles)
+
+let test_abort_classes_sum () =
+  let r =
+    Runner.run Kv.Htm_bptree (small_workload ~theta:0.95 ())
+      (small_setup ~threads:8 ())
+  in
+  let parts =
+    Runner.class_true r +. Runner.class_false_record r
+    +. Runner.class_false_meta r +. Runner.class_subscription r
+    +. Runner.class_other r
+  in
+  check_bool "classes sum to total" true
+    (abs_float (parts -. r.Runner.r_aborts_per_op) < 1e-9)
+
+let test_more_threads_do_not_lose_ops () =
+  List.iter
+    (fun threads ->
+      let r =
+        Runner.run (Kv.Euno Config.full) (small_workload ())
+          (small_setup ~threads ())
+      in
+      check_int
+        (Printf.sprintf "%d threads all ops" threads)
+        (threads * 150) r.Runner.r_ops)
+    [ 1; 2; 8 ]
+
+let test_scan_and_delete_mix_supported () =
+  let workload =
+    {
+      (small_workload ()) with
+      Runner.mix = { Opgen.get = 30; put = 40; scan = 10; delete = 10; rmw = 10 };
+    }
+  in
+  List.iter
+    (fun kind ->
+      let r = Runner.run kind workload (small_setup ()) in
+      check_int
+        (Kv.kind_name kind ^ " completes mixed ops")
+        (4 * 150) r.Runner.r_ops)
+    Kv.all_kinds
+
+let test_memory_accounting_reserved_transient () =
+  (* Eunomia's reserved buffers are transient: live reserved bytes after a
+     run must be zero even though the peak is positive. *)
+  let w =
+    { (small_workload ()) with Runner.mix = Opgen.read_write ~get_pct:0 }
+  in
+  let r = Runner.run (Kv.Euno Config.full) w (small_setup ()) in
+  check_bool "reserved peak observed" true (r.Runner.r_mem_reserved_peak_bytes > 0);
+  check_bool "ccm lines accounted" true (r.Runner.r_mem_lock_bytes > 0)
+
+let test_run_many_aggregates () =
+  let a =
+    Runner.run_many ~seeds:3 Kv.Htm_bptree (small_workload ()) (small_setup ())
+  in
+  check_int "three runs" 3 (List.length a.Runner.a_runs);
+  check_bool "mean within bounds" true
+    (a.Runner.a_mean_mops >= a.Runner.a_min_mops
+    && a.Runner.a_mean_mops <= a.Runner.a_max_mops);
+  check_bool "stddev non-negative" true (a.Runner.a_stddev_mops >= 0.0)
+
+let test_lock_tree_correct_under_concurrency () =
+  let r =
+    Runner.run Kv.Lock_bptree (small_workload ~theta:0.9 ())
+      (small_setup ~threads:8 ())
+  in
+  check_int "all ops" (8 * 150) r.Runner.r_ops;
+  (* a pure lock tree never enters a transaction *)
+  check_bool "no commits" true (r.Runner.r_commits_per_op = 0.0);
+  check_bool "no aborts" true (r.Runner.r_aborts_per_op = 0.0)
+
+let test_key_space_must_be_power_of_two () =
+  let w = { (small_workload ()) with Runner.key_space = 1000 } in
+  match Runner.run Kv.Htm_bptree w (small_setup ()) with
+  | (_ : Runner.result) -> Alcotest.fail "accepted non-power-of-two"
+  | exception Invalid_argument _ -> ()
+
+(* Marathon: a heavier contended run per tree with full invariant
+   validation at the end.  Catches rare interleavings the quick tests
+   miss; tagged Slow. *)
+let test_stress_marathon () =
+  let workload =
+    {
+      Runner.default_workload with
+      Runner.dist = Dist.Zipfian 0.95;
+      key_space = 1 lsl 12;
+      mix = { Opgen.get = 40; put = 40; scan = 5; delete = 10; rmw = 5 };
+    }
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let r =
+            Runner.run kind workload
+              {
+                Runner.default_setup with
+                Runner.threads = 12;
+                ops_per_thread = 400;
+                seed;
+                check_after = true;
+              }
+          in
+          check_int
+            (Printf.sprintf "%s seed %d all ops" (Kv.kind_name kind) seed)
+            (12 * 400) r.Runner.r_ops)
+        [ 42; 1234 ])
+    (Kv.all_kinds @ [ Kv.Lock_bptree ])
+
+let suite =
+  [
+    Alcotest.test_case "stress marathon (all trees)" `Slow
+      test_stress_marathon;
+    Alcotest.test_case "kv semantic parity across trees" `Slow
+      test_kv_semantic_parity;
+    Alcotest.test_case "runner sane result" `Quick
+      test_runner_produces_sane_result;
+    Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+    Alcotest.test_case "seed changes schedule" `Quick
+      test_runner_seed_changes_schedule;
+    Alcotest.test_case "abort classes sum to total" `Quick
+      test_abort_classes_sum;
+    Alcotest.test_case "no ops lost across thread counts" `Quick
+      test_more_threads_do_not_lose_ops;
+    Alcotest.test_case "scan+delete mix supported" `Slow
+      test_scan_and_delete_mix_supported;
+    Alcotest.test_case "reserved memory is transient" `Quick
+      test_memory_accounting_reserved_transient;
+    Alcotest.test_case "run_many aggregates" `Quick test_run_many_aggregates;
+    Alcotest.test_case "lock tree under concurrency" `Quick
+      test_lock_tree_correct_under_concurrency;
+    Alcotest.test_case "key space validation" `Quick
+      test_key_space_must_be_power_of_two;
+  ]

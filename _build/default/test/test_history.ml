@@ -1,0 +1,185 @@
+(* Tests of the linearizability checker itself, followed by live
+   linearizability checks of all four trees under concurrent execution on
+   the simulated machine. *)
+
+open Util
+module Api = Euno_sim.Api
+module Cost = Euno_sim.Cost
+module Machine = Euno_sim.Machine
+module History = Euno_harness.History
+module Kv = Euno_harness.Kv
+module Config = Eunomia.Config
+module IntMap = Map.Make (Int)
+
+let ev tid invoked responded op = { History.tid; invoked; responded; op }
+
+(* ---------- checker unit tests ---------- *)
+
+let test_sequential_history_ok () =
+  let h =
+    [
+      ev 0 0 10 (History.Put (1, 100));
+      ev 0 20 30 (History.Get (1, Some 100));
+      ev 0 40 50 (History.Delete (1, true));
+      ev 0 60 70 (History.Get (1, None));
+    ]
+  in
+  check_bool "sequential valid history" true (History.linearizable h)
+
+let test_stale_read_rejected () =
+  (* put completes strictly before the get is invoked, yet the get misses
+     it: not linearizable. *)
+  let h =
+    [
+      ev 0 0 10 (History.Put (1, 100));
+      ev 1 20 30 (History.Get (1, None));
+    ]
+  in
+  check_bool "stale read rejected" false (History.linearizable h)
+
+let test_overlap_allows_either_order () =
+  (* concurrent put and get: the get may see either state *)
+  let miss =
+    [ ev 0 0 100 (History.Put (1, 5)); ev 1 10 90 (History.Get (1, None)) ]
+  in
+  let hit =
+    [ ev 0 0 100 (History.Put (1, 5)); ev 1 10 90 (History.Get (1, Some 5)) ]
+  in
+  check_bool "overlapping miss ok" true (History.linearizable miss);
+  check_bool "overlapping hit ok" true (History.linearizable hit)
+
+let test_lost_update_rejected () =
+  (* Two sequential puts, then a get returning the first value: the
+     second update was lost. *)
+  let h =
+    [
+      ev 0 0 10 (History.Put (1, 5));
+      ev 0 20 30 (History.Put (1, 6));
+      ev 1 40 50 (History.Get (1, Some 5));
+    ]
+  in
+  check_bool "lost update rejected" false (History.linearizable h)
+
+let test_delete_semantics () =
+  let good =
+    [
+      ev 0 0 10 (History.Put (3, 1));
+      ev 0 20 30 (History.Delete (3, true));
+      ev 0 40 50 (History.Delete (3, false));
+    ]
+  in
+  let bad =
+    [ ev 0 0 10 (History.Put (3, 1)); ev 0 20 30 (History.Delete (3, false)) ]
+  in
+  check_bool "delete once" true (History.linearizable good);
+  check_bool "wrong delete result" false (History.linearizable bad)
+
+let test_initial_state () =
+  let init = IntMap.add 7 70 IntMap.empty in
+  let h = [ ev 0 0 10 (History.Get (7, Some 70)) ] in
+  check_bool "initial state respected" true (History.linearizable ~init h);
+  check_bool "without init it fails" false (History.linearizable h)
+
+(* ---------- live checks against the trees ---------- *)
+
+(* Run a small contended workload on the machine, recording exact
+   invocation/response cycles, and check the observed history is
+   linearizable.  The key set is tiny so operations genuinely race. *)
+let live_history kind ~seed =
+  let w = fresh_world () in
+  let preload = List.init 4 (fun i -> (i, 1000 + i)) in
+  let kv =
+    run_one w (fun () -> Kv.build ~records:preload kind ~fanout:8 ~map:w.map)
+  in
+  let r = History.recorder () in
+  let m =
+    Machine.create ~threads:4 ~seed ~cost:Cost.default ~mem:w.mem ~map:w.map
+      ~alloc:w.alloc
+  in
+  Machine.run m (fun tid ->
+      for i = 1 to 10 do
+        let k = Api.rand 6 in
+        let invoked = Api.clock () in
+        let op =
+          match (tid + i) mod 3 with
+          | 0 -> History.Get (k, kv.Kv.get k)
+          | 1 ->
+              let v = (tid * 100) + i in
+              kv.Kv.put k v;
+              History.Put (k, v)
+          | _ -> History.Delete (k, kv.Kv.delete k)
+        in
+        let responded = Api.clock () in
+        History.record r ~tid ~invoked ~responded op
+      done);
+  (History.events r, IntMap.of_seq (List.to_seq preload))
+
+let test_trees_linearizable () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun seed ->
+          let evs, init = live_history kind ~seed in
+          if not (History.linearizable ~init evs) then
+            Alcotest.failf "%s: non-linearizable history (seed %d):\n%s"
+              (Kv.kind_name kind) seed
+              (History.to_string evs))
+        [ 1; 2; 3 ])
+    Kv.all_kinds
+
+(* Property: any short random contended execution of any tree yields a
+   linearizable history. *)
+let prop_linearizable_fuzz =
+  List.map
+    (fun kind ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:15
+           ~name:
+             (Printf.sprintf "%s histories linearizable (fuzz)"
+                (Kv.kind_name kind))
+           QCheck.(int_bound 100_000)
+           (fun seed ->
+             let evs, init = live_history kind ~seed:(seed + 7) in
+             History.linearizable ~init evs)))
+    Kv.all_kinds
+
+(* The checker must also reject corrupted real histories: flip one
+   observed get result and linearizability must (almost always) break. *)
+let test_checker_detects_corruption () =
+  let evs, init = live_history Kv.Htm_bptree ~seed:5 in
+  check_bool "original linearizable" true (History.linearizable ~init evs);
+  (* Corrupt: change some get's observed value to an impossible one. *)
+  let corrupted =
+    List.map
+      (fun e ->
+        match e.History.op with
+        | History.Get (k, _) ->
+            { e with History.op = History.Get (k, Some 999_999_999) }
+        | History.Put _ | History.Delete _ -> e)
+      evs
+  in
+  let has_get =
+    List.exists
+      (fun e ->
+        match e.History.op with History.Get _ -> true | _ -> false)
+      corrupted
+  in
+  if has_get then
+    check_bool "corrupted history rejected" false
+      (History.linearizable ~init corrupted)
+
+let suite =
+  [
+    Alcotest.test_case "sequential history" `Quick test_sequential_history_ok;
+    Alcotest.test_case "checker detects corruption" `Quick
+      test_checker_detects_corruption;
+    Alcotest.test_case "stale read rejected" `Quick test_stale_read_rejected;
+    Alcotest.test_case "overlap allows either order" `Quick
+      test_overlap_allows_either_order;
+    Alcotest.test_case "lost update rejected" `Quick test_lost_update_rejected;
+    Alcotest.test_case "delete semantics" `Quick test_delete_semantics;
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "all four trees produce linearizable histories" `Slow
+      test_trees_linearizable;
+  ]
+  @ prop_linearizable_fuzz

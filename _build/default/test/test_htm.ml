@@ -1,0 +1,263 @@
+(* Tests of the user-level HTM layer: retry budgets, lock elision,
+   fallback serialization, abort classification, and the policy knobs. *)
+
+open Util
+module Api = Euno_sim.Api
+module Abort = Euno_sim.Abort
+module Eff = Euno_sim.Eff
+module Machine = Euno_sim.Machine
+module Cost = Euno_sim.Cost
+module Htm = Euno_htm.Htm
+module Spinlock = Euno_sync.Spinlock
+
+let test_atomic_commits_simple () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let v =
+    run_one w (fun () ->
+        let lock = Htm.alloc_lock () in
+        Htm.atomic ~lock (fun () ->
+            Api.write a 5;
+            Api.read a))
+  in
+  check_int "returned buffered value" 5 v;
+  check_int "committed" 5 (Euno_mem.Memory.get w.mem a)
+
+let test_attempt_reports_abort_code () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      match Htm.attempt (fun () -> Api.xabort 3) with
+      | Error (Abort.Explicit 3) -> ()
+      | Error c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
+      | Ok () -> Alcotest.fail "no abort")
+
+let test_elided_attempt_respects_held_lock () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let lock = Htm.alloc_lock () in
+      Spinlock.acquire lock;
+      (match Htm.attempt_elided ~lock (fun () -> ()) with
+      | Error (Abort.Explicit code) ->
+          check_int "lock-held imm8" Abort.xabort_lock_held code
+      | Error c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
+      | Ok () -> Alcotest.fail "entered despite held lock");
+      Spinlock.release lock)
+
+(* A fallback acquirer must doom every subscribed transaction (the
+   subscription cascade), and the victims must classify as Subscription. *)
+let test_fallback_dooms_subscribers () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let flag = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let subscription_aborts = ref 0 in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:5 w (fun tid ->
+        if tid = 0 then begin
+          match
+            Api.xbegin ();
+            (* subscribe, then dawdle transactionally *)
+            if Spinlock.is_locked lock then Api.xabort 0xff;
+            let rec wait n =
+              if n > 0 && Api.untracked_read flag = 0 then begin
+                Api.work 10;
+                wait (n - 1)
+              end
+            in
+            wait 10_000;
+            Api.xend ()
+          with
+          | () -> ()
+          | exception Eff.Txn_abort (Abort.Conflict Abort.Subscription) ->
+              incr subscription_aborts
+          | exception Eff.Txn_abort _ -> ()
+        end
+        else begin
+          Api.work 300;
+          Spinlock.acquire lock;
+          Api.write a 1;
+          Spinlock.release lock;
+          Api.untracked_write flag 1
+        end)
+  in
+  check_int "subscriber doomed as Subscription" 1 !subscription_aborts
+
+(* Exhausting the conflict budget must reach the fallback and still
+   complete every operation. *)
+let test_budget_exhaustion_falls_back () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let policy = { Htm.default_policy with Htm.conflict_retries = 0 } in
+  let threads = 8 and iters = 40 in
+  let m =
+    run_threads ~threads ~cost:Cost.default ~seed:9 w (fun _ ->
+        for _ = 1 to iters do
+          Htm.atomic ~policy ~lock (fun () ->
+              Api.write counter (Api.read counter + 1));
+          Api.op_done ()
+        done)
+  in
+  check_int "no lost updates through fallback"
+    (threads * iters)
+    (Euno_mem.Memory.get w.mem counter);
+  let s = Machine.aggregate m in
+  check_bool "fallbacks happened" true
+    (s.Machine.s_user.(Htm.Counter.fallbacks) > 0)
+
+let test_on_abort_callback_fires () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let seen = ref [] in
+  run_one w (fun () ->
+      let lock = Htm.alloc_lock () in
+      let tried = ref false in
+      Htm.atomic ~on_abort:(fun c -> seen := c :: !seen) ~lock (fun () ->
+          Api.write a 1;
+          if not !tried then begin
+            tried := true;
+            Api.xabort 9
+          end));
+  match !seen with
+  | [ Abort.Explicit 9 ] -> ()
+  | other ->
+      Alcotest.failf "callback saw %d codes" (List.length other)
+
+let test_lock_wait_is_accounted () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let policy = { Htm.default_policy with Htm.conflict_retries = 0 } in
+  let m =
+    run_threads ~threads:8 ~cost:Cost.default ~seed:13 w (fun _ ->
+        for _ = 1 to 30 do
+          Htm.atomic ~policy ~lock (fun () ->
+              Api.work 200;
+              Api.write counter (Api.read counter + 1))
+        done)
+  in
+  let s = Machine.aggregate m in
+  check_bool "queueing cycles recorded" true
+    (s.Machine.s_user.(Htm.Counter.lock_wait_cycles) > 0)
+
+(* Classification unit tests of the paper taxonomy. *)
+let test_classification_rules () =
+  let same =
+    Abort.classify ~victim_key:5 ~attacker_key:5
+      ~line_kind:Euno_mem.Linemap.Record
+  in
+  check_bool "same key is true conflict" true (same = Abort.True_conflict);
+  let diff =
+    Abort.classify ~victim_key:5 ~attacker_key:6
+      ~line_kind:Euno_mem.Linemap.Record
+  in
+  check_bool "record line is false-record" true (diff = Abort.False_record);
+  let meta =
+    Abort.classify ~victim_key:5 ~attacker_key:6
+      ~line_kind:Euno_mem.Linemap.Node_meta
+  in
+  check_bool "metadata line" true (meta = Abort.False_metadata);
+  let sub =
+    Abort.classify ~victim_key:5 ~attacker_key:5
+      ~line_kind:Euno_mem.Linemap.Lock
+  in
+  check_bool "lock line is subscription" true (sub = Abort.Subscription);
+  check_bool "subscription is not a data conflict" false
+    (Abort.is_data_conflict (Abort.Conflict Abort.Subscription));
+  check_bool "record conflict is a data conflict" true
+    (Abort.is_data_conflict (Abort.Conflict Abort.False_record))
+
+let test_abort_indices_bijective () =
+  let codes =
+    [
+      Abort.Conflict Abort.True_conflict;
+      Abort.Conflict Abort.False_record;
+      Abort.Conflict Abort.False_metadata;
+      Abort.Conflict Abort.Subscription;
+      Abort.Capacity_read;
+      Abort.Capacity_write;
+      Abort.Explicit 1;
+      Abort.Spurious;
+      Abort.Timer;
+    ]
+  in
+  check_int "covers all classes" Abort.n_classes (List.length codes);
+  let idx = List.map Abort.index codes in
+  check_bool "indices distinct" true
+    (List.sort_uniq compare idx = List.sort compare idx);
+  List.iter
+    (fun i ->
+      check_bool "class_name total" true (String.length (Abort.class_name i) > 0))
+    idx
+
+(* The polite (post-lemming-fix) policy should resist the collapse the
+   paper-era policy suffers on the same contended workload. *)
+let test_polite_policy_beats_naive_under_contention () =
+  let run policy =
+    let w = fresh_world () in
+    let hot = scratch w ~words:8 in
+    let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+    let m =
+      run_threads ~threads:12 ~cost:Cost.default ~seed:21 w (fun _ ->
+          for _ = 1 to 60 do
+            Htm.atomic ~policy ~lock (fun () ->
+                Api.work 300;
+                (* long txn on one hot line *)
+                Api.write hot (Api.read hot + 1));
+            Api.op_done ()
+          done)
+    in
+    (Machine.elapsed m, Euno_mem.Memory.get w.mem hot)
+  in
+  let naive_cycles, naive_total = run Htm.default_policy in
+  let polite_cycles, polite_total = run Htm.polite_policy in
+  check_int "naive correct" (12 * 60) naive_total;
+  check_int "polite correct" (12 * 60) polite_total;
+  check_bool "polite policy is no slower under a conflict storm" true
+    (polite_cycles <= naive_cycles)
+
+(* Fault injection: with a heavy spurious-abort rate (interrupt/GC-like
+   events on ~0.5% of transactional accesses), every operation must still
+   complete correctly through retries and fallbacks. *)
+let test_correct_under_spurious_aborts () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let cost = { Cost.default with Cost.spurious_per_million = 5_000 } in
+  let threads = 6 and iters = 50 in
+  let m =
+    run_threads ~threads ~cost ~seed:29 w (fun _ ->
+        for _ = 1 to iters do
+          Htm.atomic ~lock (fun () ->
+              Api.work 100;
+              Api.write counter (Api.read counter + 1))
+        done)
+  in
+  check_int "no lost updates under fault injection"
+    (threads * iters)
+    (Euno_mem.Memory.get w.mem counter);
+  let s = Machine.aggregate m in
+  check_bool "spurious aborts occurred" true
+    (s.Machine.s_aborts.(Abort.index Abort.Spurious) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "correct under spurious aborts" `Quick
+      test_correct_under_spurious_aborts;
+    Alcotest.test_case "atomic commits" `Quick test_atomic_commits_simple;
+    Alcotest.test_case "attempt reports code" `Quick
+      test_attempt_reports_abort_code;
+    Alcotest.test_case "elision respects held lock" `Quick
+      test_elided_attempt_respects_held_lock;
+    Alcotest.test_case "fallback dooms subscribers" `Quick
+      test_fallback_dooms_subscribers;
+    Alcotest.test_case "budget exhaustion falls back" `Quick
+      test_budget_exhaustion_falls_back;
+    Alcotest.test_case "on_abort callback" `Quick test_on_abort_callback_fires;
+    Alcotest.test_case "lock wait accounted" `Quick test_lock_wait_is_accounted;
+    Alcotest.test_case "classification rules" `Quick test_classification_rules;
+    Alcotest.test_case "abort indices bijective" `Quick
+      test_abort_indices_bijective;
+    Alcotest.test_case "polite vs naive policy" `Quick
+      test_polite_policy_beats_naive_under_contention;
+  ]

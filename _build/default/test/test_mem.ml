@@ -1,0 +1,135 @@
+(* Unit and property tests for the simulated memory substrate. *)
+
+open Util
+module Memory = Euno_mem.Memory
+module Linemap = Euno_mem.Linemap
+module Alloc = Euno_mem.Alloc
+module Epoch = Euno_mem.Epoch
+
+let test_memory_roundtrip () =
+  let m = Memory.create () in
+  Memory.set m 0 17;
+  Memory.set m 123_456 99;
+  check_int "word 0" 17 (Memory.get m 0);
+  check_int "far word" 99 (Memory.get m 123_456);
+  check_int "unwritten reads 0" 0 (Memory.get m 7_000_000)
+
+let test_line_arithmetic () =
+  check_int "line of 0" 0 (Memory.line_of_addr 0);
+  check_int "line of 7" 0 (Memory.line_of_addr 7);
+  check_int "line of 8" 1 (Memory.line_of_addr 8);
+  check_int "addr of line 3" 24 (Memory.addr_of_line 3)
+
+let test_alloc_alignment_and_separation () =
+  let w = fresh_world () in
+  let a = Alloc.alloc w.alloc ~kind:Linemap.Record ~words:5 in
+  let b = Alloc.alloc w.alloc ~kind:Linemap.Node_meta ~words:1 in
+  check_int "a line-aligned" 0 (a mod Memory.line_words);
+  check_int "b line-aligned" 0 (b mod Memory.line_words);
+  check_bool "distinct allocations never share a line" true
+    (Memory.line_of_addr a <> Memory.line_of_addr b);
+  check_bool "null address never returned" true (a <> 0 && b <> 0)
+
+let test_alloc_kind_tagging () =
+  let w = fresh_world () in
+  let a = Alloc.alloc w.alloc ~kind:Linemap.Record ~words:20 in
+  check_bool "first line tagged" true
+    (Linemap.kind_of_line w.map (Memory.line_of_addr a) = Linemap.Record);
+  check_bool "last line tagged" true
+    (Linemap.kind_of_line w.map (Memory.line_of_addr (a + 19)) = Linemap.Record)
+
+let test_alloc_accounting () =
+  let w = fresh_world () in
+  let a = Alloc.alloc w.alloc ~kind:Linemap.Reserved ~words:10 in
+  let rounded = Alloc.round_to_lines 10 in
+  check_int "live after alloc" rounded (Alloc.live_words w.alloc);
+  Alloc.free w.alloc ~kind:Linemap.Reserved ~addr:a ~words:10;
+  check_int "live after free" 0 (Alloc.live_words w.alloc);
+  check_int "peak survives free" rounded (Alloc.peak_words w.alloc);
+  let st = Alloc.stats_of_kind w.alloc Linemap.Reserved in
+  check_int "kind alloc count" 1 st.Alloc.alloc_count;
+  check_int "kind free count" 1 st.Alloc.free_count
+
+let test_alloc_reuse_zeroed () =
+  let w = fresh_world () in
+  let a = Alloc.alloc w.alloc ~kind:Linemap.Scratch ~words:8 in
+  Memory.set w.mem a 777;
+  Alloc.free w.alloc ~kind:Linemap.Scratch ~addr:a ~words:8;
+  let b = Alloc.alloc w.alloc ~kind:Linemap.Scratch ~words:8 in
+  check_int "free list reuses the block" a b;
+  check_int "recycled memory is zeroed" 0 (Memory.get w.mem b)
+
+let test_epoch_defers_until_quiescent () =
+  let e = Epoch.create ~slots:2 () in
+  let freed = ref false in
+  Epoch.pin e 0;
+  Epoch.retire e (fun () -> freed := true);
+  (* Thread 0 still pinned: a flood of pins from thread 1 must not free. *)
+  for _ = 1 to 1000 do
+    Epoch.pin e 1;
+    Epoch.unpin e 1
+  done;
+  check_bool "not freed while pinned" false !freed;
+  Epoch.unpin e 0;
+  Epoch.flush e;
+  check_bool "freed after quiescence" true !freed;
+  check_int "freed count" 1 (Epoch.freed e)
+
+let test_epoch_advances () =
+  let e = Epoch.create ~slots:1 ~advance_every:1 () in
+  let g0 = Epoch.global_epoch e in
+  for _ = 1 to 10 do
+    Epoch.pin e 0;
+    Epoch.unpin e 0
+  done;
+  check_bool "global epoch advanced" true (Epoch.global_epoch e > g0)
+
+let prop_memory_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"memory matches a Hashtbl model"
+       QCheck.(list (pair (int_bound 100_000) int))
+       (fun writes ->
+         let m = Memory.create () in
+         let model = Hashtbl.create 64 in
+         List.iter
+           (fun (a, v) ->
+             Memory.set m a v;
+             Hashtbl.replace model a v)
+           writes;
+         List.for_all (fun (a, _) -> Memory.get m a = Hashtbl.find model a) writes))
+
+let prop_alloc_no_overlap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"allocations never overlap"
+       QCheck.(list_of_size Gen.(1 -- 50) (int_range 1 100))
+       (fun sizes ->
+         let w = fresh_world () in
+         let blocks =
+           List.map
+             (fun words -> (Alloc.alloc w.alloc ~kind:Linemap.Record ~words, words))
+             sizes
+         in
+         let ends (a, n) = (a, a + Alloc.round_to_lines n) in
+         let ranges = List.map ends blocks in
+         List.for_all
+           (fun (a1, e1) ->
+             List.for_all
+               (fun (a2, e2) -> a1 = a2 || e1 <= a2 || e2 <= a1)
+               ranges)
+           ranges))
+
+let suite =
+  [
+    Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+    Alcotest.test_case "line arithmetic" `Quick test_line_arithmetic;
+    Alcotest.test_case "alloc alignment/separation" `Quick
+      test_alloc_alignment_and_separation;
+    Alcotest.test_case "alloc kind tagging" `Quick test_alloc_kind_tagging;
+    Alcotest.test_case "alloc accounting" `Quick test_alloc_accounting;
+    Alcotest.test_case "alloc reuse zeroed" `Quick test_alloc_reuse_zeroed;
+    Alcotest.test_case "epoch defers until quiescent" `Quick
+      test_epoch_defers_until_quiescent;
+    Alcotest.test_case "epoch advances" `Quick test_epoch_advances;
+    prop_memory_model;
+    prop_alloc_no_overlap;
+  ]

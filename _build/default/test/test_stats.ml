@@ -1,0 +1,146 @@
+(* Tests of the statistics utilities: table rendering and summary
+   statistics. *)
+
+open Util
+module Table = Euno_stats.Table
+module Summary = Euno_stats.Summary
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_table_alignment () =
+  let t = Table.create ~title:"T" ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1.00" ];
+  Table.add_row t [ "a-much-longer-name"; "2.50" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | title :: header :: rule :: row1 :: row2 :: _ ->
+      check_bool "title marker" true (String.length title > 0 && title.[0] = '=');
+      check_int "header and rule same width" (String.length header)
+        (String.length rule);
+      check_int "rows same width" (String.length row1) (String.length row2)
+  | _ -> Alcotest.fail "unexpected shape");
+  check_bool "contains first row" true (contains out "alpha")
+
+let test_table_rows_in_order () =
+  let t = Table.create ~title:"T" ~headers:[ "k" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let out = Table.render t in
+  let pos needle =
+    let n = String.length needle in
+    let rec find i =
+      if i + n > String.length out then -1
+      else if String.sub out i n = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  check_bool "rows render in insertion order" true
+    (pos "first" >= 0 && pos "second" > pos "first")
+
+let test_table_cells () =
+  check_bool "cell_f" true (Table.cell_f 1.234 = "1.23");
+  check_bool "cell_f1" true (Table.cell_f1 1.26 = "1.3");
+  check_bool "cell_i" true (Table.cell_i 42 = "42");
+  check_bool "cell_pct" true (Table.cell_pct 12.34 = "12.3%")
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Summary.count s);
+  check_bool "mean" true (abs_float (Summary.mean s -. 5.0) < 1e-9);
+  check_bool "stddev" true (abs_float (Summary.stddev s -. 2.13809) < 1e-3);
+  check_bool "min" true (Summary.min_value s = 2.0);
+  check_bool "max" true (Summary.max_value s = 9.0)
+
+let test_summary_percentiles () =
+  let s = Summary.create () in
+  for i = 1 to 100 do
+    Summary.add s (float_of_int i)
+  done;
+  check_bool "p50" true (abs_float (Summary.percentile s 50.0 -. 50.5) < 1e-9);
+  check_bool "p0" true (Summary.percentile s 0.0 = 1.0);
+  check_bool "p100" true (Summary.percentile s 100.0 = 100.0);
+  check_bool "p99 close to 99" true
+    (abs_float (Summary.percentile s 99.0 -. 99.01) < 0.1)
+
+let test_summary_no_sample () =
+  let s = Summary.create ~keep_sample:false () in
+  Summary.add s 1.0;
+  match Summary.percentile s 50.0 with
+  | (_ : float) -> Alcotest.fail "percentile without sample"
+  | exception Invalid_argument _ -> ()
+
+let prop_summary_mean_matches_naive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"welford mean = naive mean"
+       QCheck.(list_of_size Gen.(1 -- 100) (float_range 0.0 1000.0))
+       (fun xs ->
+         let s = Summary.create ~keep_sample:false () in
+         List.iter (Summary.add s) xs;
+         let naive =
+           List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+         in
+         abs_float (Summary.mean s -. naive) < 1e-6))
+
+module Chart = Euno_stats.Chart
+
+let test_chart_renders () =
+  let out =
+    Chart.render ~width:40 ~height:8 ~title:"T" ~x_labels:[ "a"; "b"; "c" ]
+      [
+        { Chart.label = "up"; points = [ 1.0; 2.0; 3.0 ] };
+        { Chart.label = "down"; points = [ 3.0; 2.0; 1.0 ] };
+      ]
+  in
+  check_bool "has title" true (contains out "T");
+  check_bool "has legend up" true (contains out "* up");
+  check_bool "has legend down" true (contains out "o down");
+  check_bool "has x labels" true (contains out "a" && contains out "c");
+  check_bool "has marks" true (contains out "*" && contains out "o");
+  (* every line bounded by the grid width *)
+  List.iter
+    (fun l ->
+      if String.length l > 8 + 40 + 2 then
+        Alcotest.failf "line too long: %d" (String.length l))
+    (String.split_on_char '
+' out)
+
+let test_chart_rejects_single_point () =
+  match
+    Chart.render ~title:"T" ~x_labels:[ "a" ]
+      [ { Chart.label = "s"; points = [ 1.0 ] } ]
+  with
+  | (_ : string) -> Alcotest.fail "accepted single point"
+  | exception Invalid_argument _ -> ()
+
+let test_chart_axis_rounding () =
+  (* max 23 should give a 25-high axis, not 50 *)
+  let out =
+    Chart.render ~width:30 ~height:6 ~title:"T" ~x_labels:[]
+      [ { Chart.label = "s"; points = [ 3.0; 23.0 ] } ]
+  in
+  check_bool "nice axis top" true (contains out "25.0")
+
+let suite =
+  [
+    Alcotest.test_case "chart renders" `Quick test_chart_renders;
+    Alcotest.test_case "chart rejects single point" `Quick
+      test_chart_rejects_single_point;
+    Alcotest.test_case "chart axis rounding" `Quick test_chart_axis_rounding;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table row order" `Quick test_table_rows_in_order;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "summary basics" `Quick test_summary_basic;
+    Alcotest.test_case "summary percentiles" `Quick test_summary_percentiles;
+    Alcotest.test_case "summary without sample" `Quick test_summary_no_sample;
+    prop_summary_mean_matches_naive;
+  ]

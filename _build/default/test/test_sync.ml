@@ -1,0 +1,136 @@
+(* Tests of the synchronization primitives built on simulated atomics. *)
+
+open Util
+module Api = Euno_sim.Api
+module Cost = Euno_sim.Cost
+module Machine = Euno_sim.Machine
+module Memory = Euno_mem.Memory
+module Spinlock = Euno_sync.Spinlock
+module Ticketlock = Euno_sync.Ticketlock
+module Seqlock = Euno_sync.Seqlock
+module Backoff = Euno_sync.Backoff
+
+let test_spinlock_basic () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Spinlock.alloc () in
+      check_bool "starts unlocked" false (Spinlock.is_locked l);
+      check_bool "try acquires" true (Spinlock.try_acquire l);
+      check_bool "locked now" true (Spinlock.is_locked l);
+      check_bool "second try fails" false (Spinlock.try_acquire l);
+      Spinlock.release l;
+      check_bool "released" false (Spinlock.is_locked l))
+
+let test_spinlock_releases_on_exception () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Spinlock.alloc () in
+      (try Spinlock.with_lock l (fun () -> failwith "boom")
+       with Failure _ -> ());
+      check_bool "released after exception" false (Spinlock.is_locked l))
+
+let test_ticketlock_mutual_exclusion () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let l = run_one w (fun () -> Ticketlock.alloc ()) in
+  let threads = 6 and iters = 30 in
+  let (_ : Machine.t) =
+    run_threads ~threads ~cost:Cost.default ~seed:3 w (fun _ ->
+        for _ = 1 to iters do
+          Ticketlock.with_lock l (fun () ->
+              let v = Api.read counter in
+              Api.work 40;
+              Api.write counter (v + 1))
+        done)
+  in
+  check_int "no lost updates" (threads * iters) (Memory.get w.mem counter)
+
+let test_ticketlock_fifo () =
+  (* Under a ticket lock, grants follow ticket order: record the order in
+     which threads first enter the critical section while all contend. *)
+  let w = fresh_world () in
+  let order = ref [] in
+  let l = run_one w (fun () -> Ticketlock.alloc ()) in
+  let (_ : Machine.t) =
+    run_threads ~threads:4 ~cost:Cost.default ~seed:5 w (fun tid ->
+        (* desynchronize arrival deterministically *)
+        Api.work (tid * 10);
+        Ticketlock.with_lock l (fun () ->
+            order := tid :: !order;
+            Api.work 500))
+  in
+  let order = List.rev !order in
+  check_int "everyone entered" 4 (List.length order);
+  check_bool "grant order matches arrival order" true
+    (order = List.sort compare order)
+
+let test_seqlock_reader_sees_consistent_pair () =
+  let w = fresh_world () in
+  let data = scratch w ~words:8 in
+  let l = run_one w (fun () -> Seqlock.alloc ()) in
+  let torn = ref 0 in
+  let (_ : Machine.t) =
+    run_threads ~threads:4 ~cost:Cost.default ~seed:7 w (fun tid ->
+        if tid = 0 then
+          for i = 1 to 50 do
+            Seqlock.write_begin l;
+            Api.write data i;
+            Api.work 60;
+            Api.write (data + 1) i;
+            Seqlock.write_end l
+          done
+        else
+          for _ = 1 to 60 do
+            let a, b =
+              Seqlock.read l (fun () -> (Api.read data, Api.read (data + 1)))
+            in
+            if a <> b then incr torn;
+            Api.work 30
+          done)
+  in
+  check_int "no torn reads" 0 !torn
+
+let test_seqlock_version_parity () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Seqlock.alloc () in
+      check_int "initially even" 0 (Seqlock.version l land 1);
+      Seqlock.write_begin l;
+      check_int "odd while writing" 1 (Seqlock.version l land 1);
+      Seqlock.write_end l;
+      check_int "even after" 0 (Seqlock.version l land 1);
+      let v0 = Seqlock.read_begin l in
+      check_bool "validate stable" true (Seqlock.read_validate l v0))
+
+let test_backoff_grows_and_resets () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let b = Backoff.create ~base:10 ~cap:100 () in
+      let t0 = Api.clock () in
+      Backoff.once b;
+      let d1 = Api.clock () - t0 in
+      let t1 = Api.clock () in
+      Backoff.once b;
+      let d2 = Api.clock () - t1 in
+      check_bool "second wait longer" true (d2 > d1);
+      Backoff.reset b;
+      let t2 = Api.clock () in
+      Backoff.once b;
+      let d3 = Api.clock () - t2 in
+      check_bool "reset shrinks wait" true (d3 < d2))
+
+let suite =
+  [
+    Alcotest.test_case "spinlock basics" `Quick test_spinlock_basic;
+    Alcotest.test_case "spinlock releases on exception" `Quick
+      test_spinlock_releases_on_exception;
+    Alcotest.test_case "ticket lock mutual exclusion" `Quick
+      test_ticketlock_mutual_exclusion;
+    Alcotest.test_case "ticket lock is FIFO" `Quick test_ticketlock_fifo;
+    Alcotest.test_case "seqlock consistent reads" `Quick
+      test_seqlock_reader_sees_consistent_pair;
+    Alcotest.test_case "seqlock version parity" `Quick
+      test_seqlock_version_parity;
+    Alcotest.test_case "backoff grows and resets" `Quick
+      test_backoff_grows_and_resets;
+  ]

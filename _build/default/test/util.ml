@@ -1,0 +1,37 @@
+(* Shared helpers for the test suites. *)
+
+module Memory = Euno_mem.Memory
+module Linemap = Euno_mem.Linemap
+module Alloc = Euno_mem.Alloc
+module Machine = Euno_sim.Machine
+module Cost = Euno_sim.Cost
+module Api = Euno_sim.Api
+
+type world = {
+  mem : Memory.t;
+  map : Linemap.t;
+  alloc : Alloc.t;
+}
+
+let fresh_world () =
+  let mem = Memory.create () in
+  let map = Linemap.create () in
+  let alloc = Alloc.create mem map in
+  { mem; map; alloc }
+
+(* Run [body tid] on [threads] simulated threads and return the machine. *)
+let run_threads ?(seed = 42) ?(cost = Cost.unit_costs) ?(threads = 2) w body =
+  let m =
+    Machine.create ~threads ~seed ~cost ~mem:w.mem ~map:w.map ~alloc:w.alloc
+  in
+  Machine.run m body;
+  m
+
+let run_one ?(seed = 42) ?(cost = Cost.unit_costs) w f =
+  Machine.run_single ~seed ~cost ~mem:w.mem ~map:w.map ~alloc:w.alloc f
+
+let scratch w ~words =
+  Alloc.alloc w.alloc ~kind:Linemap.Scratch ~words
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
