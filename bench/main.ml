@@ -127,12 +127,15 @@ let micro_tests () =
              done)));
   ]
 
+(* Runs every micro-benchmark and returns [(name, host ns/call)] for the
+   machine-readable BENCH_results.json record stream. *)
 let run_micro () =
   print_endline "== Micro-benchmarks (host ns per simulated call) ==";
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -145,11 +148,14 @@ let run_micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-36s %10.0f ns/call\n%!" name est
+          | Some [ est ] ->
+              Printf.printf "  %-36s %10.0f ns/call\n%!" name est;
+              estimates := (name, est) :: !estimates
           | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
         ols)
     (micro_tests ());
-  print_newline ()
+  print_newline ();
+  List.rev !estimates
 
 (* ---------- figure reproduction ---------- *)
 
@@ -162,13 +168,46 @@ let run_figures scale =
     scale.Euno_harness.Figures.max_threads scale.Euno_harness.Figures.seed;
   Euno_harness.Figures.all scale
 
+(* ---------- machine-readable output ---------- *)
+
+module Json = Euno_stats.Json
+module Report = Euno_harness.Report
+
+let micro_record (name, ns) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Report.schema_version);
+      ("record", Json.Str "micro");
+      ("name", Json.Str name);
+      ("ns_per_call", Json.Float ns);
+    ]
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let micro_only = Array.exists (( = ) "--micro-only") Sys.argv in
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
+  let json_path =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    Option.value (find 1) ~default:"BENCH_results.json"
+  in
   let scale =
     if quick then Euno_harness.Figures.quick_scale
     else Euno_harness.Figures.default_scale
   in
-  if not figures_only then run_micro ();
-  if not micro_only then run_figures scale
+  let micro = if not figures_only then run_micro () else [] in
+  Report.start_collecting ();
+  if not micro_only then run_figures scale;
+  let records =
+    List.map micro_record micro
+    @ List.mapi
+        (fun i r -> Report.result_to_json ~run:i r)
+        (Report.collected ())
+  in
+  Report.stop_collecting ();
+  Report.write_file json_path (Report.document ~experiment:"bench" records);
+  Printf.printf "wrote %s (%d records, schema v%d)\n%!" json_path
+    (List.length records) Report.schema_version

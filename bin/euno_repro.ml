@@ -9,6 +9,7 @@ let () = Printexc.record_backtrace true
 
 open Cmdliner
 module Figures = Euno_harness.Figures
+module Report = Euno_harness.Report
 
 let experiment =
   let names = List.map fst Figures.by_name in
@@ -57,12 +58,47 @@ let csv =
     & info [ "csv" ] ~docv:"DIR"
         ~doc:"Also write every table to DIR/<name>.csv.")
 
-let run_experiment name quick keys_log2 ops max_threads seed charts csv =
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write every run's result as a schema-versioned JSON document to \
+           $(docv).")
+
+let snapshots =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshots" ] ~docv:"PATH"
+        ~doc:
+          "Write windowed counter time series (one JSON object per sampling \
+           window per run) to $(docv) as JSONL.  Implies periodic sampling; \
+           see $(b,--window).")
+
+let window =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"CYCLES"
+        ~doc:
+          "Counter sampling window in simulated cycles (default 2000 when \
+           $(b,--snapshots) or $(b,--json) is given).")
+
+let run_experiment name quick keys_log2 ops max_threads seed charts csv json
+    snapshots window =
   (match csv with
   | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       Figures.csv_dir := Some dir
   | None -> ());
+  (match window with
+  | Some w when w < 1 ->
+      prerr_endline "euno_repro: --window must be at least 1 cycle";
+      exit 2
+  | _ -> ());
+  let telemetry = json <> None || snapshots <> None in
   let base = if quick then Figures.quick_scale else Figures.default_scale in
   let scale =
     {
@@ -75,10 +111,25 @@ let run_experiment name quick keys_log2 ops max_threads seed charts csv =
         min 20 (Option.value max_threads ~default:base.Figures.max_threads);
       seed;
       charts;
+      snapshot_window =
+        (match window with
+        | Some w -> Some w
+        | None -> if telemetry then Some 2000 else None);
     }
   in
+  if telemetry then Report.start_collecting ();
   let f = List.assoc name Figures.by_name in
-  f scale
+  f scale;
+  if telemetry then begin
+    Report.flush_collected ~experiment:name ?json ?snapshots ();
+    Report.stop_collecting ();
+    (match json with
+    | Some path -> Printf.printf "wrote %s\n%!" path
+    | None -> ());
+    match snapshots with
+    | Some path -> Printf.printf "wrote %s\n%!" path
+    | None -> ()
+  end
 
 let cmd =
   let doc =
@@ -89,6 +140,6 @@ let cmd =
     (Cmd.info "euno_repro" ~version:"1.0.0" ~doc)
     Term.(
       const run_experiment $ experiment $ quick $ keys_log2 $ ops $ max_threads
-      $ seed $ charts $ csv)
+      $ seed $ charts $ csv $ json $ snapshots $ window)
 
 let () = exit (Cmd.eval cmd)

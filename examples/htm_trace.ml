@@ -54,4 +54,18 @@ let () =
   Printf.printf "replay with seed 1: %d cycles (%s)\n" cycles2
     (if cycles2 = cycles && total2 = total then "bit-for-bit identical"
      else "MISMATCH!");
-  Printf.printf "replay with seed 2: %d cycles (different schedule)\n" cycles3
+  Printf.printf "replay with seed 2: %d cycles (different schedule)\n" cycles3;
+  (* The same ring, machine-readable: JSONL for ad-hoc analysis, and the
+     Chrome trace_event form chrome://tracing or Perfetto can open to show
+     each transaction's lifecycle on a per-thread timeline. *)
+  print_endline "\nthe first three events again, as JSONL:";
+  List.iteri
+    (fun i line -> if i < 3 then print_endline ("  " ^ line))
+    (Trace.to_jsonl ring);
+  let chrome = "_trace_htm.json" in
+  let oc = open_out chrome in
+  output_string oc (Euno_stats.Json.to_string ~pretty:true (Trace.chrome_trace ring));
+  close_out oc;
+  Printf.printf
+    "full transaction timeline written to %s (open in chrome://tracing)\n"
+    chrome

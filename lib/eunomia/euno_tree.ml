@@ -49,6 +49,16 @@ module Counter = struct
   let compactions = 5
   let splits = 6
   let merges = 7 (* maintenance merges of underfull sibling leaves *)
+
+  (* Telemetry labels for the indices this module owns. *)
+  let names =
+    [
+      (consistency_retries, "consistency_retries");
+      (mark_fastpath, "mark_fastpath");
+      (compactions, "compactions");
+      (splits, "splits");
+      (merges, "merges");
+    ]
 end
 
 type t = {

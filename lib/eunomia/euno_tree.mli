@@ -28,6 +28,9 @@ module Counter : sig
 
   val merges : int
   (** Maintenance merges of underfull sibling leaves. *)
+
+  val names : (int * string) list
+  (** Telemetry labels for the user-counter indices this module owns. *)
 end
 
 val create :

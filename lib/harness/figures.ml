@@ -14,6 +14,8 @@ type scale = {
   max_threads : int;
   seed : int;
   charts : bool; (* also render ASCII charts after the tables *)
+  snapshot_window : int option;
+      (* sample machine counters every N simulated cycles (telemetry) *)
 }
 
 let default_scale =
@@ -23,6 +25,7 @@ let default_scale =
     max_threads = 20;
     seed = 42;
     charts = false;
+    snapshot_window = None;
   }
 
 let quick_scale = { default_scale with key_space = 1 lsl 12; ops_per_thread = 400; max_threads = 8 }
@@ -41,6 +44,7 @@ let setup_of scale threads =
     Runner.threads = min threads scale.max_threads;
     ops_per_thread = scale.ops_per_thread;
     seed = scale.seed;
+    snapshot_window = scale.snapshot_window;
   }
 
 let run scale kind ~dist ~mix ~threads =

@@ -8,6 +8,9 @@ type scale = {
   max_threads : int;
   seed : int;
   charts : bool;  (** also render ASCII charts after the tables *)
+  snapshot_window : int option;
+      (** sample machine counters every N simulated cycles into each
+          result's snapshot series (time-resolved telemetry) *)
 }
 
 val default_scale : scale

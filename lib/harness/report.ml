@@ -1,0 +1,343 @@
+(* Machine-readable telemetry: schema-versioned JSON records for runner
+   results, seed aggregates and windowed counter time series.
+
+   Everything the ASCII tables print is derived from Runner.result; this
+   module is the durable counterpart — the figure CLI and the bench driver
+   write these records so perf trajectories and figure shapes can be
+   diffed, gated and plotted instead of eyeballed.  The schema is
+   deliberately flat (one object per record, snake_case keys) and carries
+   [schema_version] on every document and every JSONL line so downstream
+   consumers can evolve with it. *)
+
+module Json = Euno_stats.Json
+module Machine = Euno_sim.Machine
+module Abort = Euno_sim.Abort
+module Htm = Euno_htm.Htm
+
+let schema_version = 1
+
+(* ---------- counter labels ---------- *)
+
+(* User-counter indices are owned by the modules that bump them. *)
+let user_counter_names = Htm.Counter.names @ Eunomia.Euno_tree.Counter.names
+
+let user_counter_label i =
+  match List.assoc_opt i user_counter_names with
+  | Some name -> name
+  | None -> Printf.sprintf "user%d" i
+
+let abort_classes_json values =
+  Json.Obj
+    (List.init (Array.length values) (fun i ->
+         (Abort.class_name i, values.(i))))
+
+(* ---------- windowed time series ---------- *)
+
+(* Per-window deltas between consecutive cumulative snapshots: the
+   time-resolved view in which the lemming-effect ignition and the
+   theta > 0.6 collapse onset are visible as a rising aborts/op series
+   rather than a single end-of-run average. *)
+type window = {
+  w_start : int;
+  w_end : int;
+  w_ops : int;
+  w_commits : int;
+  w_aborts : int array;
+  w_fallbacks : int;
+  w_lock_wait_cycles : int;
+  w_wasted_cycles : int;
+  w_accesses : int;
+}
+
+let windows_of_snapshots snaps =
+  let zero = ([||] : int array) in
+  let delta_aborts prev cur =
+    Array.mapi
+      (fun i v -> v - (if prev == zero || Array.length prev = 0 then 0 else prev.(i)))
+      cur
+  in
+  let rec go prev_clock (prev : Machine.snapshot option) acc = function
+    | [] -> List.rev acc
+    | (clock, (s : Machine.snapshot)) :: rest ->
+        let p_ops, p_commits, p_aborts, p_user, p_wasted, p_accesses =
+          match prev with
+          | None -> (0, 0, zero, [||], 0, 0)
+          | Some p ->
+              (p.Machine.s_ops, p.s_commits, p.s_aborts, p.s_user,
+               p.s_wasted_cycles, p.s_accesses)
+        in
+        let user i arr = if Array.length arr = 0 then 0 else arr.(i) in
+        let w =
+          {
+            w_start = prev_clock;
+            w_end = clock;
+            w_ops = s.Machine.s_ops - p_ops;
+            w_commits = s.s_commits - p_commits;
+            w_aborts = delta_aborts p_aborts s.s_aborts;
+            w_fallbacks =
+              user Htm.Counter.fallbacks s.s_user
+              - user Htm.Counter.fallbacks p_user;
+            w_lock_wait_cycles =
+              user Htm.Counter.lock_wait_cycles s.s_user
+              - user Htm.Counter.lock_wait_cycles p_user;
+            w_wasted_cycles = s.s_wasted_cycles - p_wasted;
+            w_accesses = s.s_accesses - p_accesses;
+          }
+        in
+        go clock (Some s) (w :: acc) rest
+  in
+  go 0 None [] snaps
+
+let window_aborts_total w = Array.fold_left ( + ) 0 w.w_aborts
+
+let window_to_json w =
+  let fops = float_of_int (max 1 w.w_ops) in
+  Json.Obj
+    [
+      ("window_start", Json.Int w.w_start);
+      ("window_end", Json.Int w.w_end);
+      ("ops", Json.Int w.w_ops);
+      ("commits", Json.Int w.w_commits);
+      ("aborts_total", Json.Int (window_aborts_total w));
+      ( "aborts",
+        abort_classes_json (Array.map (fun v -> Json.Int v) w.w_aborts) );
+      ("aborts_per_op", Json.Float (float_of_int (window_aborts_total w) /. fops));
+      ("fallbacks", Json.Int w.w_fallbacks);
+      ("lock_wait_cycles", Json.Int w.w_lock_wait_cycles);
+      ("wasted_cycles", Json.Int w.w_wasted_cycles);
+      ("accesses", Json.Int w.w_accesses);
+    ]
+
+(* ---------- result and aggregate records ---------- *)
+
+let context_fields ?experiment ?run ~record () =
+  ("schema_version", Json.Int schema_version)
+  :: ("record", Json.Str record)
+  ::
+  ((match experiment with
+   | Some e -> [ ("experiment", Json.Str e) ]
+   | None -> [])
+  @
+  match run with
+  | Some i -> [ ("run", Json.Int i) ]
+  | None -> [])
+
+let result_to_json ?experiment ?run (r : Runner.result) =
+  Json.Obj
+    (context_fields ?experiment ?run ~record:"result" ()
+    @ [
+        ("tree", Json.Str r.Runner.r_name);
+        ("threads", Json.Int r.r_threads);
+        ("ops", Json.Int r.r_ops);
+        ("cycles", Json.Int r.r_cycles);
+        ("mops", Json.Float r.r_mops);
+        ("aborts_per_op", Json.Float r.r_aborts_per_op);
+        ( "abort_classes",
+          abort_classes_json (Array.map (fun v -> Json.Float v) r.r_abort_classes)
+        );
+        ("commits_per_op", Json.Float r.r_commits_per_op);
+        ("wasted_pct", Json.Float r.r_wasted_pct);
+        ("fallbacks_per_op", Json.Float r.r_fallbacks_per_op);
+        ("retries_per_op", Json.Float r.r_retries_per_op);
+        ("lock_wait_pct", Json.Float r.r_lock_wait_pct);
+        ("consistency_retries_per_op", Json.Float r.r_consistency_retries_per_op);
+        ("instr_per_op", Json.Float r.r_instr_per_op);
+        ("lat_p50", Json.Int r.r_lat_p50);
+        ("lat_p99", Json.Int r.r_lat_p99);
+        ( "mem",
+          Json.Obj
+            [
+              ("preload_bytes", Json.Int r.r_mem_preload_bytes);
+              ("live_bytes", Json.Int r.r_mem_live_bytes);
+              ("reserved_peak_bytes", Json.Int r.r_mem_reserved_peak_bytes);
+              ("lock_bytes", Json.Int r.r_mem_lock_bytes);
+            ] );
+        ( "snapshots",
+          Json.List
+            (List.map window_to_json (windows_of_snapshots r.r_snapshots)) );
+      ])
+
+let aggregate_to_json ?experiment (a : Runner.aggregate) =
+  Json.Obj
+    (context_fields ?experiment ~record:"aggregate" ()
+    @ [
+        ("runs", Json.Int (List.length a.Runner.a_runs));
+        ("mean_mops", Json.Float a.a_mean_mops);
+        ("stddev_mops", Json.Float a.a_stddev_mops);
+        ("min_mops", Json.Float a.a_min_mops);
+        ("max_mops", Json.Float a.a_max_mops);
+        ( "results",
+          Json.List (List.map (fun r -> result_to_json r) a.Runner.a_runs) );
+      ])
+
+(* One JSONL line per window of one run, self-describing (schema version,
+   experiment, tree, threads) so lines from different runs can be
+   concatenated and still grouped downstream. *)
+let snapshot_lines ?experiment ?run (r : Runner.result) =
+  List.map
+    (fun w ->
+      match window_to_json w with
+      | Json.Obj fields ->
+          Json.Obj
+            (context_fields ?experiment ?run ~record:"window" ()
+            @ [
+                ("tree", Json.Str r.Runner.r_name);
+                ("threads", Json.Int r.r_threads);
+              ]
+            @ fields)
+      | other -> other)
+    (windows_of_snapshots r.Runner.r_snapshots)
+
+(* ---------- documents and files ---------- *)
+
+let document ~experiment records =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("generator", Json.Str "euno-repro");
+      ("experiment", Json.Str experiment);
+      ("records", Json.List records);
+    ]
+
+let write_file path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc
+
+let write_jsonl path lines =
+  let oc = open_out path in
+  List.iter
+    (fun json ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+(* ---------- schema validation ---------- *)
+
+(* Field-presence/type validation of our own output: cheap enough for CI
+   smoke checks and round-trip tests, strict enough to catch a renamed or
+   dropped field before a downstream plotting script does. *)
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let require_field obj name kind_ok =
+  match Json.member name obj with
+  | None -> Error (Printf.sprintf "missing field '%s'" name)
+  | Some v -> check (kind_ok v) (Printf.sprintf "field '%s' has wrong type" name)
+
+let is_int v = Json.as_int v <> None
+let is_num v = Json.as_float v <> None
+let is_str v = Json.as_string v <> None
+let is_obj v = Json.as_obj v <> None
+let is_list v = Json.as_list v <> None
+
+let validate_version obj =
+  match Json.member "schema_version" obj with
+  | Some (Json.Int v) when v = schema_version -> Ok ()
+  | Some (Json.Int v) ->
+      Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+  | _ -> Error "missing schema_version"
+
+let validate_result obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "ops" is_int in
+  let* () = require_field obj "cycles" is_int in
+  let* () = require_field obj "mops" is_num in
+  let* () = require_field obj "aborts_per_op" is_num in
+  let* () = require_field obj "abort_classes" is_obj in
+  let* () = require_field obj "wasted_pct" is_num in
+  let* () = require_field obj "lat_p50" is_int in
+  let* () = require_field obj "lat_p99" is_int in
+  let* () = require_field obj "mem" is_obj in
+  require_field obj "snapshots" is_list
+
+let validate_window obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "window_start" is_int in
+  let* () = require_field obj "window_end" is_int in
+  let* () = require_field obj "ops" is_int in
+  let* () = require_field obj "commits" is_int in
+  let* () = require_field obj "aborts" is_obj in
+  let* () = require_field obj "aborts_per_op" is_num in
+  let* () = require_field obj "fallbacks" is_int in
+  require_field obj "wasted_cycles" is_int
+
+let validate_aggregate obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "runs" is_int in
+  let* () = require_field obj "mean_mops" is_num in
+  let* () =
+    match Json.member "results" obj with
+    | Some (Json.List rs) ->
+        List.fold_left
+          (fun acc r -> match acc with Error _ -> acc | Ok () -> validate_result r)
+          (Ok ()) rs
+    | _ -> Error "missing results list"
+  in
+  Ok ()
+
+let validate_record obj =
+  match Json.member "record" obj with
+  | Some (Json.Str "result") -> validate_result obj
+  | Some (Json.Str "window") -> validate_window obj
+  | Some (Json.Str "aggregate") -> validate_aggregate obj
+  | Some (Json.Str "micro") ->
+      let* () = require_field obj "name" is_str in
+      require_field obj "ns_per_call" is_num
+  | Some (Json.Str other) -> Error (Printf.sprintf "unknown record type '%s'" other)
+  | _ -> Error "missing record type"
+
+let validate_document json =
+  let* () = validate_version json in
+  let* () = require_field json "experiment" is_str in
+  match Json.member "records" json with
+  | Some (Json.List records) ->
+      List.fold_left
+        (fun acc r -> match acc with Error _ -> acc | Ok () -> validate_record r)
+        (Ok ()) records
+  | _ -> Error "missing records list"
+
+(* ---------- collection ---------- *)
+
+(* The collector observes Runner.on_result, so every run — whatever figure
+   helper or ad-hoc path produced it — lands in the document. *)
+type collector = { mutable results : Runner.result list (* newest first *) }
+
+let active : collector option ref = ref None
+
+let start_collecting () =
+  let c = { results = [] } in
+  active := Some c;
+  Runner.on_result := Some (fun r -> c.results <- r :: c.results)
+
+let collected () =
+  match !active with Some c -> List.rev c.results | None -> []
+
+let stop_collecting () =
+  active := None;
+  Runner.on_result := None
+
+(* Write everything collected since [start_collecting]:
+   [json] gets the full schema-versioned document, [snapshots] gets the
+   windowed time series as JSONL (one line per window per run). *)
+let flush_collected ~experiment ?json ?snapshots () =
+  let results = collected () in
+  (match json with
+  | Some path ->
+      write_file path
+        (document ~experiment
+           (List.mapi (fun i r -> result_to_json ~experiment ~run:i r) results))
+  | None -> ());
+  match snapshots with
+  | Some path ->
+      write_jsonl path
+        (List.concat_map
+           (fun (i, r) -> snapshot_lines ~experiment ~run:i r)
+           (List.mapi (fun i r -> (i, r)) results))
+  | None -> ()

@@ -1,0 +1,92 @@
+(** Machine-readable telemetry: schema-versioned JSON records for runner
+    results, seed aggregates and windowed counter time series.
+
+    The figure CLI ([euno_repro <fig> --json out.json --snapshots out.jsonl])
+    and the bench driver ([BENCH_results.json]) write these records so perf
+    trajectories and figure shapes can be diffed and plotted rather than
+    eyeballed from the ASCII tables.  Every document and every JSONL line
+    carries [schema_version]. *)
+
+module Json = Euno_stats.Json
+
+val schema_version : int
+(** Version stamped on (and required of) every record.  Currently 1. *)
+
+val user_counter_label : int -> string
+(** Telemetry label for a user-counter index (union of
+    {!Euno_htm.Htm.Counter.names} and {!Eunomia.Euno_tree.Counter.names};
+    ["userN"] for unclaimed indices). *)
+
+(** {1 Windowed time series} *)
+
+(** Per-window deltas between consecutive cumulative snapshots of
+    {!Runner.result.r_snapshots} — the time-resolved view in which
+    contention collapse shows up as a rising aborts/op series. *)
+type window = {
+  w_start : int;  (** window start, simulated cycles *)
+  w_end : int;
+  w_ops : int;
+  w_commits : int;
+  w_aborts : int array;  (** by {!Euno_sim.Abort.class_index} *)
+  w_fallbacks : int;
+  w_lock_wait_cycles : int;
+  w_wasted_cycles : int;
+  w_accesses : int;
+}
+
+val windows_of_snapshots :
+  (int * Euno_sim.Machine.snapshot) list -> window list
+
+val window_aborts_total : window -> int
+val window_to_json : window -> Json.t
+
+(** {1 Records} *)
+
+val result_to_json : ?experiment:string -> ?run:int -> Runner.result -> Json.t
+(** One ["result"] record: throughput, abort classes, wasted cycles,
+    latency percentiles, memory footprint and embedded window series.
+    [run] is the record's position in the experiment's run sequence, which
+    is how sweep points (e.g. fig1's thetas) are told apart downstream. *)
+
+val aggregate_to_json : ?experiment:string -> Runner.aggregate -> Json.t
+
+val snapshot_lines : ?experiment:string -> ?run:int -> Runner.result -> Json.t list
+(** One self-describing ["window"] record per sampling window (for JSONL
+    export); empty when the run had no [snapshot_window]. *)
+
+val document : experiment:string -> Json.t list -> Json.t
+(** Wrap records in the top-level schema-versioned document. *)
+
+val write_file : string -> Json.t -> unit
+(** Pretty-print one document to [path]. *)
+
+val write_jsonl : string -> Json.t list -> unit
+(** One compact JSON value per line. *)
+
+(** {1 Validation}
+
+    Field-presence/type checks over our own output, used by the CI schema
+    smoke check and the round-trip tests. *)
+
+val validate_result : Json.t -> (unit, string) result
+val validate_window : Json.t -> (unit, string) result
+val validate_aggregate : Json.t -> (unit, string) result
+
+val validate_record : Json.t -> (unit, string) result
+(** Dispatch on the ["record"] discriminator. *)
+
+val validate_document : Json.t -> (unit, string) result
+
+(** {1 Collection}
+
+    The collector observes {!Runner.on_result}, so every run — whichever
+    figure helper produced it — lands in the flushed document. *)
+
+val start_collecting : unit -> unit
+val collected : unit -> Runner.result list
+val stop_collecting : unit -> unit
+
+val flush_collected :
+  experiment:string -> ?json:string -> ?snapshots:string -> unit -> unit
+(** Write everything collected since {!start_collecting}: [json] gets the
+    full document, [snapshots] the windowed series as JSONL. *)

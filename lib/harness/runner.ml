@@ -46,6 +46,10 @@ type setup = {
   fanout : int;
   policy : Euno_htm.Htm.policy option; (* None: each tree's own default *)
   check_after : bool; (* validate invariants when the run ends *)
+  snapshot_window : int option;
+    (* record cumulative machine counters every N simulated cycles,
+       exposing collapse dynamics (lemming ignition, theta sweeps) as a
+       time series in [r_snapshots] *)
 }
 
 let default_setup =
@@ -57,6 +61,7 @@ let default_setup =
     fanout = 16;
     policy = None;
     check_after = false;
+    snapshot_window = None;
   }
 
 type result = {
@@ -80,7 +85,14 @@ type result = {
   r_mem_live_bytes : int; (* live bytes after the measured run *)
   r_mem_reserved_peak_bytes : int;
   r_mem_lock_bytes : int; (* CCM + lock lines *)
+  r_snapshots : (int * Machine.snapshot) list;
+    (* cumulative aggregate counters at each sampled window boundary
+       (oldest first); empty unless setup.snapshot_window was set *)
 }
+
+(* Observers (the Report telemetry collector) subscribe here; called with
+   every completed result, including each run of [run_many]. *)
+let on_result : (result -> unit) option ref = ref None
 
 let is_power_of_two n = n land (n - 1) = 0
 
@@ -95,6 +107,18 @@ let preloaded ~permille ~key_space:_ key =
 
 (* Per-operation client-side cost: key generation and request dispatch. *)
 let client_work = 25
+
+(* Keys a partitioned-mode scan visits: [len] consecutive ranks of the
+   thread's own interleaved stride (rank r -> key r*threads + tid), capped
+   at the partition end.  A plain [Kv.scan] over consecutive keys would
+   cross partition boundaries and read other threads' records — quietly
+   reintroducing the same-record conflicts the Figure 2 methodology's
+   partitioning exists to rule out. *)
+let partition_scan_keys ~key_space ~threads ~tid ~from ~len =
+  if threads < 1 then invalid_arg "Runner.partition_scan_keys: threads < 1";
+  let n = key_space / threads in
+  let from = min from (max 0 (n - 1)) in
+  List.init (max 0 (min len (n - from))) (fun i -> ((from + i) * threads) + tid)
 
 let run kind workload setup =
   if not (is_power_of_two workload.key_space) then
@@ -127,6 +151,9 @@ let run kind workload setup =
   let latencies =
     Array.init setup.threads (fun _ -> Array.make setup.ops_per_thread 0)
   in
+  (match setup.snapshot_window with
+  | Some window -> Machine.set_sampling m ~window
+  | None -> ());
   Machine.run m (fun tid ->
       let n =
         if workload.partitioned then workload.key_space / setup.threads
@@ -150,7 +177,16 @@ let run kind workload setup =
             kv.Kv.put (remap k) v;
             (* the recency frontier, for Latest-distributed workloads *)
             Dist.advance dist
-        | Opgen.Scan (k, len) -> ignore (kv.Kv.scan ~from:(remap k) ~count:len)
+        | Opgen.Scan (k, len) ->
+            if workload.partitioned then
+              (* Range scans must not leave the thread's stride (see
+                 partition_scan_keys); visit the same number of records as
+                 a consecutive scan would, as point reads. *)
+              List.iter
+                (fun key -> ignore (kv.Kv.get key))
+                (partition_scan_keys ~key_space:workload.key_space
+                   ~threads:setup.threads ~tid ~from:k ~len)
+            else ignore (kv.Kv.scan ~from:(remap k) ~count:len)
         | Opgen.Delete k -> ignore (kv.Kv.delete (remap k))
         | Opgen.Rmw (k, v) ->
             let k = remap k in
@@ -164,13 +200,13 @@ let run kind workload setup =
       kv.Kv.check;
   let s = Machine.aggregate m in
   let lat =
+    (* One percentile definition repo-wide: Summary's interpolated ranks
+       (the previous ad-hoc nearest-rank pick was off by one for small
+       samples and disagreed with Summary.percentile). *)
     let all = Array.concat (Array.to_list latencies) in
-    Array.sort compare all;
-    let pick p =
-      if Array.length all = 0 then 0
-      else all.(min (Array.length all - 1) (p * Array.length all / 100))
-    in
-    (pick 50, pick 99)
+    let summ = Euno_stats.Summary.of_array (Array.map float_of_int all) in
+    ( Euno_stats.Summary.percentile_int summ 50.0,
+      Euno_stats.Summary.percentile_int summ 99.0 )
   in
   let ops = s.Machine.s_ops in
   let fops = float_of_int (max 1 ops) in
@@ -179,6 +215,7 @@ let run kind workload setup =
     (* total CPU time = sum of thread clocks; wasted% is relative to it *)
     float_of_int setup.threads *. float_of_int (max 1 cycles)
   in
+  let result =
   {
     r_name = kv.Kv.name;
     r_threads = setup.threads;
@@ -218,7 +255,11 @@ let run kind workload setup =
     r_mem_lock_bytes =
       (Alloc.stats_of_kind alloc Linemap.Lock).Alloc.live_words
       * Memory.word_bytes;
+    r_snapshots = Machine.samples m;
   }
+  in
+  (match !on_result with Some observe -> observe result | None -> ());
+  result
 
 (* Repeat a run over several seeds and summarize throughput variation
    (deterministic per seed, so this measures schedule sensitivity, the

@@ -33,6 +33,9 @@ type setup = {
   fanout : int;
   policy : Euno_htm.Htm.policy option;
   check_after : bool;
+  snapshot_window : int option;
+      (** sample cumulative machine counters every N simulated cycles into
+          [r_snapshots] (time-resolved telemetry); default off *)
 }
 
 val default_setup : setup
@@ -61,7 +64,23 @@ type result = {
   r_mem_live_bytes : int;
   r_mem_reserved_peak_bytes : int;
   r_mem_lock_bytes : int;
+  r_snapshots : (int * Euno_sim.Machine.snapshot) list;
+      (** [(window_end_clock, cumulative aggregate)] series, oldest first;
+          non-empty only when [setup.snapshot_window] was set *)
 }
+
+val on_result : (result -> unit) option ref
+(** Observer invoked with every completed result (including each seed of
+    {!run_many}); the telemetry collector in {!Report} installs itself
+    here.  Purely observational — results are unchanged. *)
+
+val partition_scan_keys :
+  key_space:int -> threads:int -> tid:int -> from:int -> len:int -> int list
+(** The keys a partitioned-mode scan visits: [len] consecutive ranks of
+    thread [tid]'s interleaved stride starting at partition rank [from],
+    capped at the partition end.  Every returned key satisfies
+    [key mod threads = tid], preserving the Figure 2 methodology's
+    guarantee that no two threads ever touch the same record. *)
 
 val run : Kv.kind -> workload -> setup -> result
 

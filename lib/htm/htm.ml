@@ -57,6 +57,14 @@ module Counter = struct
   let fallbacks = 0
   let retries = 1
   let lock_wait_cycles = 2 (* cycles spent queueing on the fallback lock *)
+
+  (* Telemetry labels for the indices this module owns. *)
+  let names =
+    [
+      (fallbacks, "fallbacks");
+      (retries, "retries");
+      (lock_wait_cycles, "lock_wait_cycles");
+    ]
 end
 
 type lock = int
@@ -131,12 +139,33 @@ let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
     ~lock f =
   let budgets = budgets_of policy in
   let backoff = Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap () in
+  let wait_unlocked () =
+    let rec spin () =
+      if Spinlock.is_locked lock then begin
+        Api.work 64;
+        spin ()
+      end
+    in
+    spin ()
+  in
   let rec go () =
     match attempt_elided ~lock f with
     | Ok v -> v
     | Error code ->
         on_abort code;
-        if spend budgets code then begin
+        (* A lock-held abort under a waiting policy is not a failed attempt:
+           the thread queues outside the transaction until the holder leaves
+           and retries with its budgets intact.  Charging the lock_busy
+           bucket here would let a politely-queueing thread exhaust it and
+           grab the fallback lock itself — amplifying the very convoy
+           wait_for_lock exists to prevent. *)
+        if policy.wait_for_lock && code = Abort.Explicit Abort.xabort_lock_held
+        then begin
+          Api.count Counter.retries 1;
+          wait_unlocked ();
+          go ()
+        end
+        else if spend budgets code then begin
           Api.count Counter.retries 1;
           (match code with
           | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
@@ -145,15 +174,7 @@ let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
               ());
           (* Post-fix implementations spin outside the transaction while
              the fallback lock is held; paper-era ones dive right back in. *)
-          if policy.wait_for_lock then begin
-            let rec wait_unlocked () =
-              if Spinlock.is_locked lock then begin
-                Api.work 64;
-                wait_unlocked ()
-              end
-            in
-            wait_unlocked ()
-          end;
+          if policy.wait_for_lock then wait_unlocked ();
           go ()
         end
         else begin

@@ -30,6 +30,9 @@ module Counter : sig
 
   val lock_wait_cycles : int
   (** Cycles spent queueing on the fallback lock (serialization wait). *)
+
+  val names : (int * string) list
+  (** Telemetry labels for the user-counter indices this module owns. *)
 end
 
 type lock = int

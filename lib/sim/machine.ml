@@ -74,6 +74,21 @@ type t = {
   owner_socket : (int, int) Hashtbl.t; (* line -> socket of last writer *)
   cache_mask : int;
   mutable tracer : (Trace.event -> unit) option;
+  mutable sample_window : int; (* 0 = periodic sampling disabled *)
+  mutable next_sample : int; (* next window boundary, simulated cycles *)
+  mutable samples : (int * snapshot) list; (* newest first *)
+}
+
+and snapshot = {
+  s_ops : int;
+  s_commits : int;
+  s_aborts : int array;
+  s_conflict_kinds : int array;
+  s_wasted_cycles : int;
+  s_committed_cycles : int;
+  s_accesses : int;
+  s_user : int array;
+  s_clock : int;
 }
 
 let create ~threads ~seed ~cost ~mem ~map ~alloc =
@@ -105,9 +120,18 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     owner_socket = Hashtbl.create 4096;
     cache_mask = cache_size - 1;
     tracer = None;
+    sample_window = 0;
+    next_sample = max_int;
+    samples = [];
   }
 
 let set_tracer m tracer = m.tracer <- tracer
+
+let set_sampling m ~window =
+  if window < 1 then invalid_arg "Machine.set_sampling: window < 1";
+  m.sample_window <- window;
+  m.next_sample <- window;
+  m.samples <- []
 
 let trace m e = match m.tracer with Some f -> f e | None -> ()
 
@@ -387,6 +411,53 @@ let process_free m (t : tstate) kind addr words =
   | Some txn -> Txn.record_free txn kind addr words
   | None -> Al.free m.alloc ~kind ~addr ~words
 
+(* ---------- aggregated counters ---------- *)
+
+let aggregate m =
+  let acc =
+    {
+      s_ops = 0;
+      s_commits = 0;
+      s_aborts = Array.make Abort.n_classes 0;
+      s_conflict_kinds = Array.make Al.nkinds 0;
+      s_wasted_cycles = 0;
+      s_committed_cycles = 0;
+      s_accesses = 0;
+      s_user = Array.make n_user_counters 0;
+      s_clock = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc t ->
+      Array.iteri (fun i v -> acc.s_aborts.(i) <- acc.s_aborts.(i) + v) t.cnt.aborts;
+      Array.iteri
+        (fun i v -> acc.s_conflict_kinds.(i) <- acc.s_conflict_kinds.(i) + v)
+        t.cnt.conflict_kinds;
+      Array.iteri (fun i v -> acc.s_user.(i) <- acc.s_user.(i) + v) t.cnt.user;
+      {
+        acc with
+        s_ops = acc.s_ops + t.cnt.ops;
+        s_commits = acc.s_commits + t.cnt.commits;
+        s_wasted_cycles = acc.s_wasted_cycles + t.cnt.wasted_cycles;
+        s_committed_cycles = acc.s_committed_cycles + t.cnt.committed_cycles;
+        s_accesses = acc.s_accesses + t.cnt.accesses;
+        s_clock = max acc.s_clock t.clock;
+      })
+    acc m.threads
+
+(* Periodic counter sampling: the scheduler always resumes the thread with
+   the smallest clock, so when that minimum crosses a window boundary every
+   thread has already run past it — the cumulative aggregate at that moment
+   is the machine state "at" the boundary.  Consumers diff consecutive
+   samples to get per-window rates (see Euno_harness.Report). *)
+let sample_boundaries m clock =
+  while clock >= m.next_sample do
+    m.samples <- (m.next_sample, aggregate m) :: m.samples;
+    m.next_sample <- m.next_sample + m.sample_window
+  done
+
+let samples m = List.rev m.samples
+
 (* ---------- scheduler ---------- *)
 
 let pick m =
@@ -494,6 +565,7 @@ let run m bodies =
     let tid = pick m in
     if tid >= 0 then begin
       let t = m.threads.(tid) in
+      if m.sample_window > 0 then sample_boundaries m t.clock;
       m.current <- tid;
       (match t.status with
       | Start f ->
@@ -511,23 +583,19 @@ let run m bodies =
     end
   in
   loop ();
+  (* Close the series with a final partial-window sample so the tail of the
+     run is never silently dropped. *)
+  if m.sample_window > 0 then begin
+    let now = Array.fold_left (fun acc t -> max acc t.clock) 0 m.threads in
+    match m.samples with
+    | (c, _) :: _ when c >= now -> ()
+    | _ -> m.samples <- (now, aggregate m) :: m.samples
+  end;
   Array.iter
     (fun t -> match t.status with Failed e -> raise e | _ -> ())
     m.threads
 
 (* ---------- results ---------- *)
-
-type snapshot = {
-  s_ops : int;
-  s_commits : int;
-  s_aborts : int array;
-  s_conflict_kinds : int array;
-  s_wasted_cycles : int;
-  s_committed_cycles : int;
-  s_accesses : int;
-  s_user : int array;
-  s_clock : int;
-}
 
 let snapshot_thread m tid =
   let t = m.threads.(tid) in
@@ -542,38 +610,6 @@ let snapshot_thread m tid =
     s_user = Array.copy t.cnt.user;
     s_clock = t.clock;
   }
-
-let aggregate m =
-  let acc =
-    {
-      s_ops = 0;
-      s_commits = 0;
-      s_aborts = Array.make Abort.n_classes 0;
-      s_conflict_kinds = Array.make Al.nkinds 0;
-      s_wasted_cycles = 0;
-      s_committed_cycles = 0;
-      s_accesses = 0;
-      s_user = Array.make n_user_counters 0;
-      s_clock = 0;
-    }
-  in
-  Array.fold_left
-    (fun acc t ->
-      Array.iteri (fun i v -> acc.s_aborts.(i) <- acc.s_aborts.(i) + v) t.cnt.aborts;
-      Array.iteri
-        (fun i v -> acc.s_conflict_kinds.(i) <- acc.s_conflict_kinds.(i) + v)
-        t.cnt.conflict_kinds;
-      Array.iteri (fun i v -> acc.s_user.(i) <- acc.s_user.(i) + v) t.cnt.user;
-      {
-        acc with
-        s_ops = acc.s_ops + t.cnt.ops;
-        s_commits = acc.s_commits + t.cnt.commits;
-        s_wasted_cycles = acc.s_wasted_cycles + t.cnt.wasted_cycles;
-        s_committed_cycles = acc.s_committed_cycles + t.cnt.committed_cycles;
-        s_accesses = acc.s_accesses + t.cnt.accesses;
-        s_clock = max acc.s_clock t.clock;
-      })
-    acc m.threads
 
 let elapsed m = Array.fold_left (fun acc t -> max acc t.clock) 0 m.threads
 

@@ -76,3 +76,16 @@ type snapshot = {
 val snapshot_thread : t -> int -> snapshot
 val aggregate : t -> snapshot
 val total_aborts : snapshot -> int
+
+val set_sampling : t -> window:int -> unit
+(** Record a cumulative aggregate {!type-snapshot} every [window] simulated
+    cycles (plus one final partial window when the run ends).  The sample
+    is taken when the scheduler's minimum thread clock crosses the
+    boundary, so it reflects the machine state at that simulated instant;
+    sampling reads counters only and never perturbs the run.  Must be
+    called before {!run}. *)
+
+val samples : t -> (int * snapshot) list
+(** [(window_end_clock, cumulative aggregate)] pairs, oldest first; empty
+    unless {!set_sampling} was enabled.  Diff consecutive snapshots for
+    per-window rates. *)

@@ -64,6 +64,127 @@ let events r =
 
 let to_strings r = List.map event_to_string (events r)
 
+(* ---------- machine-readable exports ---------- *)
+
+module Json = Euno_stats.Json
+
+let event_to_json = function
+  | Xbegin { tid; clock } ->
+      Json.Obj
+        [ ("ev", Json.Str "xbegin"); ("tid", Json.Int tid); ("clock", Json.Int clock) ]
+  | Commit { tid; clock; reads; writes } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "commit");
+          ("tid", Json.Int tid);
+          ("clock", Json.Int clock);
+          ("reads", Json.Int reads);
+          ("writes", Json.Int writes);
+        ]
+  | Aborted { tid; clock; code } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "abort");
+          ("tid", Json.Int tid);
+          ("clock", Json.Int clock);
+          ("class", Json.Str (Abort.class_name (Abort.index code)));
+          ("code", Json.Str (Abort.to_string code));
+        ]
+  | Conflict { attacker; victim; line; kind; clock } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "conflict");
+          ("attacker", Json.Int attacker);
+          ("victim", Json.Int victim);
+          ("line", Json.Int line);
+          ("kind", Json.Str (Euno_mem.Linemap.kind_to_string kind));
+          ("clock", Json.Int clock);
+        ]
+  | Op_done { tid; clock; key } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "op_done");
+          ("tid", Json.Int tid);
+          ("clock", Json.Int clock);
+          ("key", Json.Int key);
+        ]
+
+(* One compact JSON document per retained event, oldest first: cat-able
+   into any JSONL pipeline. *)
+let to_jsonl r = List.map (fun e -> Json.to_string (event_to_json e)) (events r)
+
+let export_jsonl r oc =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (to_jsonl r)
+
+(* Chrome trace_event format (chrome://tracing, Perfetto): each
+   transaction becomes a complete ("X") duration slice from its xbegin to
+   its commit or abort, conflicts become instant events on the attacker's
+   row, and op completions become instants on the owner's row.  Timestamps
+   are simulated cycles reported through the "ts"/"dur" microsecond
+   fields: absolute units don't matter for inspection, ordering does. *)
+let chrome_trace r =
+  let open_tx = Hashtbl.create 16 in
+  let slices = ref [] in
+  let emit json = slices := json :: !slices in
+  let common ~name ~ph ~tid ~ts extra =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int tid);
+         ("ts", Json.Int ts);
+       ]
+      @ extra)
+  in
+  let close_tx tid clock ~name args =
+    match Hashtbl.find_opt open_tx tid with
+    | None -> ()
+    | Some start ->
+        Hashtbl.remove open_tx tid;
+        emit
+          (common ~name ~ph:"X" ~tid ~ts:start
+             [ ("dur", Json.Int (max 1 (clock - start))); ("args", args) ])
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Xbegin { tid; clock } -> Hashtbl.replace open_tx tid clock
+      | Commit { tid; clock; reads; writes } ->
+          close_tx tid clock ~name:"txn:commit"
+            (Json.Obj [ ("reads", Json.Int reads); ("writes", Json.Int writes) ])
+      | Aborted { tid; clock; code } ->
+          close_tx tid clock ~name:"txn:abort"
+            (Json.Obj
+               [ ("class", Json.Str (Abort.class_name (Abort.index code))) ])
+      | Conflict { attacker; victim; line; kind; clock } ->
+          emit
+            (common ~name:"conflict" ~ph:"i" ~tid:attacker ~ts:clock
+               [
+                 ("s", Json.Str "t");
+                 ( "args",
+                   Json.Obj
+                     [
+                       ("victim", Json.Int victim);
+                       ("line", Json.Int line);
+                       ("kind", Json.Str (Euno_mem.Linemap.kind_to_string kind));
+                     ] );
+               ])
+      | Op_done { tid; clock; key } ->
+          emit
+            (common ~name:"op" ~ph:"i" ~tid ~ts:clock
+               [ ("s", Json.Str "t"); ("args", Json.Obj [ ("key", Json.Int key) ]) ]))
+    (events r);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !slices));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
 (* Events selected by thread, oldest first. *)
 let for_thread r tid =
   List.filter

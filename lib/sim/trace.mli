@@ -37,3 +37,19 @@ val to_strings : ring -> string list
 
 val for_thread : ring -> int -> event list
 (** Retained events involving one thread (as owner, attacker or victim). *)
+
+(** {2 Machine-readable exports} *)
+
+val event_to_json : event -> Euno_stats.Json.t
+
+val to_jsonl : ring -> string list
+(** One compact JSON document per retained event, oldest first. *)
+
+val export_jsonl : ring -> out_channel -> unit
+(** Write {!to_jsonl} lines to a channel. *)
+
+val chrome_trace : ring -> Euno_stats.Json.t
+(** The retained ring as a Chrome [trace_event] document (loadable in
+    chrome://tracing or Perfetto): every transaction is a duration slice
+    from xbegin to commit/abort, conflicts and completed ops are instant
+    events.  Timestamps are simulated cycles. *)

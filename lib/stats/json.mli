@@ -1,0 +1,34 @@
+(** Minimal JSON values for the telemetry layer: emit and parse without an
+    external dependency.
+
+    Emission produces valid, compact JSON (non-finite floats become
+    [null]); {!of_string} accepts any standard document, which is enough to
+    round-trip the harness's own output and to validate it in CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete document; [Error] carries a message with the
+    offending offset. *)
+
+(** Accessors for validation code; all return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val as_int : t -> int option
+
+val as_float : t -> float option
+(** Accepts [Int] too (JSON does not distinguish). *)
+
+val as_string : t -> string option
+val as_list : t -> t list option
+val as_obj : t -> (string * t) list option

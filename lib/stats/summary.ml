@@ -1,5 +1,10 @@
 (* Streaming summary statistics (Welford) plus exact percentiles over a
-   retained sample, used by the harness for latency and ratio reporting. *)
+   retained sample, used by the harness for latency and ratio reporting.
+
+   The sorted sample backing percentile queries is cached and invalidated
+   on [add]: figure rows ask for several percentiles of the same summary,
+   and re-sorting the whole sample per query (O(n log n) each) was a
+   measurable cost on the reporting path. *)
 
 type t = {
   mutable n : int;
@@ -8,6 +13,7 @@ type t = {
   mutable minv : float;
   mutable maxv : float;
   mutable sample : float list; (* all observations, for exact percentiles *)
+  mutable sorted : float array option; (* cache; invalidated by add *)
   keep_sample : bool;
 }
 
@@ -19,6 +25,7 @@ let create ?(keep_sample = true) () =
     minv = infinity;
     maxv = neg_infinity;
     sample = [];
+    sorted = None;
     keep_sample;
   }
 
@@ -29,7 +36,10 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.minv then t.minv <- x;
   if x > t.maxv then t.maxv <- x;
-  if t.keep_sample then t.sample <- x :: t.sample
+  if t.keep_sample then begin
+    t.sample <- x :: t.sample;
+    t.sorted <- None
+  end
 
 let count t = t.n
 let mean t = if t.n = 0 then nan else t.mean
@@ -41,16 +51,57 @@ let stddev t = sqrt (variance t)
 let min_value t = if t.n = 0 then nan else t.minv
 let max_value t = if t.n = 0 then nan else t.maxv
 
-let percentile t p =
+let sorted_sample t =
   if not t.keep_sample then invalid_arg "Summary.percentile: no sample kept";
-  match t.sample with
-  | [] -> nan
-  | sample ->
-      let arr = Array.of_list sample in
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list t.sample in
       Array.sort compare arr;
-      let n = Array.length arr in
-      let rank = p /. 100.0 *. float_of_int (n - 1) in
-      let lo = int_of_float (Float.floor rank) in
-      let hi = min (n - 1) (lo + 1) in
-      let frac = rank -. float_of_int lo in
-      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+      t.sorted <- Some arr;
+      arr
+
+(* Linear interpolation between closest ranks: the single percentile
+   definition shared by every reporting path (Summary users and
+   Runner's latency reduction alike). *)
+let percentile t p =
+  let arr = sorted_sample t in
+  let n = Array.length arr in
+  if n = 0 then nan
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let rank = Float.max 0.0 (Float.min rank (float_of_int (n - 1))) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let percentile_int t p =
+  let v = percentile t p in
+  if Float.is_nan v then 0 else int_of_float (Float.round v)
+
+let of_array values =
+  let t = create () in
+  Array.iter (fun v -> add t v) values;
+  t
+
+let to_json ?(percentiles = [ 50.0; 90.0; 99.0 ]) t =
+  let base =
+    [
+      ("count", Json.Int t.n);
+      ("mean", Json.Float (mean t));
+      ("stddev", Json.Float (stddev t));
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+    ]
+  in
+  let pcts =
+    if t.keep_sample && t.n > 0 then
+      List.map
+        (fun p ->
+          (Printf.sprintf "p%g" p, Json.Float (percentile t p)))
+        percentiles
+    else []
+  in
+  Json.Obj (base @ pcts)

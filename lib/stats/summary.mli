@@ -18,4 +18,17 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** Exact linear-interpolated percentile, e.g. [percentile t 99.0].
-    Raises [Invalid_argument] if the sample was not kept. *)
+    Raises [Invalid_argument] if the sample was not kept.  The sorted
+    sample is cached across calls and invalidated by {!add}, so repeated
+    percentile queries cost O(1) after the first. *)
+
+val percentile_int : t -> float -> int
+(** {!percentile} rounded to the nearest integer (0 on an empty sample):
+    the shared definition for integer-valued series such as latencies. *)
+
+val of_array : float array -> t
+(** Summary of a whole array at once. *)
+
+val to_json : ?percentiles:float list -> t -> Json.t
+(** Count/mean/stddev/min/max plus the requested percentiles (default
+    p50/p90/p99; omitted when no sample is kept). *)

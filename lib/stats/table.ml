@@ -75,6 +75,27 @@ let to_csv t =
   let line cells = String.concat "," (List.map csv_field cells) in
   String.concat "\n" (line t.headers :: List.rev_map line t.rows) ^ "\n"
 
+(* JSON: one object per row, keyed by header (short rows padded with
+   nulls, like the text renderer pads with blanks).  Cells stay strings:
+   tables are a formatting artifact; typed records come from the Report
+   layer. *)
+let to_json t =
+  let row_obj row =
+    Json.Obj
+      (List.mapi
+         (fun i h ->
+           (h, match List.nth_opt row i with
+               | Some cell -> Json.Str cell
+               | None -> Json.Null))
+         t.headers)
+  in
+  Json.Obj
+    [
+      ("title", Json.Str t.title);
+      ("headers", Json.List (List.map (fun h -> Json.Str h) t.headers));
+      ("rows", Json.List (List.rev_map row_obj t.rows));
+    ]
+
 (* A filesystem-safe slug of the title, for CSV file names. *)
 let slug t =
   String.map

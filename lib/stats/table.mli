@@ -21,5 +21,10 @@ val print : t -> unit
 val to_csv : t -> string
 (** Headers plus rows, minimally quoted. *)
 
+val to_json : t -> Json.t
+(** Title, headers, and one object per row keyed by header.  Cells remain
+    strings (tables are formatting; typed records live in the harness's
+    Report layer). *)
+
 val slug : t -> string
 (** Filesystem-safe name derived from the title. *)

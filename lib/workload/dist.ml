@@ -95,10 +95,32 @@ let create ?(scrambled = false) spec ~n ~seed =
   in
   { n; rng = Rng.create seed; sampler; scrambled; frontier = n - 1 }
 
-(* FNV-style mixer for the scrambled variant. *)
+(* Bijective mixer for the scrambled variant: ranks permute onto keys, so
+   distinct hot ranks never collide (a collision would merge two hot keys
+   into one and inflate contention) and rank 0 moves away from key 0.
+
+   The mix is a permutation of [0, 2^k): xor with a constant, odd-constant
+   multiply mod 2^k and xor-shift-right are each invertible on k bits.
+   For n that is not a power of two (partitioned workloads divide the key
+   space by the thread count), cycle-walking re-mixes until the image
+   lands below n, which preserves bijectivity on [0, n). *)
 let scramble n rank =
-  let h = rank * 0x2545F4914F6CDD1D in
-  (h lxor (h lsr 29)) land max_int mod n
+  let k =
+    let rec bits k = if 1 lsl k >= n then k else bits (k + 1) in
+    bits 1
+  in
+  let mask = (1 lsl k) - 1 in
+  let mix x =
+    let x = (x lxor 0x9E3779B9) land mask in
+    let x = x * 0x2545F4914F6CDD1D land mask in
+    let x = x lxor (x lsr ((k / 2) + 1)) in
+    x * 0x9E3779B1 land mask
+  in
+  let rec walk x =
+    let x = mix x in
+    if x < n then x else walk x
+  in
+  walk rank
 
 let gaussian rng =
   (* Box-Muller; one value per call is plenty here. *)

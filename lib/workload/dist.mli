@@ -25,6 +25,12 @@ val spec_to_string : spec -> string
 
 type t
 
+val scramble : int -> int -> int
+(** [scramble n rank] hashes a popularity rank to a key, bijectively on
+    [0, n): distinct ranks always map to distinct keys, and rank 0 (the
+    hottest key) does not stay at key 0.  This is what [~scrambled]
+    applies to every draw. *)
+
 val create : ?scrambled:bool -> spec -> n:int -> seed:int -> t
 (** Sampler over keys [0, n).  [scrambled] hashes ranks across the key
     space (YCSB scrambled variant); default false = hot keys adjacent. *)

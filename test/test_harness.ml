@@ -193,6 +193,152 @@ let test_stress_marathon () =
         [ 42; 1234 ])
     (Kv.all_kinds @ [ Kv.Lock_bptree ])
 
+(* ---------- partitioned-mode scans (regression) ---------- *)
+
+(* Regression: partitioned-mode scans used to walk consecutive keys, so a
+   scan starting in thread 0's partition marched straight through every
+   other thread's records — reintroducing the sharing the mode exists to
+   rule out.  The helper must keep every visited key on the caller's
+   stride. *)
+let prop_partition_scan_stays_on_stride =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"partitioned scan keys stay on stride"
+       QCheck.(
+         quad (int_range 1 16) (int_bound 1023) (int_bound 2048) (int_bound 64))
+       (fun (threads, tid, from, len) ->
+         let tid = tid mod threads in
+         let key_space = 1 lsl 12 in
+         let keys =
+           Runner.partition_scan_keys ~key_space ~threads ~tid ~from ~len
+         in
+         List.length keys <= len
+         && List.for_all
+              (fun k -> k mod threads = tid && k >= 0 && k < key_space)
+              keys
+         && (* consecutive partition ranks: adjacent keys differ by the
+               stride *)
+         match keys with
+         | [] -> true
+         | first :: _ ->
+             List.for_all2 ( = ) keys
+               (List.mapi (fun i _ -> first + (i * threads)) keys)))
+
+let test_partitioned_scans_share_nothing () =
+  (* scan-heavy partitioned run: with the fix, no thread ever touches
+     another's record, so same-record (true) conflict aborts stay zero *)
+  let workload =
+    {
+      (small_workload ~theta:0.9 ()) with
+      Runner.partitioned = true;
+      mix = { Opgen.get = 30; put = 30; scan = 40; delete = 0; rmw = 0 };
+      scan_len = 24;
+    }
+  in
+  let r = Runner.run Kv.Htm_bptree workload (small_setup ~threads:8 ()) in
+  check_int "all ops" (8 * 150) r.Runner.r_ops;
+  check_bool "no same-record conflicts" true (Runner.class_true r = 0.0)
+
+(* ---------- telemetry: snapshots, JSON records, collector ---------- *)
+
+module Report = Euno_harness.Report
+module Json = Euno_stats.Json
+
+let run_with_snapshots () =
+  Runner.run Kv.Htm_bptree
+    (small_workload ~theta:0.8 ())
+    { (small_setup ~threads:4 ()) with Runner.snapshot_window = Some 1000 }
+
+let test_snapshots_cover_run () =
+  let r = run_with_snapshots () in
+  let windows = Report.windows_of_snapshots r.Runner.r_snapshots in
+  check_bool "several windows" true (List.length windows > 1);
+  (* per-window deltas are non-negative and sum back to the run totals *)
+  List.iter
+    (fun w ->
+      check_bool "ops >= 0" true (w.Report.w_ops >= 0);
+      check_bool "commits >= 0" true (w.Report.w_commits >= 0);
+      check_bool "aborts >= 0" true
+        (Array.for_all (fun v -> v >= 0) w.Report.w_aborts);
+      check_bool "window ordered" true (w.Report.w_start < w.Report.w_end))
+    windows;
+  check_int "window ops sum to total" r.Runner.r_ops
+    (List.fold_left (fun acc w -> acc + w.Report.w_ops) 0 windows);
+  check_int "windows tile the run" r.Runner.r_cycles
+    (List.fold_left (fun acc w -> max acc w.Report.w_end) 0 windows)
+
+let test_no_snapshots_by_default () =
+  let r = Runner.run Kv.Htm_bptree (small_workload ()) (small_setup ()) in
+  check_int "no snapshots" 0 (List.length r.Runner.r_snapshots)
+
+let test_result_json_valid_and_parses () =
+  let r = run_with_snapshots () in
+  let doc =
+    Report.document ~experiment:"test"
+      [ Report.result_to_json ~experiment:"test" r ]
+  in
+  (* serialized form parses back and passes schema validation *)
+  match Json.of_string (Json.to_string ~pretty:true doc) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok parsed -> (
+      (match Report.validate_document parsed with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "schema: %s" e);
+      match Json.member "records" parsed with
+      | Some (Json.List [ record ]) ->
+          check_bool "mops preserved" true
+            (match Option.bind (Json.member "mops" record) Json.as_float with
+            | Some m -> Float.abs (m -. r.Runner.r_mops) < 1e-6
+            | None -> false);
+          check_bool "threads preserved" true
+            (Option.bind (Json.member "threads" record) Json.as_int = Some 4)
+      | _ -> Alcotest.fail "records shape")
+
+let test_snapshot_lines_valid () =
+  let r = run_with_snapshots () in
+  let lines = Report.snapshot_lines ~experiment:"test" r in
+  check_bool "has window lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match Json.of_string (Json.to_string line) with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok parsed -> (
+          match Report.validate_record parsed with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "schema: %s" e))
+    lines
+
+let test_aggregate_json_valid () =
+  let a =
+    Runner.run_many ~seeds:2 Kv.Htm_bptree (small_workload ()) (small_setup ())
+  in
+  match Report.validate_aggregate (Report.aggregate_to_json a) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "schema: %s" e
+
+let test_collector_observes_every_run () =
+  Report.start_collecting ();
+  Fun.protect ~finally:Report.stop_collecting (fun () ->
+      let _ = Runner.run Kv.Htm_bptree (small_workload ()) (small_setup ()) in
+      let _ =
+        Runner.run_many ~seeds:2 Kv.Htm_bptree (small_workload ())
+          (small_setup ())
+      in
+      (* one direct run + two seeds of run_many *)
+      check_int "collected all runs" 3 (List.length (Report.collected ())));
+  check_int "stopped" 0 (List.length (Report.collected ()))
+
+let test_validation_rejects_wrong_version () =
+  let bad =
+    Json.Obj
+      [
+        ("schema_version", Json.Int (Report.schema_version + 1));
+        ("record", Json.Str "window");
+      ]
+  in
+  match Report.validate_record bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted future schema version"
+
 let suite =
   [
     Alcotest.test_case "stress marathon (all trees)" `Slow
@@ -217,4 +363,19 @@ let suite =
       test_lock_tree_correct_under_concurrency;
     Alcotest.test_case "key space validation" `Quick
       test_key_space_must_be_power_of_two;
+    prop_partition_scan_stays_on_stride;
+    Alcotest.test_case "partitioned scans share nothing" `Quick
+      test_partitioned_scans_share_nothing;
+    Alcotest.test_case "snapshots cover the run" `Quick test_snapshots_cover_run;
+    Alcotest.test_case "no snapshots by default" `Quick
+      test_no_snapshots_by_default;
+    Alcotest.test_case "result JSON valid" `Quick
+      test_result_json_valid_and_parses;
+    Alcotest.test_case "snapshot JSONL lines valid" `Quick
+      test_snapshot_lines_valid;
+    Alcotest.test_case "aggregate JSON valid" `Quick test_aggregate_json_valid;
+    Alcotest.test_case "collector observes every run" `Quick
+      test_collector_observes_every_run;
+    Alcotest.test_case "schema version enforced" `Quick
+      test_validation_rejects_wrong_version;
   ]

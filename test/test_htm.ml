@@ -240,6 +240,38 @@ let test_correct_under_spurious_aborts () =
   check_bool "spurious aborts occurred" true
     (s.Machine.s_aborts.(Abort.index Abort.Spurious) > 0)
 
+(* Regression: the polite policy used to charge the lock-busy retry budget
+   *before* [wait_for_lock]'s spin, so a thread that merely arrived while
+   the fallback lock was briefly held could exhaust its budget and grab
+   the lock itself, seeding the very convoy the policy exists to avoid.
+   The wait must be free: even a zero lock-busy budget never falls back
+   when the only obstacle is a transiently held lock. *)
+let test_polite_brief_lock_never_falls_back () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let m =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then begin
+          Spinlock.acquire lock;
+          Api.work 600;
+          Spinlock.release lock
+        end
+        else begin
+          (* arrive mid-hold, with no lock-busy budget at all *)
+          Api.work 50;
+          Htm.atomic
+            ~policy:{ Htm.polite_policy with Htm.lock_busy_retries = 0 }
+            ~lock
+            (fun () -> Api.write a 7)
+        end)
+  in
+  let s = Machine.aggregate m in
+  check_bool "saw the held lock" true
+    (s.Machine.s_aborts.(Abort.index (Abort.Explicit Abort.xabort_lock_held)) > 0);
+  check_int "no fallbacks" 0 s.Machine.s_user.(Htm.Counter.fallbacks);
+  check_int "committed transactionally" 7 (Euno_mem.Memory.get w.mem a)
+
 let suite =
   [
     Alcotest.test_case "correct under spurious aborts" `Quick
@@ -260,4 +292,6 @@ let suite =
       test_abort_indices_bijective;
     Alcotest.test_case "polite vs naive policy" `Quick
       test_polite_policy_beats_naive_under_contention;
+    Alcotest.test_case "polite brief lock never falls back" `Quick
+      test_polite_brief_lock_never_falls_back;
   ]

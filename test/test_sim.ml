@@ -606,6 +606,136 @@ let test_trace_ring_bounded () =
   | Euno_sim.Trace.Xbegin { tid = 9; _ } :: _ -> ()
   | _ -> Alcotest.fail "newest event missing"
 
+(* ---------- periodic counter sampling (telemetry) ---------- *)
+
+(* A contended workload long enough to cross several sampling windows. *)
+let run_sampled ?(window = 500) () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let m =
+    Machine.create ~threads:4 ~seed:7 ~cost:Cost.default ~mem:w.mem ~map:w.map
+      ~alloc:w.alloc
+  in
+  Machine.set_sampling m ~window;
+  Machine.run m (fun _tid ->
+      for _ = 1 to 40 do
+        Api.work 80;
+        Api.write a (Api.read a + 1);
+        Api.op_done ()
+      done);
+  (m, window)
+
+let test_sampling_window_boundaries () =
+  let m, window = run_sampled () in
+  let samples = Machine.samples m in
+  check_bool "several windows crossed" true (List.length samples > 2);
+  let elapsed = Machine.elapsed m in
+  List.iteri
+    (fun i (clock, _) ->
+      let is_last = i = List.length samples - 1 in
+      if (not is_last) && clock mod window <> 0 then
+        Alcotest.failf "sample %d not on a window boundary: %d" i clock;
+      if clock > elapsed then
+        Alcotest.failf "sample %d beyond end of run: %d > %d" i clock elapsed)
+    samples;
+  (* clocks strictly increase and the series covers the whole run *)
+  let clocks = List.map fst samples in
+  check_bool "strictly increasing" true
+    (List.for_all2 ( < ) clocks (List.tl clocks @ [ max_int ]));
+  check_int "final sample at end of run" elapsed
+    (List.nth clocks (List.length clocks - 1))
+
+let test_sampling_counters_cumulative () =
+  let m, _ = run_sampled () in
+  let samples = Machine.samples m in
+  let rec pairwise = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        check_bool "ops monotone" true (a.Machine.s_ops <= b.Machine.s_ops);
+        check_bool "commits monotone" true
+          (a.Machine.s_commits <= b.Machine.s_commits);
+        check_bool "accesses monotone" true
+          (a.Machine.s_accesses <= b.Machine.s_accesses);
+        pairwise rest
+    | _ -> ()
+  in
+  pairwise samples;
+  (* the last cumulative sample equals the end-of-run aggregate *)
+  let _, last = List.nth samples (List.length samples - 1) in
+  let final = Machine.aggregate m in
+  check_int "final ops" final.Machine.s_ops last.Machine.s_ops;
+  check_int "final commits" final.Machine.s_commits last.Machine.s_commits
+
+let test_sampling_disabled_by_default () =
+  let w = fresh_world () in
+  let m =
+    Machine.create ~threads:2 ~seed:1 ~cost:Cost.default ~mem:w.mem ~map:w.map
+      ~alloc:w.alloc
+  in
+  Machine.run m (fun _ -> Api.work 100);
+  check_int "no samples" 0 (List.length (Machine.samples m))
+
+(* ---------- trace exporters ---------- *)
+
+let traced_ring () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Euno_htm.Htm.alloc_lock ()) in
+  let ring = Euno_sim.Trace.ring ~capacity:256 in
+  let m =
+    Machine.create ~threads:2 ~seed:3 ~cost:Cost.default ~mem:w.mem ~map:w.map
+      ~alloc:w.alloc
+  in
+  Machine.set_tracer m (Some (Euno_sim.Trace.push ring));
+  Machine.run m (fun _tid ->
+      for _ = 1 to 10 do
+        Euno_htm.Htm.atomic ~lock (fun () ->
+            Api.work 60;
+            Api.write a (Api.read a + 1));
+        Api.op_done ()
+      done);
+  ring
+
+let test_trace_jsonl_parses () =
+  let ring = traced_ring () in
+  let lines = Euno_sim.Trace.to_jsonl ring in
+  check_bool "has lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match Euno_stats.Json.of_string line with
+      | Ok j ->
+          check_bool "has ev tag" true
+            (Option.bind (Euno_stats.Json.member "ev" j)
+               Euno_stats.Json.as_string
+            <> None)
+      | Error e -> Alcotest.failf "bad JSONL %s: %s" line e)
+    lines
+
+let test_chrome_trace_shape () =
+  let ring = traced_ring () in
+  let j = Euno_sim.Trace.chrome_trace ring in
+  match Option.bind (Euno_stats.Json.member "traceEvents" j)
+          Euno_stats.Json.as_list
+  with
+  | None -> Alcotest.fail "no traceEvents"
+  | Some events ->
+      check_bool "has events" true (events <> []);
+      List.iter
+        (fun e ->
+          let mem k = Euno_stats.Json.member k e in
+          (match Option.bind (mem "ph") Euno_stats.Json.as_string with
+          | Some "X" ->
+              (* complete events need ts and a positive dur *)
+              check_bool "X has dur>0" true
+                (match Option.bind (mem "dur") Euno_stats.Json.as_int with
+                | Some d -> d > 0
+                | None -> false)
+          | Some "i" -> ()
+          | Some other -> Alcotest.failf "unexpected phase %s" other
+          | None -> Alcotest.fail "event without ph");
+          check_bool "has ts" true (mem "ts" <> None);
+          check_bool "has tid" true (mem "tid" <> None))
+        events
+
 let suite =
   [
     Alcotest.test_case "single-thread read/write" `Quick test_single_thread_rw;
@@ -646,4 +776,12 @@ let suite =
     Alcotest.test_case "rng float range" `Quick test_rng_float_range;
     prop_spinlock_mutual_exclusion;
     prop_htm_counter_any_seed;
+    Alcotest.test_case "sampling window boundaries" `Quick
+      test_sampling_window_boundaries;
+    Alcotest.test_case "sampling counters cumulative" `Quick
+      test_sampling_counters_cumulative;
+    Alcotest.test_case "sampling off by default" `Quick
+      test_sampling_disabled_by_default;
+    Alcotest.test_case "trace JSONL parses" `Quick test_trace_jsonl_parses;
+    Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
   ]

@@ -4,6 +4,7 @@
 open Util
 module Table = Euno_stats.Table
 module Summary = Euno_stats.Summary
+module Json = Euno_stats.Json
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -130,6 +131,141 @@ let test_chart_axis_rounding () =
   in
   check_bool "nice axis top" true (contains out "25.0")
 
+(* ---------- percentile caching (regression) ---------- *)
+
+(* Naive reference: sort a fresh copy on every query. *)
+let naive_percentile values p =
+  let a = Array.copy values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+
+(* Regression: percentile used to re-sort the whole retained sample on
+   every call; now the sorted array is cached and invalidated by add.
+   Interleave queries and adds to prove the cache never serves stale
+   data. *)
+let test_percentile_cache_invalidation () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 5.0; 1.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "p50 of 3" 5.0 (Summary.percentile s 50.0);
+  Summary.add s 0.0;
+  (* after invalidation the new minimum must be visible *)
+  Alcotest.(check (float 1e-9)) "p0 sees new min" 0.0 (Summary.percentile s 0.0);
+  Summary.add s 100.0;
+  Alcotest.(check (float 1e-9)) "p100 sees new max" 100.0
+    (Summary.percentile s 100.0);
+  (* repeated queries (cache hits) agree with the naive reference *)
+  let values = [| 5.0; 1.0; 9.0; 0.0; 100.0 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f matches naive" p)
+        (naive_percentile values p) (Summary.percentile s p))
+    [ 25.0; 50.0; 75.0; 99.0 ]
+
+let prop_percentile_matches_naive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"cached percentile = naive re-sort"
+       QCheck.(
+         pair
+           (list_of_size Gen.(1 -- 64) (float_range 0.0 1e6))
+           (float_range 0.0 100.0))
+       (fun (values, p) ->
+         let values = Array.of_list values in
+         let s = Summary.of_array values in
+         let reference = naive_percentile values p in
+         let got = Summary.percentile s p in
+         Float.abs (got -. reference) <= 1e-6 *. (1.0 +. Float.abs reference)))
+
+(* ---------- JSON codec ---------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs x)
+  | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+           xs ys
+  | _ -> a = b
+
+let sample_json =
+  Json.Obj
+    [
+      ("int", Json.Int (-42));
+      ("float", Json.Float 3.25);
+      ("string", Json.Str "quote \" slash \\ newline \n tab \t");
+      ("null", Json.Null);
+      ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+      ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample_json) with
+      | Ok parsed ->
+          check_bool
+            (Printf.sprintf "roundtrip pretty:%b" pretty)
+            true
+            (json_equal sample_json parsed)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ false; true ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{\"a\":1} x" ]
+
+let test_json_member_access () =
+  match Json.of_string {|{"a": {"b": [1, 2.5, "x"]}, "n": null}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j -> (
+      check_bool "missing member" true (Json.member "zz" j = None);
+      match Json.member "a" j with
+      | Some inner -> (
+          match Option.bind (Json.member "b" inner) Json.as_list with
+          | Some [ one; _; three ] ->
+              check_bool "int elem" true (Json.as_int one = Some 1);
+              check_bool "str elem" true (Json.as_string three = Some "x")
+          | _ -> Alcotest.fail "bad list shape")
+      | None -> Alcotest.fail "missing a")
+
+let test_summary_to_json () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  let j = Summary.to_json s in
+  check_bool "count" true
+    (Option.bind (Json.member "count" j) Json.as_int = Some 4);
+  check_bool "mean" true
+    (match Option.bind (Json.member "mean" j) Json.as_float with
+    | Some m -> Float.abs (m -. 2.5) < 1e-9
+    | None -> false);
+  check_bool "p50 present" true (Json.member "p50" j <> None)
+
+let test_table_to_json () =
+  let t = Table.create ~title:"T" ~headers:[ "k"; "v" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "b" ];
+  match Table.to_json t with
+  | Json.Obj _ as j -> (
+      match Option.bind (Json.member "rows" j) Json.as_list with
+      | Some [ r1; r2 ] ->
+          check_bool "row value" true
+            (Option.bind (Json.member "v" r1) Json.as_string = Some "1");
+          (* short rows pad with null *)
+          check_bool "padded" true (Json.member "v" r2 = Some Json.Null)
+      | _ -> Alcotest.fail "bad rows")
+  | _ -> Alcotest.fail "not an object"
+
 let suite =
   [
     Alcotest.test_case "chart renders" `Quick test_chart_renders;
@@ -143,4 +279,12 @@ let suite =
     Alcotest.test_case "summary percentiles" `Quick test_summary_percentiles;
     Alcotest.test_case "summary without sample" `Quick test_summary_no_sample;
     prop_summary_mean_matches_naive;
+    Alcotest.test_case "percentile cache invalidation" `Quick
+      test_percentile_cache_invalidation;
+    prop_percentile_matches_naive;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json member access" `Quick test_json_member_access;
+    Alcotest.test_case "summary to_json" `Quick test_summary_to_json;
+    Alcotest.test_case "table to_json" `Quick test_table_to_json;
   ]

@@ -177,6 +177,37 @@ let prop_put_values_distinct =
          done;
          !ok))
 
+(* Regression: the old scramble was [hash rank mod n], which both left
+   rank 0 on key 0 (the hottest key never moved) and collapsed distinct
+   ranks onto one key.  The fix must be a bijection that displaces 0. *)
+let test_scramble_is_bijective () =
+  List.iter
+    (fun n ->
+      let seen = Array.make n false in
+      for rank = 0 to n - 1 do
+        let key = Dist.scramble n rank in
+        if key < 0 || key >= n then
+          Alcotest.failf "n=%d rank=%d out of range: %d" n rank key;
+        if seen.(key) then Alcotest.failf "n=%d collision on key %d" n key;
+        seen.(key) <- true
+      done)
+    [ 2; 16; 100; 777; 1024; 4096 ]
+
+let test_scramble_moves_rank_zero () =
+  List.iter
+    (fun n ->
+      if Dist.scramble n 0 = 0 then
+        Alcotest.failf "n=%d: hottest rank still maps to key 0" n)
+    [ 16; 64; 1024; 65536 ]
+
+let prop_scramble_distinct_ranks_distinct_keys =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"scramble keeps distinct ranks distinct"
+       QCheck.(triple (int_range 2 8192) (int_bound 100_000) (int_bound 100_000))
+       (fun (n, a, b) ->
+         let a = a mod n and b = b mod n in
+         a = b || Dist.scramble n a <> Dist.scramble n b))
+
 let suite =
   [
     Alcotest.test_case "zipfian matches analytic mass" `Quick
@@ -197,4 +228,8 @@ let suite =
     Alcotest.test_case "op mix proportions" `Quick test_opgen_mix;
     Alcotest.test_case "bad mix rejected" `Quick test_opgen_rejects_bad_mix;
     prop_put_values_distinct;
+    Alcotest.test_case "scramble is bijective" `Quick test_scramble_is_bijective;
+    Alcotest.test_case "scramble moves rank zero" `Quick
+      test_scramble_moves_rank_zero;
+    prop_scramble_distinct_ranks_distinct_keys;
   ]
