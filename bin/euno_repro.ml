@@ -12,7 +12,9 @@ module Figures = Euno_harness.Figures
 module Report = Euno_harness.Report
 
 let experiment =
-  let names = List.map fst Figures.by_name in
+  (* "chaos" is not a figure: it is the fault-injection campaign, handled
+     by its own driver below. *)
+  let names = List.map fst Figures.by_name @ [ "chaos" ] in
   let doc =
     Printf.sprintf "Experiment to run: one of %s." (String.concat ", " names)
   in
@@ -86,8 +88,42 @@ let window =
           "Counter sampling window in simulated cycles (default 2000 when \
            $(b,--snapshots) or $(b,--json) is given).")
 
+(* Fault-injection campaign over the four trees: calibrate, inject,
+   validate, report phase throughputs and recovery time.  Deterministic
+   for a fixed seed, so two runs of the same command produce identical
+   JSON. *)
+let run_chaos quick keys_log2 ops max_threads seed json =
+  let module Chaos = Euno_harness.Chaos in
+  let base = if quick then Chaos.quick_config else Chaos.default_config in
+  let cfg =
+    {
+      base with
+      Chaos.seed;
+      key_space =
+        (match keys_log2 with
+        | Some k -> 1 lsl k
+        | None -> base.Chaos.key_space);
+      ops_per_thread = Option.value ops ~default:base.Chaos.ops_per_thread;
+      threads = min 20 (Option.value max_threads ~default:base.Chaos.threads);
+    }
+  in
+  print_endline
+    "Chaos campaign: spurious storm, capacity squeeze, preemption, \
+     lock-holder stall, clock skew, alloc pressure";
+  let outs = Chaos.run_all cfg in
+  Chaos.print_outcomes outs;
+  match json with
+  | Some path ->
+      Report.write_file path
+        (Report.document ~experiment:"chaos"
+           (List.map (Chaos.outcome_to_json ~experiment:"chaos") outs));
+      Printf.printf "wrote %s\n%!" path
+  | None -> ()
+
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
     snapshots window =
+  if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
+  else begin
   (match csv with
   | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -129,6 +165,7 @@ let run_experiment name quick keys_log2 ops max_threads seed charts csv json
     match snapshots with
     | Some path -> Printf.printf "wrote %s\n%!" path
     | None -> ()
+  end
   end
 
 let cmd =

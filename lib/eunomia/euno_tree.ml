@@ -369,8 +369,20 @@ let run_op t req key =
           | Ccm.Demoted | Ccm.Unchanged -> ()
       in
       let result =
-        Htm.atomic ~policy:cfg.Config.policy ~on_abort ~lock:t.lock (fun () ->
-            lower_body t leaf ~seq ~lock_held ~bypass:(not engaged) req key)
+        match
+          Htm.atomic ~policy:cfg.Config.policy ~on_abort ~lock:t.lock
+            (fun () ->
+              lower_body t leaf ~seq ~lock_held ~bypass:(not engaged) req key)
+        with
+        | r -> r
+        | exception e ->
+            (* Graceful-degradation contract: an operation that gives up
+               (Stuck_fallback, injected allocation failure) must not leak
+               its advisory locks — a leaked split lock or CCM slot bit
+               would hang every later operation that needs it. *)
+            if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);
+            unlock ();
+            raise e
       in
       if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);
       unlock ();
@@ -493,7 +505,15 @@ let maintain ?(max_merges = max_int) t =
       if right <> 0 then begin
         Spinlock.acquire (Leaf.split_lock_addr leaf);
         Spinlock.acquire (Leaf.split_lock_addr right);
-        let r = try_merge t leaf right in
+        let r =
+          match try_merge t leaf right with
+          | r -> r
+          | exception e ->
+              (* never leak the advisory locks on a failed merge *)
+              Spinlock.release (Leaf.split_lock_addr right);
+              Spinlock.release (Leaf.split_lock_addr leaf);
+              raise e
+        in
         Spinlock.release (Leaf.split_lock_addr right);
         Spinlock.release (Leaf.split_lock_addr leaf);
         match r with
@@ -531,16 +551,25 @@ let scan t ~from ~count =
   and walk leaf seq from acc remaining =
     Spinlock.acquire (Leaf.split_lock_addr leaf);
     let r =
-      Htm.atomic ~policy:t.cfg.Config.policy ~lock:t.lock (fun () ->
-          if Api.read (Leaf.seqno_addr leaf) <> seq then L_stale
-          else begin
-            let sorted = Leaf.gather s leaf in
-            let stash = Leaf.stash_reserved sorted in
-            Leaf.free_reserved stash;
-            let nxt = Api.read (Leaf.next_addr leaf) in
-            let nseq = if nxt = 0 then 0 else Api.read (Leaf.seqno_addr nxt) in
-            L_scan (sorted, nxt, nseq)
-          end)
+      match
+        Htm.atomic ~policy:t.cfg.Config.policy ~lock:t.lock (fun () ->
+            if Api.read (Leaf.seqno_addr leaf) <> seq then L_stale
+            else begin
+              let sorted = Leaf.gather s leaf in
+              let stash = Leaf.stash_reserved sorted in
+              Leaf.free_reserved stash;
+              let nxt = Api.read (Leaf.next_addr leaf) in
+              let nseq =
+                if nxt = 0 then 0 else Api.read (Leaf.seqno_addr nxt)
+              in
+              L_scan (sorted, nxt, nseq)
+            end)
+      with
+      | r -> r
+      | exception e ->
+          (* never leak the advisory lock on a failed hop *)
+          Spinlock.release (Leaf.split_lock_addr leaf);
+          raise e
     in
     Spinlock.release (Leaf.split_lock_addr leaf);
     match r with

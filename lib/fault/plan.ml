@@ -1,0 +1,200 @@
+(* Declarative, seed-deterministic fault plans.
+
+   A plan is a list of injections: (what fault, which threads, which cycle
+   window).  Plan.to_injector compiles it into the Machine's pure fault
+   hooks — every hook is a function of (tid, clock) only, so a fixed plan
+   reproduces the same adversity at the same simulated instants on every
+   run, regardless of host state.
+
+   Each fault models a concrete hardware/OS pathology; see DESIGN.md
+   §"Fault model" for the analogue of each constructor. *)
+
+module Machine = Euno_sim.Machine
+module Json = Euno_stats.Json
+
+type target =
+  | All
+  | Thread of int
+
+type window = { from_cycle : int; until_cycle : int }
+
+type fault =
+  | Spurious_burst of { extra_per_million : int }
+    (* interrupt / GC storm: extra spurious-abort probability *)
+  | Capacity_squeeze of { rs : int; ws : int }
+    (* SMT sibling steals cache: shrink read/write-set line limits *)
+  | Preempt
+    (* thread descheduled for the whole window; a live transaction dies *)
+  | Lock_holder_stall of { stall : int }
+    (* any lock acquired inside the window is held [stall] extra cycles:
+       preemption while holding the fallback lock (lemming storm) *)
+  | Clock_skew of { per_mille : int }
+    (* DVFS / thermal throttling: every cycle charge inflated *)
+  | Alloc_pressure
+    (* allocator slow path: transactional allocs abort (and roll back);
+       plain allocs are spared so fallback-path updates stay intact *)
+
+type injection = { fault : fault; target : target; window : window }
+type t = injection list
+
+let window ~from_cycle ~until_cycle =
+  if until_cycle < from_cycle then invalid_arg "Plan.window: negative span";
+  { from_cycle; until_cycle }
+
+let targets target tid =
+  match target with All -> true | Thread t -> t = tid
+
+let active i ~tid ~clock =
+  targets i.target tid
+  && clock >= i.window.from_cycle
+  && clock < i.window.until_cycle
+
+(* Compile a plan into the machine's pure hooks.  Overlapping injections
+   compose the way real adversity does: storms add up, the tightest
+   capacity wins, the longest preemption wins. *)
+let to_injector (plan : t) : Machine.injector =
+  let fold f init ~tid ~clock =
+    List.fold_left
+      (fun acc i -> if active i ~tid ~clock then f acc i.fault else acc)
+      init plan
+  in
+  {
+    Machine.inj_spurious =
+      (fun ~tid ~clock ->
+        fold
+          (fun acc -> function
+            | Spurious_burst { extra_per_million } -> acc + extra_per_million
+            | _ -> acc)
+          0 ~tid ~clock);
+    inj_capacity =
+      (fun ~tid ~clock ->
+        fold
+          (fun acc -> function
+            | Capacity_squeeze { rs; ws } -> (
+                match acc with
+                | None -> Some (rs, ws)
+                | Some (r0, w0) -> Some (min r0 rs, min w0 ws))
+            | _ -> acc)
+          None ~tid ~clock);
+    inj_preempt =
+      (fun ~tid ~clock ->
+        List.fold_left
+          (fun acc i ->
+            match i.fault with
+            | Preempt when active i ~tid ~clock ->
+                max acc i.window.until_cycle
+            | _ -> acc)
+          0 plan);
+    inj_lock_stall =
+      (fun ~tid ~clock ->
+        fold
+          (fun acc -> function
+            | Lock_holder_stall { stall } -> max acc stall
+            | _ -> acc)
+          0 ~tid ~clock);
+    inj_skew =
+      (fun ~tid ~clock ->
+        fold
+          (fun acc -> function
+            | Clock_skew { per_mille } -> acc + per_mille
+            | _ -> acc)
+          0 ~tid ~clock);
+    inj_alloc_fail =
+      (fun ~tid ~clock ~in_txn ->
+        (* Only transactional allocations fail: the transaction rolls back
+           and retries or serializes, so structure is never corrupted.  A
+           fallback-path allocation models the allocator's reserve pool:
+           the slow path succeeds (graceful degradation).  Tests that want
+           the raw non-transactional failure build an injector directly. *)
+        in_txn
+        && fold (fun acc -> function Alloc_pressure -> true | _ -> acc) false
+             ~tid ~clock);
+  }
+
+(* Earliest fault onset and latest fault end, for phase bookkeeping
+   (before / under / after fault) in the chaos harness. *)
+let span (plan : t) =
+  match plan with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) i ->
+             (min lo i.window.from_cycle, max hi i.window.until_cycle))
+           (max_int, min_int) plan)
+
+(* ---------- naming and reporting ---------- *)
+
+let fault_name = function
+  | Spurious_burst _ -> "spurious_burst"
+  | Capacity_squeeze _ -> "capacity_squeeze"
+  | Preempt -> "preempt"
+  | Lock_holder_stall _ -> "lock_holder_stall"
+  | Clock_skew _ -> "clock_skew"
+  | Alloc_pressure -> "alloc_pressure"
+
+let target_to_json = function
+  | All -> Json.Str "all"
+  | Thread t -> Json.Int t
+
+let fault_params = function
+  | Spurious_burst { extra_per_million } ->
+      [ ("extra_per_million", Json.Int extra_per_million) ]
+  | Capacity_squeeze { rs; ws } ->
+      [ ("rs", Json.Int rs); ("ws", Json.Int ws) ]
+  | Preempt -> []
+  | Lock_holder_stall { stall } -> [ ("stall", Json.Int stall) ]
+  | Clock_skew { per_mille } -> [ ("per_mille", Json.Int per_mille) ]
+  | Alloc_pressure -> []
+
+let injection_to_json i =
+  Json.Obj
+    ([
+       ("fault", Json.Str (fault_name i.fault));
+       ("target", target_to_json i.target);
+       ("from_cycle", Json.Int i.window.from_cycle);
+       ("until_cycle", Json.Int i.window.until_cycle);
+     ]
+    @ fault_params i.fault)
+
+let to_json (plan : t) = Json.List (List.map injection_to_json plan)
+
+(* ---------- stock plans ---------- *)
+
+(* The full chaos campaign, scaled to a calibrated fault-free horizon:
+   one window per fault class, spread over the middle of the run so a
+   clean warm-up precedes the storm and a clean tail follows it (that tail
+   is what the recovery-time metric measures).  Windows target the middle
+   threads so tid 0 (the monitor in the chaos harness) keeps observing. *)
+let campaign ~threads ~horizon : t =
+  let at f = int_of_float (float_of_int horizon *. f) in
+  let w a b = window ~from_cycle:(at a) ~until_cycle:(at b) in
+  let victim = if threads > 1 then 1 mod threads else 0 in
+  let skewed = if threads > 2 then 2 else victim in
+  [
+    { fault = Spurious_burst { extra_per_million = 20_000 };
+      target = All;
+      window = w 0.10 0.25 };
+    { fault = Capacity_squeeze { rs = 48; ws = 12 };
+      target = All;
+      window = w 0.25 0.40 };
+    { fault = Preempt; target = Thread victim; window = w 0.40 0.48 };
+    { fault = Lock_holder_stall { stall = max 1 (horizon / 25) };
+      target = All;
+      window = w 0.50 0.58 };
+    { fault = Clock_skew { per_mille = 600 };
+      target = Thread skewed;
+      window = w 0.58 0.70 };
+    { fault = Alloc_pressure; target = All; window = w 0.70 0.78 };
+  ]
+
+(* The nastiest directed scenario: whoever grabs the fallback lock inside
+   the window sits on it for [stall] cycles.  Under the naive paper-era
+   policy every other thread lemmings into the fallback queue; the polite
+   policy (with the watchdog) keeps transacting once the holder leaves. *)
+let lemming_storm ~from_cycle ~until_cycle ~stall : t =
+  [
+    { fault = Lock_holder_stall { stall };
+      target = All;
+      window = window ~from_cycle ~until_cycle };
+  ]

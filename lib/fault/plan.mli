@@ -1,0 +1,64 @@
+(** Declarative, seed-deterministic fault plans.
+
+    A plan schedules faults — what, on which threads, over which simulated
+    cycle window — and compiles to the {!Euno_sim.Machine.injector} hooks.
+    Because the compiled hooks are pure functions of [(tid, clock)], a
+    fixed plan provokes identical adversity on every run with the same
+    seed.  See DESIGN.md §"Fault model" for each fault's hardware
+    analogue. *)
+
+type target =
+  | All
+  | Thread of int
+
+type window = { from_cycle : int; until_cycle : int }
+
+type fault =
+  | Spurious_burst of { extra_per_million : int }
+      (** interrupt / GC storm: extra spurious-abort probability per
+          million transactional accesses *)
+  | Capacity_squeeze of { rs : int; ws : int }
+      (** SMT cache sharing: shrink the read/write-set line limits *)
+  | Preempt
+      (** thread descheduled for the whole window; a live transaction
+          aborts (context switches kill RTM transactions) *)
+  | Lock_holder_stall of { stall : int }
+      (** a lock acquired inside the window is held [stall] extra cycles:
+          preemption while holding the fallback lock *)
+  | Clock_skew of { per_mille : int }
+      (** DVFS / thermal throttling: every cycle charge inflated *)
+  | Alloc_pressure
+      (** allocator slow path: transactional allocations abort with
+          [Abort.Alloc_fault] and roll back safely.  Plain (fallback-path)
+          allocations are deliberately spared — they model the allocator's
+          reserve pool succeeding — so plans never corrupt a half-applied
+          update.  Direct injectors can still fail plain allocations with
+          [Euno_mem.Alloc.Alloc_failure]. *)
+
+type injection = { fault : fault; target : target; window : window }
+
+type t = injection list
+(** Overlapping injections compose: spurious storms and skew add, the
+    tightest capacity squeeze wins, the longest preemption wins. *)
+
+val window : from_cycle:int -> until_cycle:int -> window
+
+val to_injector : t -> Euno_sim.Machine.injector
+(** Compile the plan into the machine's pure fault hooks. *)
+
+val span : t -> (int * int) option
+(** [(earliest onset, latest end)] over all injections; [None] for the
+    empty plan.  Used for before/under/after-fault phase bookkeeping. *)
+
+val fault_name : fault -> string
+val to_json : t -> Euno_stats.Json.t
+
+val campaign : threads:int -> horizon:int -> t
+(** The stock chaos campaign: one window per fault class spread over the
+    middle of a run whose fault-free length is [horizon] cycles, leaving a
+    clean warm-up and a clean tail (the tail is what recovery time is
+    measured against). *)
+
+val lemming_storm : from_cycle:int -> until_cycle:int -> stall:int -> t
+(** Directed worst case: whoever acquires the fallback lock inside the
+    window sits on it for [stall] extra cycles. *)

@@ -431,7 +431,10 @@ let policy scale =
       ~title:
         "Extension: HTM-B+Tree under DBX-era vs post-lemming-fix retry policy (16 threads)"
       ~headers:
-        [ "skew"; "policy"; "Mops/s"; "aborts/op"; "fallbacks/op"; "wasted" ]
+        [
+          "skew"; "policy"; "Mops/s"; "aborts/op"; "fallbacks/op"; "wasted";
+          "convoys/op"; "starv/op";
+        ]
   in
   List.iter
     (fun theta ->
@@ -450,6 +453,8 @@ let policy scale =
               Table.cell_f r.Runner.r_aborts_per_op;
               Table.cell_f r.Runner.r_fallbacks_per_op;
               Table.cell_pct r.Runner.r_wasted_pct;
+              Table.cell_f r.Runner.r_convoy_events_per_op;
+              Table.cell_f r.Runner.r_starvation_backoffs_per_op;
             ])
         [
           ("dbx-era", Euno_htm.Htm.default_policy);

@@ -141,6 +141,9 @@ let result_to_json ?experiment ?run (r : Runner.result) =
         ("retries_per_op", Json.Float r.r_retries_per_op);
         ("lock_wait_pct", Json.Float r.r_lock_wait_pct);
         ("consistency_retries_per_op", Json.Float r.r_consistency_retries_per_op);
+        ("watchdog_trips_per_op", Json.Float r.r_watchdog_trips_per_op);
+        ("starvation_backoffs_per_op", Json.Float r.r_starvation_backoffs_per_op);
+        ("convoy_events_per_op", Json.Float r.r_convoy_events_per_op);
         ("instr_per_op", Json.Float r.r_instr_per_op);
         ("lat_p50", Json.Int r.r_lat_p50);
         ("lat_p99", Json.Int r.r_lat_p99);
@@ -252,6 +255,9 @@ let validate_result obj =
   let* () = require_field obj "aborts_per_op" is_num in
   let* () = require_field obj "abort_classes" is_obj in
   let* () = require_field obj "wasted_pct" is_num in
+  let* () = require_field obj "watchdog_trips_per_op" is_num in
+  let* () = require_field obj "starvation_backoffs_per_op" is_num in
+  let* () = require_field obj "convoy_events_per_op" is_num in
   let* () = require_field obj "lat_p50" is_int in
   let* () = require_field obj "lat_p99" is_int in
   let* () = require_field obj "mem" is_obj in
@@ -282,11 +288,35 @@ let validate_aggregate obj =
   in
   Ok ()
 
+(* Chaos records are produced by the Chaos harness (fault-injection
+   campaigns); Chaos builds the JSON, this is its contract. *)
+let validate_chaos obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "seed" is_int in
+  let* () = require_field obj "horizon_cycles" is_int in
+  let* () = require_field obj "plan" is_list in
+  let* () = require_field obj "ops" is_int in
+  let* () = require_field obj "failed_ops" is_int in
+  let* () = require_field obj "cycles" is_int in
+  let* () = require_field obj "mops_clean" is_num in
+  let* () = require_field obj "mops_fault" is_num in
+  let* () = require_field obj "mops_after" is_num in
+  let* () = require_field obj "recovery_cycles" is_int in
+  let* () = require_field obj "invariant_violations" is_int in
+  let* () = require_field obj "model_mismatches" is_int in
+  let* () = require_field obj "checkpoints" is_int in
+  let* () = require_field obj "aborts" is_obj in
+  let* () = require_field obj "degradation" is_obj in
+  require_field obj "snapshots" is_list
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
   | Some (Json.Str "window") -> validate_window obj
   | Some (Json.Str "aggregate") -> validate_aggregate obj
+  | Some (Json.Str "chaos") -> validate_chaos obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

@@ -72,6 +72,9 @@ val validate_result : Json.t -> (unit, string) result
 val validate_window : Json.t -> (unit, string) result
 val validate_aggregate : Json.t -> (unit, string) result
 
+val validate_chaos : Json.t -> (unit, string) result
+(** Contract for the ["chaos"] records {!Chaos.outcome_to_json} emits. *)
+
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)
 

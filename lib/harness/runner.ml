@@ -50,6 +50,9 @@ type setup = {
     (* record cumulative machine counters every N simulated cycles,
        exposing collapse dynamics (lemming ignition, theta sweeps) as a
        time series in [r_snapshots] *)
+  fault_plan : Euno_fault.Plan.t;
+    (* deterministic fault injections compiled into the machine's hooks
+       before the measurement phase; [] (the default) = no faults *)
 }
 
 let default_setup =
@@ -62,6 +65,7 @@ let default_setup =
     policy = None;
     check_after = false;
     snapshot_window = None;
+    fault_plan = [];
   }
 
 type result = {
@@ -78,6 +82,9 @@ type result = {
   r_retries_per_op : float;
   r_lock_wait_pct : float; (* CPU time queueing on the fallback lock *)
   r_consistency_retries_per_op : float;
+  r_watchdog_trips_per_op : float; (* polite waits cut short by the watchdog *)
+  r_starvation_backoffs_per_op : float;
+  r_convoy_events_per_op : float; (* fallback entries at convoy depth *)
   r_instr_per_op : float; (* interpreted accesses: instruction proxy *)
   r_lat_p50 : int; (* per-op latency percentiles, simulated cycles *)
   r_lat_p99 : int;
@@ -151,6 +158,8 @@ let run kind workload setup =
   let latencies =
     Array.init setup.threads (fun _ -> Array.make setup.ops_per_thread 0)
   in
+  if setup.fault_plan <> [] then
+    Machine.set_injector m (Euno_fault.Plan.to_injector setup.fault_plan);
   (match setup.snapshot_window with
   | Some window -> Machine.set_sampling m ~window
   | None -> ());
@@ -243,6 +252,15 @@ let run kind workload setup =
     r_consistency_retries_per_op =
       float_of_int
         s.Machine.s_user.(Eunomia.Euno_tree.Counter.consistency_retries)
+      /. fops;
+    r_watchdog_trips_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.watchdog_trips)
+      /. fops;
+    r_starvation_backoffs_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.starvation_backoffs)
+      /. fops;
+    r_convoy_events_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.convoy_events)
       /. fops;
     r_instr_per_op = float_of_int s.Machine.s_accesses /. fops;
     r_lat_p50 = fst lat;

@@ -36,6 +36,9 @@ type setup = {
   snapshot_window : int option;
       (** sample cumulative machine counters every N simulated cycles into
           [r_snapshots] (time-resolved telemetry); default off *)
+  fault_plan : Euno_fault.Plan.t;
+      (** deterministic fault injections installed on the measurement
+          machine before the run; [[]] (the default) = no faults *)
 }
 
 val default_setup : setup
@@ -56,6 +59,12 @@ type result = {
   r_retries_per_op : float;
   r_lock_wait_pct : float;
   r_consistency_retries_per_op : float;
+  r_watchdog_trips_per_op : float;
+      (** polite lock waits cut short by the bounded-wait watchdog *)
+  r_starvation_backoffs_per_op : float;
+      (** escalating backoffs taken after consecutive fallbacks *)
+  r_convoy_events_per_op : float;
+      (** fallback entries that found a convoy already queued *)
   r_instr_per_op : float;
   r_lat_p50 : int;
       (** median per-operation latency in simulated cycles *)

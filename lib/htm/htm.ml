@@ -4,7 +4,16 @@
    each abort type has its own retry budget; when a budget is exhausted the
    operation falls back to a global lock.  Transactions read the fallback
    lock word right after xbegin, so a fallback holder aborts them
-   (lock elision). *)
+   (lock elision).
+
+   Graceful degradation: the polite wait-for-lock spin is bounded by a
+   watchdog (a stalled fallback holder cannot hang a waiter forever — the
+   waiter falls through to the budget path and eventually serializes), the
+   fallback acquisition itself is bounded (a leaked lock surfaces as
+   Stuck_fallback instead of a livelock), threads that keep losing the
+   fast path are detected as starving and back off with escalating jitter,
+   and a convoy on the fallback lock is counted through user-counter
+   telemetry. *)
 
 module Api = Euno_sim.Api
 module Abort = Euno_sim.Abort
@@ -16,7 +25,7 @@ type policy = {
   conflict_retries : int;
   capacity_retries : int;
   lock_busy_retries : int; (* explicit aborts: fallback lock observed held *)
-  other_retries : int; (* spurious / timer *)
+  other_retries : int; (* spurious / timer / alloc-fault *)
   backoff_base : int;
   backoff_cap : int;
   wait_for_lock : bool;
@@ -25,10 +34,23 @@ type policy = {
          paper-era implementations (DBX; pre-fix glibc elision) did NOT do
          this — retrying straight into a held lock is what produces the
          fallback death spiral ("lemming effect") under contention. *)
+  max_lock_wait : int;
+      (* watchdog: cycles a wait_for_lock spin may queue on a held
+         fallback lock before giving up and falling through to the budget
+         path.  Keeps a preempted/stalled holder from hanging waiters. *)
+  stuck_limit : int;
+      (* cycles the fallback path may spin acquiring the lock before the
+         operation raises Stuck_fallback: past this point the lock is
+         considered leaked, not merely contended *)
+  starvation_threshold : int;
+      (* consecutive fallbacks by one thread before it is considered
+         starving and starts escalating jittered backoff ahead of the
+         lock; max_int disables detection (paper-era behaviour) *)
 }
 
 (* The DBX-style policy the paper's baselines use: a small conflict budget,
-   mild backoff, and naive retry against a held fallback lock. *)
+   mild backoff, and naive retry against a held fallback lock.  Starvation
+   detection is disabled so the paper's collapse shapes are preserved. *)
 let default_policy =
   {
     conflict_retries = 2;
@@ -38,6 +60,9 @@ let default_policy =
     backoff_base = 16;
     backoff_cap = 1024;
     wait_for_lock = false;
+    max_lock_wait = 50_000;
+    stuck_limit = 5_000_000;
+    starvation_threshold = max_int;
   }
 
 (* A modern, well-behaved policy (post-lemming-fix), for ablations. *)
@@ -50,13 +75,20 @@ let polite_policy =
     backoff_base = 64;
     backoff_cap = 8192;
     wait_for_lock = true;
+    max_lock_wait = 50_000;
+    stuck_limit = 5_000_000;
+    starvation_threshold = 3;
   }
 
-(* User-counter indices (see Machine.n_user_counters). *)
+(* User-counter indices (see Machine.n_user_counters).  This module owns
+   0-2 and 8-10; Euno_tree owns 3-7. *)
 module Counter = struct
   let fallbacks = 0
   let retries = 1
   let lock_wait_cycles = 2 (* cycles spent queueing on the fallback lock *)
+  let watchdog_trips = 8 (* bounded lock waits that gave up *)
+  let starvation_backoffs = 9 (* escalating backoffs by starving threads *)
+  let convoy_events = 10 (* fallback entries that joined a convoy *)
 
   (* Telemetry labels for the indices this module owns. *)
   let names =
@@ -64,31 +96,68 @@ module Counter = struct
       (fallbacks, "fallbacks");
       (retries, "retries");
       (lock_wait_cycles, "lock_wait_cycles");
+      (watchdog_trips, "watchdog_trips");
+      (starvation_backoffs, "starvation_backoffs");
+      (convoy_events, "convoy_events");
     ]
 end
 
-type lock = int
-(* The fallback lock is a plain spinlock word. *)
+(* Threads simultaneously past the fallback entry (queued or holding) that
+   count as a convoy. *)
+let convoy_depth = 3
 
-let alloc_lock () = Spinlock.alloc ()
+(* The fallback lock plus its degradation-tracking sidecar: one word of
+   fallback depth (how many threads are past the fallback entry right
+   now), then a per-thread consecutive-fallback slot.  The sidecar is
+   bookkeeping, not protocol data: the depth word is FAA'd outside
+   transactions and the slots use untracked accesses, so none of it can
+   doom a transaction or join a read set. *)
+type lock = { word : int; aux : int }
+
+let aux_words = 1 + Euno_sim.Line_table.max_threads
+
+let alloc_lock () =
+  {
+    word = Spinlock.alloc ();
+    aux = Api.alloc ~kind:Euno_mem.Linemap.Scratch ~words:aux_words;
+  }
+
+let lock_word l = l.word
 
 exception Unreachable_after_xabort
+exception Stuck_fallback of { lock : int; waited : int }
 
-(* One transactional attempt of [f].  Returns the abort code on failure. *)
+(* One transactional attempt of [f].  Returns the abort code on failure.
+
+   [Api.xbegin] must be evaluated *inside* the match scrutinee: the machine
+   starts the transaction eagerly when the effect is performed, so the
+   thread can already be doomed (e.g. by an injected preemption) while
+   parked at the xbegin call site — the abort is then delivered exactly
+   there, and a scrutinee that starts after xbegin would let it escape. *)
 let attempt f =
-  Api.xbegin ();
   match
+    Api.xbegin ();
     let v = f () in
     Api.xend ();
     v
   with
   | v -> Ok v
   | exception Eff.Txn_abort code -> Error code
+  | exception e ->
+      (* A user exception escaping [f] must not leave the machine with an
+         open transaction: explicitly abort (rolling back buffered writes)
+         before re-raising.  The xabort itself is observed as Txn_abort at
+         its own call site, and the transaction may already have been
+         doomed before [e] was raised — swallow that delivery, the user
+         exception is what propagates. *)
+      (try if Api.xtest () then Api.xabort Abort.xabort_user_exn
+       with Eff.Txn_abort _ -> ());
+      raise e
 
 (* One *elided* attempt: subscribe to the fallback lock first. *)
 let attempt_elided ~lock f =
   attempt (fun () ->
-      if Spinlock.is_locked lock then begin
+      if Spinlock.is_locked lock.word then begin
         Api.xabort Abort.xabort_lock_held;
         raise Unreachable_after_xabort
       end;
@@ -127,7 +196,7 @@ let spend budgets (code : Abort.code) =
       take (fun () -> budgets.capacity) (fun v -> budgets.capacity <- v)
   | Abort.Explicit _ ->
       take (fun () -> budgets.lock_busy) (fun v -> budgets.lock_busy <- v)
-  | Abort.Spurious | Abort.Timer ->
+  | Abort.Spurious | Abort.Timer | Abort.Alloc_fault ->
       take (fun () -> budgets.other) (fun v -> budgets.other <- v)
 
 (* Execute [f] atomically: transactionally with retries, then under the
@@ -139,18 +208,66 @@ let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
     ~lock f =
   let budgets = budgets_of policy in
   let backoff = Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap () in
+  (* Bounded polite wait: true when the lock came free, false when the
+     watchdog fired first (holder preempted, stalled, or leaked). *)
   let wait_unlocked () =
+    let t0 = Api.clock () in
     let rec spin () =
-      if Spinlock.is_locked lock then begin
+      if not (Spinlock.is_locked lock.word) then true
+      else if Api.clock () - t0 > policy.max_lock_wait then false
+      else begin
         Api.work 64;
         spin ()
       end
     in
     spin ()
   in
+  let starvation_slot = lock.aux + 1 + Api.tid () in
+  (* Serialize under the fallback lock, with convoy and starvation
+     accounting around the bounded acquisition. *)
+  let fallback () =
+    Api.count Counter.fallbacks 1;
+    let consecutive = Api.untracked_read starvation_slot + 1 in
+    Api.untracked_write starvation_slot consecutive;
+    let depth = Api.faa lock.aux 1 + 1 in
+    if depth >= convoy_depth then Api.count Counter.convoy_events 1;
+    (if consecutive > policy.starvation_threshold then begin
+       (* Starving: this thread keeps losing the fast path.  Escalate a
+          jittered backoff ahead of the lock so the convoy can drain and
+          other threads regain the fast path (the anti-lemming valve). *)
+       Api.count Counter.starvation_backoffs 1;
+       let over = min 10 (consecutive - policy.starvation_threshold) in
+       let d = min policy.backoff_cap (policy.backoff_base * (1 lsl over)) in
+       Api.work (d + Api.rand (d + 1))
+     end);
+    let t0 = Api.clock () in
+    let acquired =
+      Spinlock.acquire_bounded ~max_cycles:policy.stuck_limit lock.word
+    in
+    Api.count Counter.lock_wait_cycles (Api.clock () - t0);
+    if not acquired then begin
+      ignore (Api.faa lock.aux (-1));
+      raise (Stuck_fallback { lock = lock.word; waited = Api.clock () - t0 })
+    end;
+    let leave () =
+      Spinlock.release lock.word;
+      ignore (Api.faa lock.aux (-1))
+    in
+    match f () with
+    | v ->
+        leave ();
+        v
+    | exception e ->
+        leave ();
+        raise e
+  in
   let rec go () =
     match attempt_elided ~lock f with
-    | Ok v -> v
+    | Ok v ->
+        (* Fast path won: the thread is not starving. *)
+        if Api.untracked_read starvation_slot <> 0 then
+          Api.untracked_write starvation_slot 0;
+        v
     | Error code ->
         on_abort code;
         (* A lock-held abort under a waiting policy is not a failed attempt:
@@ -158,37 +275,33 @@ let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
            and retries with its budgets intact.  Charging the lock_busy
            bucket here would let a politely-queueing thread exhaust it and
            grab the fallback lock itself — amplifying the very convoy
-           wait_for_lock exists to prevent. *)
-        if policy.wait_for_lock && code = Abort.Explicit Abort.xabort_lock_held
-        then begin
+           wait_for_lock exists to prevent.  The queueing is bounded by the
+           watchdog: when the holder outlasts max_lock_wait the wait stops
+           being free and the abort falls through to the budget path. *)
+        let queued =
+          policy.wait_for_lock && code = Abort.Explicit Abort.xabort_lock_held
+        in
+        if queued && wait_unlocked () then begin
           Api.count Counter.retries 1;
-          wait_unlocked ();
-          go ()
-        end
-        else if spend budgets code then begin
-          Api.count Counter.retries 1;
-          (match code with
-          | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
-          | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
-          | Abort.Timer ->
-              ());
-          (* Post-fix implementations spin outside the transaction while
-             the fallback lock is held; paper-era ones dive right back in. *)
-          if policy.wait_for_lock then wait_unlocked ();
           go ()
         end
         else begin
-          Api.count Counter.fallbacks 1;
-          let t0 = Api.clock () in
-          Spinlock.acquire lock;
-          Api.count Counter.lock_wait_cycles (Api.clock () - t0);
-          match f () with
-          | v ->
-              Spinlock.release lock;
-              v
-          | exception e ->
-              Spinlock.release lock;
-              raise e
+          if queued then Api.count Counter.watchdog_trips 1;
+          if spend budgets code then begin
+            Api.count Counter.retries 1;
+            (match code with
+            | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+            | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+            | Abort.Timer | Abort.Alloc_fault ->
+                ());
+            (* Post-fix implementations spin outside the transaction while
+               the fallback lock is held; paper-era ones dive right back
+               in.  (Bounded: a watchdog trip here just means the next
+               attempt aborts lock-held and spends budget.) *)
+            if policy.wait_for_lock && not queued then ignore (wait_unlocked ());
+            go ()
+          end
+          else fallback ()
         end
   in
   go ()

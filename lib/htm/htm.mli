@@ -2,7 +2,12 @@
 
     Reproduces the DBX/DrTM fallback strategy the paper reuses: per-abort-
     type retry budgets, then serialization on a global fallback lock that
-    elided transactions subscribe to. *)
+    elided transactions subscribe to.
+
+    Hardened for graceful degradation: polite lock waits are bounded by a
+    watchdog, fallback acquisition is bounded (a leaked lock raises
+    {!Stuck_fallback} instead of hanging), starving threads escalate a
+    jittered backoff, and fallback convoys are counted in telemetry. *)
 
 type policy = {
   conflict_retries : int;
@@ -15,15 +20,28 @@ type policy = {
       (** spin outside the transaction while the fallback lock is held;
           paper-era implementations did not, which is what produces the
           fallback death spiral under contention *)
+  max_lock_wait : int;
+      (** watchdog bound (cycles) on a [wait_for_lock] queue: past it the
+          waiter stops queueing for free and falls through to the budget
+          path, so a stalled fallback holder cannot hang it forever *)
+  stuck_limit : int;
+      (** bound (cycles) on acquiring the fallback lock itself; exceeded
+          means the lock is leaked, and the operation raises
+          {!Stuck_fallback} *)
+  starvation_threshold : int;
+      (** consecutive fallbacks by one thread before it starts escalating
+          jittered backoff ahead of the lock; [max_int] disables *)
 }
 
 val default_policy : policy
-(** The DBX-style paper-era policy (naive lock retry). *)
+(** The DBX-style paper-era policy (naive lock retry, starvation
+    detection disabled so the paper's collapse shapes are preserved). *)
 
 val polite_policy : policy
 (** A modern post-lemming-fix policy, for ablations. *)
 
-(** User-counter indices used by this module (via {!Euno_sim.Api.count}). *)
+(** User-counter indices used by this module (via {!Euno_sim.Api.count}).
+    This module owns 0-2 and 8-10; [Euno_tree] owns 3-7. *)
 module Counter : sig
   val fallbacks : int
   val retries : int
@@ -31,17 +49,45 @@ module Counter : sig
   val lock_wait_cycles : int
   (** Cycles spent queueing on the fallback lock (serialization wait). *)
 
+  val watchdog_trips : int
+  (** Bounded polite lock waits that gave up on a stalled holder. *)
+
+  val starvation_backoffs : int
+  (** Escalating backoffs taken by threads past the starvation
+      threshold. *)
+
+  val convoy_events : int
+  (** Fallback entries that found {!convoy_depth} or more threads already
+      past the fallback entry. *)
+
   val names : (int * string) list
   (** Telemetry labels for the user-counter indices this module owns. *)
 end
 
-type lock = int
-(** Fallback lock: a spinlock word address. *)
+val convoy_depth : int
+(** Simultaneous fallback-path threads that count as a convoy. *)
+
+type lock = { word : int; aux : int }
+(** Fallback lock: the spinlock word plus a bookkeeping sidecar (fallback
+    depth + per-thread consecutive-fallback slots) used by the convoy and
+    starvation detectors.  The sidecar is accessed untracked / outside
+    transactions only, so it never dooms a transaction. *)
 
 val alloc_lock : unit -> lock
 
+val lock_word : lock -> int
+(** The spinlock word, for code that drives the lock directly
+    (tests, holders simulated outside {!atomic}). *)
+
+exception Stuck_fallback of { lock : int; waited : int }
+(** The fallback path spun [policy.stuck_limit] cycles without acquiring
+    the lock: it is leaked or its holder is stalled beyond reason. *)
+
 val attempt : (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
-(** One raw transactional attempt (no lock subscription, no retry). *)
+(** One raw transactional attempt (no lock subscription, no retry).  If
+    [f] raises a non-abort exception, the open transaction is explicitly
+    aborted (buffered writes rolled back) before the exception
+    propagates. *)
 
 val attempt_elided : lock:lock -> (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
 (** One attempt that subscribes to the fallback lock: aborts explicitly if
@@ -57,4 +103,6 @@ val atomic :
     budgets and backoff, then the fallback lock.  [f] may run multiple
     times (aborted attempts have no visible effects) and must not catch
     {!Euno_sim.Eff.Txn_abort}.  [on_abort] runs outside the transaction
-    after each aborted attempt. *)
+    after each aborted attempt.
+    @raise Stuck_fallback when the fallback lock cannot be acquired within
+    [policy.stuck_limit] cycles. *)

@@ -12,6 +12,11 @@ type stats = {
 let fresh_stats () =
   { live_words = 0; peak_words = 0; alloc_count = 0; free_count = 0 }
 
+(* Raised to thread code when injected allocator pressure makes a
+   non-transactional allocation fail (Machine fault injection); the trees
+   must surface it cleanly rather than corrupt structure. *)
+exception Alloc_failure
+
 let nkinds = 7
 
 let kind_index : Linemap.kind -> int = function

@@ -15,6 +15,12 @@ type stats = {
 
 type t
 
+exception Alloc_failure
+(** Delivered to thread code when injected allocator pressure fails a
+    non-transactional allocation (see [Machine.injector]).  Inside a
+    transaction the same fault instead aborts the transaction with
+    [Abort.Alloc_fault]. *)
+
 val create : Memory.t -> Linemap.t -> t
 
 val round_to_lines : int -> int

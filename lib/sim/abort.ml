@@ -20,12 +20,21 @@ type code =
   | Explicit of int (* xabort imm8, e.g. lock-elision "lock is held" *)
   | Spurious (* interrupt / GC-like *)
   | Timer (* transaction exceeded its cycle budget *)
+  | Alloc_fault
+    (* transactional allocation forced onto the allocator's slow path
+       (injected allocator pressure): a page fault / syscall inside an RTM
+       region always aborts the transaction *)
 
 (* Conventional imm8 used by lock elision when the fallback lock is found
    held inside the transaction. *)
 let xabort_lock_held = 0xff
 
-let n_classes = 9
+(* imm8 used by Htm.attempt when a user exception escapes the transaction
+   body: the transaction is explicitly aborted before the exception is
+   re-raised so the machine never carries an open transaction. *)
+let xabort_user_exn = 0xfe
+
+let n_classes = 10
 
 let index = function
   | Conflict True_conflict -> 0
@@ -37,6 +46,7 @@ let index = function
   | Explicit _ -> 6
   | Spurious -> 7
   | Timer -> 8
+  | Alloc_fault -> 9
 
 let class_name = function
   | 0 -> "conflict:true"
@@ -48,6 +58,7 @@ let class_name = function
   | 6 -> "explicit"
   | 7 -> "spurious"
   | 8 -> "timer"
+  | 9 -> "alloc"
   | _ -> invalid_arg "Abort.class_name"
 
 let to_string = function
@@ -60,6 +71,7 @@ let to_string = function
   | Explicit n -> Printf.sprintf "explicit(0x%x)" n
   | Spurious -> "spurious"
   | Timer -> "timer"
+  | Alloc_fault -> "alloc-fault"
 
 let is_conflict = function Conflict _ -> true | _ -> false
 
@@ -68,7 +80,9 @@ let is_conflict = function Conflict _ -> true | _ -> false
 let is_data_conflict = function
   | Conflict Subscription -> false
   | Conflict (True_conflict | False_record | False_metadata) -> true
-  | Capacity_read | Capacity_write | Explicit _ | Spurious | Timer -> false
+  | Capacity_read | Capacity_write | Explicit _ | Spurious | Timer
+  | Alloc_fault ->
+      false
 
 (* Lock-kind lines are only ever CAS'd outside transactions; the one way a
    transaction holds one is the elision subscription read at xbegin, so a

@@ -22,9 +22,17 @@ type code =
   | Explicit of int
   | Spurious
   | Timer
+  | Alloc_fault
+      (** transactional allocation forced onto the slow path by injected
+          allocator pressure; a page fault / syscall inside an RTM region
+          always aborts the transaction *)
 
 val xabort_lock_held : int
 (** Conventional [xabort] imm8 meaning "fallback lock observed held". *)
+
+val xabort_user_exn : int
+(** imm8 used by {!Euno_htm} when a user exception escapes a transaction
+    body and the transaction must be torn down before re-raising. *)
 
 val n_classes : int
 (** Number of distinct counter buckets. *)

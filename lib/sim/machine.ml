@@ -41,6 +41,50 @@ let fresh_counters () =
     user = Array.make n_user_counters 0;
   }
 
+(* ---------- fault injection ----------
+
+   Deterministic fault hooks consulted by the machine at well-defined
+   points.  Every hook is a pure function of (tid, simulated clock), so for
+   a fixed seed the same faults fire at the same simulated instants on
+   every run; the hooks themselves never mutate machine state.  See
+   Euno_fault for the declarative plan DSL that compiles to one of these. *)
+
+type injector = {
+  inj_spurious : tid:int -> clock:int -> int;
+      (* extra spurious-abort probability (per million transactional
+         accesses) on top of Cost.spurious_per_million: interrupt/GC storm *)
+  inj_capacity : tid:int -> clock:int -> (int * int) option;
+      (* Some (rs, ws): override the read/write-set line capacities while
+         active (SMT sibling stealing half the L1/L2), None: nominal *)
+  inj_preempt : tid:int -> clock:int -> int;
+      (* absolute clock the thread is descheduled until; <= clock means
+         runnable.  A preempted transaction aborts (context switches kill
+         RTM transactions), then the thread's clock jumps forward. *)
+  inj_lock_stall : tid:int -> clock:int -> int;
+      (* extra cycles the thread stalls immediately after a successful
+         non-transactional lock acquisition: preemption while holding the
+         fallback lock, the lemming-storm trigger *)
+  inj_skew : tid:int -> clock:int -> int;
+      (* per-mille slowdown applied to every cycle charge on this thread
+         (DVFS / thermal clock skew); 0 = nominal speed *)
+  inj_alloc_fail : tid:int -> clock:int -> in_txn:bool -> bool;
+      (* allocation attempted at this instant takes the allocator's slow
+         path: aborts the enclosing transaction (Abort.Alloc_fault) or, in
+         plain code, raises Euno_mem.Alloc.Alloc_failure.  [in_txn] lets a
+         plan target only transactional allocations (which roll back
+         safely) without failing fallback-path allocations mid-update. *)
+}
+
+let no_injector =
+  {
+    inj_spurious = (fun ~tid:_ ~clock:_ -> 0);
+    inj_capacity = (fun ~tid:_ ~clock:_ -> None);
+    inj_preempt = (fun ~tid:_ ~clock:_ -> 0);
+    inj_lock_stall = (fun ~tid:_ ~clock:_ -> 0);
+    inj_skew = (fun ~tid:_ ~clock:_ -> 0);
+    inj_alloc_fail = (fun ~tid:_ ~clock:_ ~in_txn:_ -> false);
+  }
+
 type resume = Resume : ('a, unit) Effect.Deep.continuation * 'a -> resume
 
 type status =
@@ -56,6 +100,9 @@ type tstate = {
   mutable clock : int;
   mutable status : status;
   mutable doom : Abort.code option;
+  mutable pending_exn : exn option;
+    (* non-abort exception to deliver at the next resumption (e.g. an
+       injected allocation failure outside a transaction) *)
   mutable txn : Txn.t option;
   rng : Rng.t;
   mutable op_key : int;
@@ -74,6 +121,7 @@ type t = {
   owner_socket : (int, int) Hashtbl.t; (* line -> socket of last writer *)
   cache_mask : int;
   mutable tracer : (Trace.event -> unit) option;
+  mutable inject : injector;
   mutable sample_window : int; (* 0 = periodic sampling disabled *)
   mutable next_sample : int; (* next window boundary, simulated cycles *)
   mutable samples : (int * snapshot) list; (* newest first *)
@@ -102,6 +150,7 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
       clock = 0;
       status = Done;
       doom = None;
+      pending_exn = None;
       txn = None;
       rng = Rng.create (seed + (tid * 7919) + 1);
       op_key = -1;
@@ -120,12 +169,14 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     owner_socket = Hashtbl.create 4096;
     cache_mask = cache_size - 1;
     tracer = None;
+    inject = no_injector;
     sample_window = 0;
     next_sample = max_int;
     samples = [];
   }
 
 let set_tracer m tracer = m.tracer <- tracer
+let set_injector m inj = m.inject <- inj
 
 let set_sampling m ~window =
   if window < 1 then invalid_arg "Machine.set_sampling: window < 1";
@@ -143,7 +194,26 @@ let cost m = m.cost
 
 (* ---------- cache warmth and cycle charging ---------- *)
 
-let charge t c = t.clock <- t.clock + c
+(* Every cycle charge passes through the skew hook, so a fault plan can
+   slow one core down uniformly (DVFS / thermal throttling). *)
+let charge m t c =
+  let c =
+    match m.inject.inj_skew ~tid:t.tid ~clock:t.clock with
+    | 0 -> c
+    | sk -> c + (c * sk / 1000)
+  in
+  t.clock <- t.clock + c
+
+(* Injected capacity squeeze overrides the nominal read/write-set limits. *)
+let rs_capacity m t =
+  match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
+  | Some (rs, _) -> rs
+  | None -> m.cost.Cost.rs_capacity
+
+let ws_capacity m t =
+  match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
+  | Some (_, ws) -> ws
+  | None -> m.cost.Cost.ws_capacity
 
 let mem_cost m t line ~write =
   let idx = line land m.cache_mask in
@@ -198,7 +268,7 @@ let abort_txn m (v : tstate) (code : Abort.code) =
       v.cnt.wasted_cycles <-
         v.cnt.wasted_cycles + (v.clock - txn.Txn.start_clock)
         + m.cost.Cost.abort_penalty;
-      charge v m.cost.Cost.abort_penalty;
+      charge m v m.cost.Cost.abort_penalty;
       trace m (Trace.Aborted { tid = v.tid; clock = v.clock; code });
       v.doom <- Some code
 
@@ -235,7 +305,10 @@ let doom_readers_of m ~attacker line =
 (* Spurious (interrupt/GC-like) and timer aborts, checked on every
    transactional access.  Returns true if the transaction just died. *)
 let txn_hazards m (t : tstate) (txn : Txn.t) =
-  let spur = m.cost.Cost.spurious_per_million in
+  let spur =
+    m.cost.Cost.spurious_per_million
+    + m.inject.inj_spurious ~tid:t.tid ~clock:t.clock
+  in
   if spur > 0 && Rng.int t.rng 1_000_000 < spur then begin
     abort_txn m t Abort.Spurious;
     true
@@ -251,7 +324,7 @@ let txn_hazards m (t : tstate) (txn : Txn.t) =
 let process_read m (t : tstate) addr =
   t.cnt.accesses <- t.cnt.accesses + 1;
   let line = Mem.line_of_addr addr in
-  charge t (mem_cost m t line ~write:false);
+  charge m t (mem_cost m t line ~write:false);
   match t.txn with
   | None ->
       doom_writer_of m ~attacker:t.tid line;
@@ -263,8 +336,7 @@ let process_read m (t : tstate) addr =
         | Some v -> v
         | None ->
             doom_writer_of m ~attacker:t.tid line;
-            if Txn.track_read txn line
-               && txn.Txn.reads > m.cost.Cost.rs_capacity
+            if Txn.track_read txn line && txn.Txn.reads > rs_capacity m t
             then begin
               abort_txn m t Abort.Capacity_read;
               0
@@ -278,7 +350,7 @@ let process_read m (t : tstate) addr =
 let process_write m (t : tstate) addr value =
   t.cnt.accesses <- t.cnt.accesses + 1;
   let line = Mem.line_of_addr addr in
-  charge t (mem_cost m t line ~write:true);
+  charge m t (mem_cost m t line ~write:true);
   match t.txn with
   | None ->
       doom_writer_of m ~attacker:t.tid line;
@@ -290,8 +362,7 @@ let process_write m (t : tstate) addr value =
       else begin
         doom_writer_of m ~attacker:t.tid line;
         doom_readers_of m ~attacker:t.tid line;
-        if Txn.track_write txn line
-           && txn.Txn.written > m.cost.Cost.ws_capacity
+        if Txn.track_write txn line && txn.Txn.written > ws_capacity m t
         then abort_txn m t Abort.Capacity_write
         else begin
           Line_table.set_writer m.lt line t.tid;
@@ -312,7 +383,7 @@ let current_value m (t : tstate) addr =
 let process_cas m (t : tstate) addr expected desired =
   t.cnt.accesses <- t.cnt.accesses + 1;
   let line = Mem.line_of_addr addr in
-  charge t (m.cost.Cost.cas + mem_cost m t line ~write:true);
+  charge m t (m.cost.Cost.cas + mem_cost m t line ~write:true);
   let old = current_value m t addr in
   let success = old = expected in
   (match t.txn with
@@ -329,8 +400,7 @@ let process_cas m (t : tstate) addr expected desired =
         doom_writer_of m ~attacker:t.tid line;
         if success then begin
           doom_readers_of m ~attacker:t.tid line;
-          if Txn.track_write txn line
-             && txn.Txn.written > m.cost.Cost.ws_capacity
+          if Txn.track_write txn line && txn.Txn.written > ws_capacity m t
           then abort_txn m t Abort.Capacity_write
           else begin
             Line_table.set_writer m.lt line t.tid;
@@ -340,11 +410,29 @@ let process_cas m (t : tstate) addr expected desired =
           end
         end
         else if Txn.track_read txn line then begin
-          if txn.Txn.reads > m.cost.Cost.rs_capacity then
+          if txn.Txn.reads > rs_capacity m t then
             abort_txn m t Abort.Capacity_read
           else Line_table.add_reader m.lt line t.tid
         end
       end);
+  (* Preemption while holding a lock: a successful non-transactional
+     acquisition of a Lock-kind word can be followed by an injected stall,
+     so every other thread sees the lock held for that much longer.  This
+     is the trigger for the fallback-holder lemming storm. *)
+  (if success && desired <> 0 && t.txn = None
+      && Lmap.kind_of_line m.map line = Lmap.Lock
+   then
+     let stall = m.inject.inj_lock_stall ~tid:t.tid ~clock:t.clock in
+     if stall > 0 then begin
+       trace m
+         (Trace.Injected
+            {
+              tid = t.tid;
+              clock = t.clock;
+              fault = Printf.sprintf "lock-holder-stall:+%d" stall;
+            });
+       t.clock <- t.clock + stall
+     end);
   success
 
 let process_faa m (t : tstate) addr delta =
@@ -357,7 +445,7 @@ let process_xbegin m (t : tstate) =
   (match t.txn with
   | Some _ -> failwith "Machine: nested transactions are not supported"
   | None -> ());
-  charge t m.cost.Cost.xbegin;
+  charge m t m.cost.Cost.xbegin;
   trace m (Trace.Xbegin { tid = t.tid; clock = t.clock });
   t.txn <- Some (Txn.create ~tid:t.tid ~start_clock:t.clock)
 
@@ -366,7 +454,7 @@ let process_xend m (t : tstate) =
   match t.txn with
   | None -> failwith "Machine: xend outside a transaction"
   | Some txn ->
-      charge t m.cost.Cost.xend;
+      charge m t m.cost.Cost.xend;
       (* Eager conflict detection guarantees exclusive ownership of the
          write set here, so commit always succeeds. *)
       Txn.iter_writes txn (fun addr value ->
@@ -391,12 +479,27 @@ let process_xend m (t : tstate) =
 
 let process_alloc m (t : tstate) kind words =
   t.cnt.accesses <- t.cnt.accesses + 1;
-  charge t m.cost.Cost.cache_miss;
-  let addr = Al.alloc m.alloc ~kind ~words in
-  (match t.txn with
-  | Some txn -> Txn.record_alloc txn kind addr words
-  | None -> ());
-  addr
+  charge m t m.cost.Cost.cache_miss;
+  if m.inject.inj_alloc_fail ~tid:t.tid ~clock:t.clock ~in_txn:(t.txn <> None)
+  then begin
+    (* The allocator's fast path is exhausted: inside a transaction the
+       slow path (page fault / syscall) always aborts, like real RTM;
+       outside, the failure surfaces as an exception the caller must
+       handle. *)
+    trace m
+      (Trace.Injected { tid = t.tid; clock = t.clock; fault = "alloc-pressure" });
+    (match t.txn with
+    | Some _ -> abort_txn m t Abort.Alloc_fault
+    | None -> t.pending_exn <- Some Al.Alloc_failure);
+    0
+  end
+  else begin
+    let addr = Al.alloc m.alloc ~kind ~words in
+    (match t.txn with
+    | Some txn -> Txn.record_alloc txn kind addr words
+    | None -> ());
+    addr
+  end
 
 let process_reclassify m (t : tstate) from_kind to_kind words =
   Al.reclassify m.alloc ~from_kind ~to_kind ~words;
@@ -406,7 +509,7 @@ let process_reclassify m (t : tstate) from_kind to_kind words =
 
 let process_free m (t : tstate) kind addr words =
   t.cnt.accesses <- t.cnt.accesses + 1;
-  charge t m.cost.Cost.cache_hit;
+  charge m t m.cost.Cost.cache_hit;
   match t.txn with
   | Some txn -> Txn.record_free txn kind addr words
   | None -> Al.free m.alloc ~kind ~addr ~words
@@ -503,7 +606,7 @@ let run m bodies =
           | Eff.Work c ->
               Some
                 (fun k ->
-                  charge t (max 0 c);
+                  charge m t (max 0 c);
                   park k ())
           | Eff.Xbegin -> Some (fun k -> park k (process_xbegin m t))
           | Eff.Xend -> Some (fun k -> park k (process_xend m t))
@@ -544,12 +647,12 @@ let run m bodies =
           | Eff.Untracked_read addr ->
               Some
                 (fun k ->
-                  charge t 1;
+                  charge m t 1;
                   park k (Mem.get m.mem addr))
           | Eff.Untracked_write (addr, v) ->
               Some
                 (fun k ->
-                  charge t 1;
+                  charge m t 1;
                   park k (Mem.set m.mem addr v))
           | _ -> None)
     }
@@ -559,6 +662,7 @@ let run m bodies =
       t.status <- Start (fun () -> bodies t.tid);
       t.clock <- 0;
       t.doom <- None;
+      t.pending_exn <- None;
       t.txn <- None)
     m.threads;
   let rec loop () =
@@ -566,20 +670,44 @@ let run m bodies =
     if tid >= 0 then begin
       let t = m.threads.(tid) in
       if m.sample_window > 0 then sample_boundaries m t.clock;
-      m.current <- tid;
-      (match t.status with
-      | Start f ->
-          t.status <- Running;
-          Effect.Deep.match_with f () (handler t)
-      | Ready (Resume (k, v)) -> (
-          t.status <- Running;
-          match t.doom with
-          | Some code ->
-              t.doom <- None;
-              Effect.Deep.discontinue k (Eff.Txn_abort code)
-          | None -> Effect.Deep.continue k v)
-      | Running | Done | Failed _ -> assert false);
-      loop ()
+      (* Injected preemption: the OS descheduled this thread until
+         [resume_at].  A live transaction dies (context switches abort RTM
+         transactions), the clock jumps, and the scheduler re-picks — other
+         threads run right past the stalled one. *)
+      let resume_at = m.inject.inj_preempt ~tid ~clock:t.clock in
+      if resume_at > t.clock then begin
+        trace m
+          (Trace.Injected
+             {
+               tid;
+               clock = t.clock;
+               fault = Printf.sprintf "preempt:until=%d" resume_at;
+             });
+        abort_txn m t Abort.Spurious;
+        t.clock <- max t.clock resume_at;
+        loop ()
+      end
+      else begin
+        m.current <- tid;
+        (match t.status with
+        | Start f ->
+            t.status <- Running;
+            Effect.Deep.match_with f () (handler t)
+        | Ready (Resume (k, v)) -> (
+            t.status <- Running;
+            match t.doom with
+            | Some code ->
+                t.doom <- None;
+                Effect.Deep.discontinue k (Eff.Txn_abort code)
+            | None -> (
+                match t.pending_exn with
+                | Some e ->
+                    t.pending_exn <- None;
+                    Effect.Deep.discontinue k e
+                | None -> Effect.Deep.continue k v))
+        | Running | Done | Failed _ -> assert false);
+        loop ()
+      end
     end
   in
   loop ();

@@ -47,6 +47,47 @@ val set_tracer : t -> (Trace.event -> unit) option -> unit
 (** Install (or remove) a trace sink; see {!Trace}.  Tracing never affects
     simulated results. *)
 
+(** {2 Fault injection}
+
+    Deterministic fault hooks the machine consults at well-defined points.
+    Every hook is a pure function of [(tid, clock)] — never of host state —
+    so a fixed seed plus a fixed injector reproduces the same faults at the
+    same simulated instants on every run.  [Euno_fault.Plan] compiles a
+    declarative fault plan into one of these records. *)
+
+type injector = {
+  inj_spurious : tid:int -> clock:int -> int;
+      (** extra spurious-abort probability (per million transactional
+          accesses) on top of [Cost.spurious_per_million]: models an
+          interrupt / GC storm *)
+  inj_capacity : tid:int -> clock:int -> (int * int) option;
+      (** [Some (rs, ws)] overrides the read/write-set line capacities
+          while active (an SMT sibling stealing cache); [None] = nominal *)
+  inj_preempt : tid:int -> clock:int -> int;
+      (** absolute clock the thread is descheduled until; values [<= clock]
+          mean runnable.  A preempted transaction aborts first (context
+          switches kill RTM transactions). *)
+  inj_lock_stall : tid:int -> clock:int -> int;
+      (** extra stall cycles charged immediately after a successful
+          non-transactional acquisition of a [Lock]-kind word: preemption
+          while holding the fallback lock *)
+  inj_skew : tid:int -> clock:int -> int;
+      (** per-mille slowdown applied to every cycle charge on the thread
+          (clock skew / DVFS); [0] = nominal *)
+  inj_alloc_fail : tid:int -> clock:int -> in_txn:bool -> bool;
+      (** allocation at this instant fails: aborts the enclosing
+          transaction with [Abort.Alloc_fault], or raises
+          [Euno_mem.Alloc.Alloc_failure] in plain code.  [in_txn] lets a
+          plan fail only transactional allocations (safely rolled back)
+          while fallback-path allocations still succeed. *)
+}
+
+val no_injector : injector
+(** Every hook inert; the default for every machine. *)
+
+val set_injector : t -> injector -> unit
+(** Install fault hooks.  Call before {!run}. *)
+
 val n_threads : t -> int
 val memory : t -> Euno_mem.Memory.t
 val linemap : t -> Euno_mem.Linemap.t

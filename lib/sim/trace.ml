@@ -19,6 +19,8 @@ type event =
       clock : int; (* attacker's clock at the coherence request *)
     }
   | Op_done of { tid : int; clock : int; key : int }
+  | Injected of { tid : int; clock : int; fault : string }
+    (* a fault-injection action fired on this thread (see Machine.injector) *)
 
 let event_to_string = function
   | Xbegin { tid; clock } -> Printf.sprintf "[%10d] t%-2d xbegin" clock tid
@@ -32,6 +34,8 @@ let event_to_string = function
         (Euno_mem.Linemap.kind_to_string kind)
   | Op_done { tid; clock; key } ->
       Printf.sprintf "[%10d] t%-2d op done (key %d)" clock tid key
+  | Injected { tid; clock; fault } ->
+      Printf.sprintf "[%10d] t%-2d FAULT %s" clock tid fault
 
 (* Bounded ring buffer of the most recent events. *)
 type ring = {
@@ -108,6 +112,14 @@ let event_to_json = function
           ("clock", Json.Int clock);
           ("key", Json.Int key);
         ]
+  | Injected { tid; clock; fault } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "injected");
+          ("tid", Json.Int tid);
+          ("clock", Json.Int clock);
+          ("fault", Json.Str fault);
+        ]
 
 (* One compact JSON document per retained event, oldest first: cat-able
    into any JSONL pipeline. *)
@@ -177,7 +189,14 @@ let chrome_trace r =
       | Op_done { tid; clock; key } ->
           emit
             (common ~name:"op" ~ph:"i" ~tid ~ts:clock
-               [ ("s", Json.Str "t"); ("args", Json.Obj [ ("key", Json.Int key) ]) ]))
+               [ ("s", Json.Str "t"); ("args", Json.Obj [ ("key", Json.Int key) ]) ])
+      | Injected { tid; clock; fault } ->
+          emit
+            (common ~name:"fault" ~ph:"i" ~tid ~ts:clock
+               [
+                 ("s", Json.Str "t");
+                 ("args", Json.Obj [ ("fault", Json.Str fault) ]);
+               ]))
     (events r);
   Json.Obj
     [
@@ -193,5 +212,6 @@ let for_thread r tid =
       | Commit e -> e.tid = tid
       | Aborted e -> e.tid = tid
       | Conflict e -> e.attacker = tid || e.victim = tid
-      | Op_done e -> e.tid = tid)
+      | Op_done e -> e.tid = tid
+      | Injected e -> e.tid = tid)
     (events r)

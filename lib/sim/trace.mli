@@ -17,6 +17,8 @@ type event =
       clock : int;
     }
   | Op_done of { tid : int; clock : int; key : int }
+  | Injected of { tid : int; clock : int; fault : string }
+      (** a fault-injection action fired on this thread *)
 
 val event_to_string : event -> string
 

@@ -1,0 +1,53 @@
+(* Sense-reversing centralized barrier over simulated memory.
+
+   Used by the chaos harness to quiesce all worker threads at invariant
+   checkpoints: every party arrives, one designated thread validates the
+   structure while the others hold at a second barrier, then everyone
+   resumes.  The count and sense words live on one private Scratch line so
+   barrier traffic neither false-shares with data nor triggers the
+   machine's Lock-line fault hooks.
+
+   The spin is bounded: if a party never arrives (its thread died or is
+   stalled beyond reason), waiters raise Timeout instead of spinning the
+   simulation forever — under fault injection a hung barrier must surface
+   as a failure, not a livelock. *)
+
+module Api = Euno_sim.Api
+
+type t = { base : int; parties : int }
+
+exception Timeout of { tid : int; waited : int }
+
+let count_addr t = t.base
+let sense_addr t = t.base + 1
+
+let create ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  let base =
+    Api.alloc ~kind:Euno_mem.Linemap.Scratch ~words:Euno_mem.Memory.line_words
+  in
+  (* allocations are zeroed: count = 0, sense = 0 *)
+  { base; parties }
+
+let default_max_wait = 50_000_000
+
+let wait ?(max_cycles = default_max_wait) t =
+  let sense = Api.read (sense_addr t) in
+  let arrived = Api.faa (count_addr t) 1 + 1 in
+  if arrived = t.parties then begin
+    (* Last arriver: open the next episode, then release everyone. *)
+    Api.write (count_addr t) 0;
+    Api.write (sense_addr t) (1 - sense)
+  end
+  else begin
+    let t0 = Api.clock () in
+    let rec spin () =
+      if Api.read (sense_addr t) = sense then begin
+        if Api.clock () - t0 > max_cycles then
+          raise (Timeout { tid = Api.tid (); waited = Api.clock () - t0 });
+        Api.work 64;
+        spin ()
+      end
+    in
+    spin ()
+  end

@@ -1,0 +1,22 @@
+(** Sense-reversing centralized barrier over simulated memory.
+
+    Lets a fixed set of simulated threads rendezvous, e.g. to quiesce the
+    machine at an invariant checkpoint (arrive, let one thread validate,
+    arrive again, resume).  State lives on a private [Scratch] line, so
+    barrier traffic never interferes with tree data or lock fault hooks. *)
+
+type t
+
+exception Timeout of { tid : int; waited : int }
+(** A party failed to arrive within the spin bound — under fault injection
+    a dead or unreasonably stalled peer must surface as a failure rather
+    than spin the simulation forever. *)
+
+val create : parties:int -> t
+(** Must be called on the machine (it allocates simulated memory).  All
+    [parties] threads must call {!wait} the same number of times. *)
+
+val wait : ?max_cycles:int -> t -> unit
+(** Block (spin) until all parties have arrived.  Reusable: each episode
+    flips the sense.  @raise Timeout after [max_cycles] simulated cycles
+    (default 50M). *)

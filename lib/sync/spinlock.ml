@@ -1,28 +1,48 @@
 (* Test-and-test-and-set spinlock on one simulated word with exponential
    backoff.  The word lives on its own cache line (the allocator
-   line-aligns), so lock traffic never false-shares with data. *)
+   line-aligns), so lock traffic never false-shares with data.
+
+   Ownership discipline: the locked value is the holder's tid + 1, so an
+   erroneous release of an unheld lock — or of a lock some other thread
+   holds — is detected instead of silently corrupting mutual exclusion.
+   Elision subscribers only care that the word is non-zero, so the stamp
+   is invisible to the HTM fast path. *)
 
 module Api = Euno_sim.Api
 
 let unlocked = 0
-let locked = 1
+
+exception Not_owner of { lock : int; tid : int; holder : int }
+
+(* The locked value identifies the holder. *)
+let stamp () = Api.tid () + 1
 
 (* Allocate a fresh lock word (entire line, kind Lock). *)
 let alloc () =
   Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Euno_mem.Memory.line_words
 
 let try_acquire addr =
-  Api.read addr = unlocked && Api.cas addr ~expected:unlocked ~desired:locked
+  Api.read addr = unlocked
+  && Api.cas addr ~expected:unlocked ~desired:(stamp ())
 
 let acquire addr =
   let b = Backoff.create () in
   let rec loop () =
-    if Api.read addr = unlocked then begin
-      if not (Api.cas addr ~expected:unlocked ~desired:locked) then begin
-        Backoff.once b;
-        loop ()
-      end
+    if not (try_acquire addr) then begin
+      Backoff.once b;
+      loop ()
     end
+  in
+  loop ()
+
+(* Bounded acquisition: gives up after ~[max_cycles] of spinning so a
+   leaked or stalled lock cannot hang the caller forever. *)
+let acquire_bounded ~max_cycles addr =
+  let t0 = Api.clock () in
+  let b = Backoff.create () in
+  let rec loop () =
+    if try_acquire addr then true
+    else if Api.clock () - t0 >= max_cycles then false
     else begin
       Backoff.once b;
       loop ()
@@ -30,9 +50,18 @@ let acquire addr =
   in
   loop ()
 
-let release addr = Api.write addr unlocked
+let holder addr =
+  let v = Api.read addr in
+  if v = unlocked then -1 else v - 1
 
-let is_locked addr = Api.read addr = locked
+let release addr =
+  let v = Api.read addr in
+  let me = stamp () in
+  if v <> me then
+    raise (Not_owner { lock = addr; tid = me - 1; holder = v - 1 });
+  Api.write addr unlocked
+
+let is_locked addr = Api.read addr <> unlocked
 
 let with_lock addr f =
   acquire addr;

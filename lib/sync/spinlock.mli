@@ -2,15 +2,39 @@
 
     A lock is just a word address; {!alloc} returns one on a private cache
     line.  Any line-aligned word a data structure reserves (e.g. the
-    Euno-B+Tree per-leaf split lock) works with the same operations. *)
+    Euno-B+Tree per-leaf split lock) works with the same operations.
+
+    Ownership discipline: the locked value is the holder's tid + 1.
+    {!release} verifies the caller holds the lock and raises {!Not_owner}
+    otherwise — a double release or a release of a foreign lock is a bug
+    that would silently break mutual exclusion on real hardware.  Elision
+    subscribers only test the word against zero, so the holder stamp is
+    invisible to the HTM fast path. *)
+
+exception Not_owner of { lock : int; tid : int; holder : int }
+(** Raised by {!release} when the lock word does not carry the caller's
+    stamp.  [holder] is the offending holder's tid, or [-1] if the lock
+    was not held at all. *)
 
 val alloc : unit -> int
 (** Fresh lock word on its own line (kind [Lock]), initially unlocked. *)
 
 val try_acquire : int -> bool
 val acquire : int -> unit
+
+val acquire_bounded : max_cycles:int -> int -> bool
+(** Like {!acquire} but gives up after roughly [max_cycles] simulated
+    cycles of spinning; [false] means the lock was never acquired.  The
+    escape hatch that keeps a leaked or stalled lock from hanging its
+    waiters forever. *)
+
 val release : int -> unit
+(** @raise Not_owner if the calling thread does not hold the lock. *)
+
 val is_locked : int -> bool
+
+val holder : int -> int
+(** Tid of the current holder, or [-1] when unlocked. *)
 
 val with_lock : int -> (unit -> 'a) -> 'a
 (** Acquire, run, release (also on exception). *)

@@ -14,5 +14,6 @@ let () =
       ("masstree", Test_masstree.suite);
       ("stats", Test_stats.suite);
       ("harness", Test_harness.suite);
+      ("fault", Test_fault.suite);
       ("history", Test_history.suite);
     ]

@@ -35,13 +35,13 @@ let test_elided_attempt_respects_held_lock () =
   let w = fresh_world () in
   run_one w (fun () ->
       let lock = Htm.alloc_lock () in
-      Spinlock.acquire lock;
+      Spinlock.acquire (Htm.lock_word lock);
       (match Htm.attempt_elided ~lock (fun () -> ()) with
       | Error (Abort.Explicit code) ->
           check_int "lock-held imm8" Abort.xabort_lock_held code
       | Error c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
       | Ok () -> Alcotest.fail "entered despite held lock");
-      Spinlock.release lock)
+      Spinlock.release (Htm.lock_word lock))
 
 (* A fallback acquirer must doom every subscribed transaction (the
    subscription cascade), and the victims must classify as Subscription. *)
@@ -57,7 +57,7 @@ let test_fallback_dooms_subscribers () =
           match
             Api.xbegin ();
             (* subscribe, then dawdle transactionally *)
-            if Spinlock.is_locked lock then Api.xabort 0xff;
+            if Spinlock.is_locked (Htm.lock_word lock) then Api.xabort 0xff;
             let rec wait n =
               if n > 0 && Api.untracked_read flag = 0 then begin
                 Api.work 10;
@@ -74,9 +74,9 @@ let test_fallback_dooms_subscribers () =
         end
         else begin
           Api.work 300;
-          Spinlock.acquire lock;
+          Spinlock.acquire (Htm.lock_word lock);
           Api.write a 1;
-          Spinlock.release lock;
+          Spinlock.release (Htm.lock_word lock);
           Api.untracked_write flag 1
         end)
   in
@@ -179,6 +179,7 @@ let test_abort_indices_bijective () =
       Abort.Explicit 1;
       Abort.Spurious;
       Abort.Timer;
+      Abort.Alloc_fault;
     ]
   in
   check_int "covers all classes" Abort.n_classes (List.length codes);
@@ -253,9 +254,9 @@ let test_polite_brief_lock_never_falls_back () =
   let m =
     run_threads w ~threads:2 (fun tid ->
         if tid = 0 then begin
-          Spinlock.acquire lock;
+          Spinlock.acquire (Htm.lock_word lock);
           Api.work 600;
-          Spinlock.release lock
+          Spinlock.release (Htm.lock_word lock)
         end
         else begin
           (* arrive mid-hold, with no lock-busy budget at all *)
@@ -271,6 +272,124 @@ let test_polite_brief_lock_never_falls_back () =
     (s.Machine.s_aborts.(Abort.index (Abort.Explicit Abort.xabort_lock_held)) > 0);
   check_int "no fallbacks" 0 s.Machine.s_user.(Htm.Counter.fallbacks);
   check_int "committed transactionally" 7 (Euno_mem.Memory.get w.mem a)
+
+exception Boom
+
+(* Regression (fallback-path hardening): a non-abort exception raised by
+   the body used to escape [attempt] with the transaction still open,
+   leaving the machine in a state where the next xbegin failed and the
+   buffered writes could leak.  The attempt must tear the transaction down
+   (rolling back its writes) before re-raising. *)
+let test_user_exception_aborts_open_txn () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  run_one w (fun () ->
+      (match
+         Htm.attempt (fun () ->
+             Api.write a 42;
+             raise Boom)
+       with
+      | exception Boom -> ()
+      | Ok () -> Alcotest.fail "exception swallowed"
+      | Error c -> Alcotest.failf "turned into abort %s" (Abort.to_string c));
+      check_bool "no transaction left open" false (Api.xtest ());
+      check_int "buffered write rolled back" 0 (Api.read a);
+      (* The machine must be fully usable afterwards. *)
+      match Htm.attempt (fun () -> Api.write a 7) with
+      | Ok () -> ()
+      | Error c -> Alcotest.failf "machine wedged: %s" (Abort.to_string c));
+  check_int "later transaction commits" 7 (Euno_mem.Memory.get w.mem a)
+
+(* Regression (satellite: bounded wait_unlocked): a fallback holder that
+   stalls far beyond any reasonable hold used to hang polite waiters
+   forever.  The watchdog must trip, fall through to the budget path, and
+   complete the operation via the fallback lock once the holder leaves. *)
+let test_watchdog_bounds_polite_wait () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let policy =
+    {
+      Htm.polite_policy with
+      Htm.max_lock_wait = 2_000;
+      lock_busy_retries = 2;
+    }
+  in
+  let m =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then begin
+          Spinlock.acquire (Htm.lock_word lock);
+          Api.work 400_000 (* preempted while holding the fallback lock *);
+          Spinlock.release (Htm.lock_word lock)
+        end
+        else begin
+          Api.work 50;
+          Htm.atomic ~policy ~lock (fun () -> Api.write a 7)
+        end)
+  in
+  let s = Machine.aggregate m in
+  check_bool "watchdog tripped" true
+    (s.Machine.s_user.(Htm.Counter.watchdog_trips) > 0);
+  check_int "operation still completed" 7 (Euno_mem.Memory.get w.mem a)
+
+(* A leaked fallback lock must surface as Stuck_fallback, not hang. *)
+let test_stuck_fallback_raises () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let policy =
+    {
+      Htm.default_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      stuck_limit = 20_000;
+    }
+  in
+  match
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then
+          (* leak the lock: acquire and never release *)
+          Spinlock.acquire (Htm.lock_word lock)
+        else begin
+          Api.work 100;
+          Htm.atomic ~policy ~lock (fun () -> Api.write a 1)
+        end)
+  with
+  | (_ : Machine.t) -> Alcotest.fail "leaked lock did not raise"
+  | exception Htm.Stuck_fallback { waited; _ } ->
+      check_bool "waited at least the stuck limit" true (waited >= 20_000)
+
+(* Starvation and convoy detectors: a pile-up of zero-budget threads on one
+   hot word forces everyone through the fallback repeatedly, which must be
+   visible in the new counters. *)
+let test_starvation_and_convoy_detected () =
+  let w = fresh_world () in
+  let hot = scratch w ~words:8 in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let policy =
+    {
+      Htm.default_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      starvation_threshold = 1;
+    }
+  in
+  let threads = 8 and iters = 25 in
+  let m =
+    run_threads ~threads ~cost:Cost.default ~seed:17 w (fun _ ->
+        for _ = 1 to iters do
+          Htm.atomic ~policy ~lock (fun () ->
+              Api.work 150;
+              Api.write hot (Api.read hot + 1))
+        done)
+  in
+  check_int "no lost updates" (threads * iters) (Euno_mem.Memory.get w.mem hot);
+  let s = Machine.aggregate m in
+  check_bool "starvation backoffs fired" true
+    (s.Machine.s_user.(Htm.Counter.starvation_backoffs) > 0);
+  check_bool "convoy detected" true
+    (s.Machine.s_user.(Htm.Counter.convoy_events) > 0)
 
 let suite =
   [
@@ -294,4 +413,11 @@ let suite =
       test_polite_policy_beats_naive_under_contention;
     Alcotest.test_case "polite brief lock never falls back" `Quick
       test_polite_brief_lock_never_falls_back;
+    Alcotest.test_case "user exception aborts open txn" `Quick
+      test_user_exception_aborts_open_txn;
+    Alcotest.test_case "watchdog bounds polite wait" `Quick
+      test_watchdog_bounds_polite_wait;
+    Alcotest.test_case "stuck fallback raises" `Quick test_stuck_fallback_raises;
+    Alcotest.test_case "starvation and convoy detected" `Quick
+      test_starvation_and_convoy_detected;
   ]

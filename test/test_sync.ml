@@ -29,6 +29,67 @@ let test_spinlock_releases_on_exception () =
        with Failure _ -> ());
       check_bool "released after exception" false (Spinlock.is_locked l))
 
+(* Ownership discipline: releasing a lock you do not hold must be
+   detected, not silently break mutual exclusion. *)
+let test_spinlock_release_unheld_detected () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Spinlock.alloc () in
+      (match Spinlock.release l with
+      | () -> Alcotest.fail "release of unheld lock not detected"
+      | exception Spinlock.Not_owner { holder; _ } ->
+          check_int "no holder" (-1) holder);
+      (* The failed release must not have perturbed the lock. *)
+      check_bool "still unlocked" false (Spinlock.is_locked l))
+
+let test_spinlock_release_foreign_detected () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Spinlock.alloc ()) in
+  let caught = ref (-2) in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:11 w (fun tid ->
+        if tid = 0 then begin
+          Spinlock.acquire l;
+          Api.work 2_000;
+          Spinlock.release l
+        end
+        else begin
+          Api.work 200 (* arrive while thread 0 holds the lock *);
+          match Spinlock.release l with
+          | () -> ()
+          | exception Spinlock.Not_owner { holder; _ } -> caught := holder
+        end)
+  in
+  check_int "foreign release detected, holder identified" 0 !caught;
+  check_bool "holder stamp readable" true
+    (run_one w (fun () -> Spinlock.holder l) = -1)
+
+let test_spinlock_bounded_acquire_times_out () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Spinlock.alloc ()) in
+  let timed_out = ref false and acquired_late = ref false in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:13 w (fun tid ->
+        if tid = 0 then begin
+          Spinlock.acquire l;
+          Api.work 30_000;
+          Spinlock.release l
+        end
+        else begin
+          Api.work 100;
+          (* First bounded attempt must give up while the hold lasts... *)
+          if not (Spinlock.acquire_bounded ~max_cycles:2_000 l) then
+            timed_out := true;
+          (* ...and a patient one must succeed after the release. *)
+          if Spinlock.acquire_bounded ~max_cycles:1_000_000 l then begin
+            acquired_late := true;
+            Spinlock.release l
+          end
+        end)
+  in
+  check_bool "bounded acquire timed out under a long hold" true !timed_out;
+  check_bool "later bounded acquire succeeded" true !acquired_late
+
 let test_ticketlock_mutual_exclusion () =
   let w = fresh_world () in
   let counter = scratch w ~words:8 in
@@ -124,6 +185,12 @@ let suite =
     Alcotest.test_case "spinlock basics" `Quick test_spinlock_basic;
     Alcotest.test_case "spinlock releases on exception" `Quick
       test_spinlock_releases_on_exception;
+    Alcotest.test_case "spinlock release of unheld lock detected" `Quick
+      test_spinlock_release_unheld_detected;
+    Alcotest.test_case "spinlock foreign release detected" `Quick
+      test_spinlock_release_foreign_detected;
+    Alcotest.test_case "spinlock bounded acquire times out" `Quick
+      test_spinlock_bounded_acquire_times_out;
     Alcotest.test_case "ticket lock mutual exclusion" `Quick
       test_ticketlock_mutual_exclusion;
     Alcotest.test_case "ticket lock is FIFO" `Quick test_ticketlock_fifo;
