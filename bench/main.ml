@@ -157,6 +157,67 @@ let run_micro () =
   print_newline ();
   List.rev !estimates
 
+(* ---------- perf-regression probes ---------- *)
+
+(* Fixed-scale engine-throughput probes for the perf gate
+   (bin/euno_perf_check): simulated tree operations per host wall-second,
+   one probe per (tree, zipfian theta), plus the engine micro timings.
+   The scale is deliberately independent of --quick so every
+   BENCH_results.json is comparable against the committed
+   bench/baseline.json; wall time covers the whole run (world build,
+   preload, measurement), making the probe an end-to-end engine-cost
+   proxy rather than a paper metric. *)
+
+let perf_trees =
+  [
+    ("bptree-htm", Euno_harness.Kv.Htm_bptree);
+    ("euno", Euno_harness.Kv.Euno Eunomia.Config.default);
+    ("masstree", Euno_harness.Kv.Masstree);
+  ]
+
+let perf_thetas = [ 0.2; 0.8; 0.99 ]
+
+(* Micro timings that double as perf probes: the two engine hot paths the
+   fast-path work targets. *)
+let perf_micro_names =
+  [ "sim: 100 read/write effects"; "htm: one-write elided txn x100" ]
+
+let run_perf () =
+  print_endline "== Perf probes (simulated ops per host wall-second) ==";
+  let results =
+    List.concat_map
+      (fun (tname, kind) ->
+        List.map
+          (fun theta ->
+            let workload =
+              {
+                Euno_harness.Runner.default_workload with
+                dist = Euno_workload.Dist.Zipfian theta;
+                key_space = 16_384;
+              }
+            in
+            let setup =
+              {
+                Euno_harness.Runner.default_setup with
+                threads = 4;
+                ops_per_thread = 5_000;
+                seed = 7;
+                check_after = false;
+              }
+            in
+            let t0 = Unix.gettimeofday () in
+            let r = Euno_harness.Runner.run kind workload setup in
+            let dt = Unix.gettimeofday () -. t0 in
+            let ops_per_sec = float_of_int r.Euno_harness.Runner.r_ops /. dt in
+            let name = Printf.sprintf "tree:%s:zipf-%.2f" tname theta in
+            Printf.printf "  %-28s %12.0f ops/s\n%!" name ops_per_sec;
+            (name, ops_per_sec))
+          perf_thetas)
+      perf_trees
+  in
+  print_newline ();
+  results
+
 (* ---------- figure reproduction ---------- *)
 
 let run_figures scale =
@@ -182,6 +243,10 @@ let micro_record (name, ns) =
       ("ns_per_call", Json.Float ns);
     ]
 
+let perf_record ~metric (name, value) =
+  Euno_harness.Perf_gate.probe_to_json
+    { Euno_harness.Perf_gate.p_name = name; p_metric = metric; p_value = value }
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let micro_only = Array.exists (( = ) "--micro-only") Sys.argv in
@@ -199,10 +264,22 @@ let () =
     else Euno_harness.Figures.default_scale
   in
   let micro = if not figures_only then run_micro () else [] in
+  let perf =
+    if figures_only then []
+    else
+      List.map (perf_record ~metric:"sim_ops_per_wall_sec") (run_perf ())
+      @ List.filter_map
+          (fun (n, ns) ->
+            if List.mem n perf_micro_names then
+              Some (perf_record ~metric:"ns_per_call" ("micro:" ^ n, ns))
+            else None)
+          micro
+  in
   Report.start_collecting ();
   if not micro_only then run_figures scale;
   let records =
     List.map micro_record micro
+    @ perf
     @ List.mapi
         (fun i r -> Report.result_to_json ~run:i r)
         (Report.collected ())

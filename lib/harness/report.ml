@@ -311,12 +311,22 @@ let validate_chaos obj =
   let* () = require_field obj "degradation" is_obj in
   require_field obj "snapshots" is_list
 
+(* Perf records feed the regression gate (bin/euno_perf_check): one probe
+   per record, compared against bench/baseline.json by name.  [metric]
+   names the unit and implies the direction of "worse" (see Perf_gate). *)
+let validate_perf obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "name" is_str in
+  let* () = require_field obj "metric" is_str in
+  require_field obj "value" is_num
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
   | Some (Json.Str "window") -> validate_window obj
   | Some (Json.Str "aggregate") -> validate_aggregate obj
   | Some (Json.Str "chaos") -> validate_chaos obj
+  | Some (Json.Str "perf") -> validate_perf obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

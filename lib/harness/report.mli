@@ -75,6 +75,12 @@ val validate_aggregate : Json.t -> (unit, string) result
 val validate_chaos : Json.t -> (unit, string) result
 (** Contract for the ["chaos"] records {!Chaos.outcome_to_json} emits. *)
 
+val validate_perf : Json.t -> (unit, string) result
+(** Contract for the ["perf"] probe records the bench driver emits and the
+    [euno_perf_check] regression gate consumes: [name], [metric] (unit and
+    better-direction, e.g. ["ns_per_call"] lower-is-better or
+    ["sim_ops_per_wall_sec"] higher-is-better) and numeric [value]. *)
+
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)
 

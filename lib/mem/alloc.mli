@@ -4,7 +4,16 @@
     the {!Linemap}, so (a) distinct allocations never share a line unless a
     data structure deliberately packs them, and (b) the HTM simulator can
     classify conflicts.  Live/peak word counts per kind back the paper's
-    Section 5.7 memory-overhead analysis. *)
+    Section 5.7 memory-overhead analysis.
+
+    {b Complexity:} allocation is a bump pointer plus one {!Linemap} range
+    tag — O(lines in the allocation); free and reclassify only adjust the
+    per-kind accounting, O(1).
+
+    {b Determinism:} addresses are handed out in strictly increasing order
+    from a single bump pointer, so a given allocation sequence always
+    yields the same simulated addresses (and therefore the same cache-line
+    conflicts) on every run. *)
 
 type stats = {
   mutable live_words : int;

@@ -3,7 +3,15 @@
     Stands in for the DBX deletion/GC scheme the paper reuses
     (Section 4.2.4): nodes unlinked from the tree are retired and physically
     freed only once no in-flight operation can still hold a pointer to
-    them. *)
+    them.
+
+    {b Complexity:} pin/unpin are O(1) counter updates (all bookkeeping
+    lives in simulated memory, so they cost simulated cycles too); the
+    opportunistic advance scans the [slots] pin words.
+
+    {b Determinism:} epoch advancement depends only on pin/unpin order,
+    which the deterministic scheduler fixes — retired nodes are freed at
+    the same simulated instant on every run. *)
 
 type t
 

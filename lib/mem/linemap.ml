@@ -1,6 +1,12 @@
 (* Side map classifying each cache line by what the allocator put there.
    Used by the HTM simulator to attribute conflict aborts to the paper's
-   taxonomy (record data vs. shared metadata vs. lock words). *)
+   taxonomy (record data vs. shared metadata vs. lock words).
+
+   [kind_of_line] sits on the simulator's conflict path and on every CAS
+   (lock-word detection), so the map is a flat byte array indexed by line
+   number — one bounds check and one load — rather than a hash table.
+   Lines are dense small integers from the bump allocator; the array
+   grows geometrically to the highest line ever tagged. *)
 
 type kind =
   | Unknown
@@ -20,18 +26,52 @@ let kind_to_string = function
   | Reserved -> "reserved"
   | Scratch -> "scratch"
 
-type t = { table : (int, kind) Hashtbl.t }
+(* Byte encoding for the flat array; Unknown = 0 so fresh bytes decode
+   correctly without initialization. *)
+let to_byte = function
+  | Unknown -> 0
+  | Record -> 1
+  | Node_meta -> 2
+  | Tree_meta -> 3
+  | Lock -> 4
+  | Reserved -> 5
+  | Scratch -> 6
 
-let create () = { table = Hashtbl.create 4096 }
+let of_byte = function
+  | 0 -> Unknown
+  | 1 -> Record
+  | 2 -> Node_meta
+  | 3 -> Tree_meta
+  | 4 -> Lock
+  | 5 -> Reserved
+  | 6 -> Scratch
+  | _ -> assert false
 
-let set_line t line kind = Hashtbl.replace t.table line kind
+type t = { mutable kinds : Bytes.t }
+
+let initial = 4096
+
+let create () = { kinds = Bytes.make initial '\000' }
+
+let grow t line =
+  let n = max (2 * Bytes.length t.kinds) (line + 1) in
+  let b = Bytes.make n '\000' in
+  Bytes.blit t.kinds 0 b 0 (Bytes.length t.kinds);
+  t.kinds <- b
+
+let set_line t line kind =
+  if line >= Bytes.length t.kinds then grow t line;
+  Bytes.unsafe_set t.kinds line (Char.chr (to_byte kind))
 
 let set_range t ~addr ~words kind =
   let first = Memory.line_of_addr addr in
   let last = Memory.line_of_addr (addr + words - 1) in
+  if last >= Bytes.length t.kinds then grow t last;
   for line = first to last do
-    set_line t line kind
+    Bytes.unsafe_set t.kinds line (Char.chr (to_byte kind))
   done
 
 let kind_of_line t line =
-  match Hashtbl.find_opt t.table line with Some k -> k | None -> Unknown
+  if line < Bytes.length t.kinds then
+    of_byte (Char.code (Bytes.unsafe_get t.kinds line))
+  else Unknown

@@ -3,7 +3,15 @@
     The allocator records what lives on each line so the HTM simulator can
     attribute a conflict abort to the paper's taxonomy (Section 2.3): true
     conflicts on the same record, false conflicts between different records
-    sharing a line, and false conflicts on shared metadata. *)
+    sharing a line, and false conflicts on shared metadata.
+
+    {b Complexity:} storage is a flat byte array indexed by line number
+    ([kind_of_line] sits on the simulator's conflict path and on every
+    CAS): one bounds check and one load, no hashing.  Tagging grows the
+    array geometrically and is amortized O(1) per line.
+
+    {b Determinism:} a pure line → kind mapping driven by the
+    deterministic allocator; queries never mutate. *)
 
 type kind =
   | Unknown

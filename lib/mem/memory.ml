@@ -36,12 +36,17 @@ let ensure t addr =
       t.nchunks <- i + 1
     done
 
-let get t addr =
+let[@inline] get t addr =
   let c = addr lsr chunk_shift in
   if c >= t.nchunks then 0 else Array.unsafe_get t.chunks.(c) (addr land chunk_mask)
 
-let set t addr v =
-  ensure t addr;
-  Array.unsafe_set t.chunks.(addr lsr chunk_shift) (addr land chunk_mask) v
+let[@inline] set t addr v =
+  let c = addr lsr chunk_shift in
+  if c < t.nchunks then
+    Array.unsafe_set (Array.unsafe_get t.chunks c) (addr land chunk_mask) v
+  else begin
+    ensure t addr;
+    Array.unsafe_set t.chunks.(c) (addr land chunk_mask) v
+  end
 
 let words t = t.nchunks * chunk_words

@@ -3,7 +3,14 @@
     A growable store of 8-byte words addressed by an integer word index.
     Cache lines are 64 bytes, i.e. 8 consecutive words; the HTM simulator
     detects conflicts at line granularity, exactly like Intel RTM.  Unmapped
-    addresses read as 0 and are mapped on first write. *)
+    addresses read as 0 and are mapped on first write.
+
+    {b Complexity:} storage is chunked (64 Ki words per chunk) so it grows
+    without copying; {!get} and {!set} are O(1) — a shift, a mask and an
+    array access, with the already-mapped case branch-predicted first.
+
+    {b Determinism:} contents are a pure function of the store sequence;
+    chunk growth is invisible to simulated code (no address ever moves). *)
 
 val word_bytes : int
 (** Bytes per word (8). *)

@@ -5,7 +5,14 @@
     sharing a cache line, and false conflicts on shared metadata.  The
     simulator performs this classification at abort time using the victim's
     and attacker's declared operation keys plus the {!Euno_mem.Linemap} kind
-    of the conflicting line. *)
+    of the conflicting line.
+
+    {b Complexity:} {!classify} and {!index} are O(1) and allocation-free;
+    they run once per abort, never per access.
+
+    {b Determinism:} classification is a pure function of the two op keys
+    and the line kind, so identical schedules produce identical abort
+    tables. *)
 
 type conflict_class =
   | True_conflict

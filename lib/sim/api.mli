@@ -3,7 +3,16 @@
     Everything that runs on the {!Machine} — tree operations, locks,
     workload loops — uses these calls exclusively; they perform {!Eff}
     effects that the scheduler interprets, charges cycles for, and subjects
-    to RTM conflict detection. *)
+    to RTM conflict detection.
+
+    {b Complexity:} each call performs exactly one effect — one constructor
+    allocation plus one coroutine switch into the scheduler; the
+    interpretation itself is O(1) per access (flat-array lookups, see
+    {!Machine}).
+
+    {b Determinism:} these are the only doors to simulated state.  Thread
+    code that sticks to them (and {!rand} rather than host randomness) is
+    replayed bit-for-bit by the deterministic scheduler. *)
 
 val read : int -> int
 (** Load the word at an address. *)

@@ -3,7 +3,15 @@
     Calibrated loosely to the paper's two-socket Xeon E5-2650 testbed.  The
     RTM capacity limits (write set bounded by the 32 KB L1, larger read set)
     and the spurious-abort and transaction-duration limits model the quirks
-    of real Intel TSX. *)
+    of real Intel TSX.
+
+    {b Complexity:} a plain immutable record; the machine memoizes every
+    field it touches per access into its own struct at creation, so the
+    model's shape never costs anything on the hot path.
+
+    {b Determinism:} costs are fixed integer cycle charges; the only
+    stochastic knob, [spurious_per_million], draws from the machine's
+    seeded PRNG, never from host state. *)
 
 type t = {
   freq_ghz : float;

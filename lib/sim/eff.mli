@@ -3,13 +3,22 @@
     Code that runs on the {!Machine} performs these effects (via the
     {!Api} wrappers) for every memory access, atomic instruction and RTM
     primitive; the scheduler interprets them, which is what makes
-    interleaving, conflict detection and cycle accounting deterministic. *)
+    interleaving, conflict detection and cycle accounting deterministic.
+
+    {b Complexity:} performing an effect costs a single constructor
+    allocation — multi-argument constructors carry their fields inline
+    (no tuple box) because this dispatch happens on every simulated
+    instruction.
+
+    {b Determinism:} effects carry only integers and allocator kinds;
+    interpretation order is fixed by the scheduler's (clock, tid) order,
+    never by host state. *)
 
 type _ Effect.t +=
   | Read : int -> int Effect.t
-  | Write : (int * int) -> unit Effect.t
-  | Cas : (int * int * int) -> bool Effect.t
-  | Faa : (int * int) -> int Effect.t
+  | Write : int * int -> unit Effect.t
+  | Cas : int * int * int -> bool Effect.t
+  | Faa : int * int -> int Effect.t
   | Work : int -> unit Effect.t
   | Xbegin : unit Effect.t
   | Xend : unit Effect.t
@@ -18,14 +27,14 @@ type _ Effect.t +=
   | Tid : int Effect.t
   | Clock : int Effect.t
   | Rand : int -> int Effect.t
-  | Alloc : (Euno_mem.Linemap.kind * int) -> int Effect.t
-  | Free : (Euno_mem.Linemap.kind * int * int) -> unit Effect.t
-  | Reclassify : (Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int) -> unit Effect.t
+  | Alloc : Euno_mem.Linemap.kind * int -> int Effect.t
+  | Free : Euno_mem.Linemap.kind * int * int -> unit Effect.t
+  | Reclassify : Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int -> unit Effect.t
   | Op_key : int -> unit Effect.t
   | Op_done : unit Effect.t
-  | Count : (int * int) -> unit Effect.t
+  | Count : int * int -> unit Effect.t
   | Untracked_read : int -> int Effect.t
-  | Untracked_write : (int * int) -> unit Effect.t
+  | Untracked_write : int * int -> unit Effect.t
 
 exception Txn_abort of Abort.code
 (** Delivered into a transaction body when the hardware aborts it; only

@@ -1,64 +1,97 @@
 (* Transactional ownership of cache lines.
 
-   Only lines currently inside some active transaction's read or write set
-   have an entry.  Readers are a bitmask over thread ids (the simulator
-   supports up to 62 hardware threads); the writer is a single thread id or
-   -1.  This mirrors how real HTM piggybacks on the coherence protocol:
-   S-state sharers and a single M-state owner. *)
+   Models the coherence-protocol state real HTM uses for conflict
+   detection: each line touched by an active transaction has at most one
+   writer (M state) and a bitmask of readers (S state) over thread ids.
 
-type entry = { mutable writer : int; mutable readers : int }
+   Storage is two flat arrays indexed directly by line number — the hash
+   table this replaces cost a lookup (and often an allocation) on every
+   simulated access.  Line numbers are small dense integers handed out by
+   the allocator, so the arrays grow geometrically to the highest line
+   ever owned and are then allocation-free: every operation is one or two
+   array reads/writes.  [occupied] counts lines with any owner so [size]
+   stays O(1). *)
 
-type t = { tbl : (int, entry) Hashtbl.t }
+type t = {
+  mutable writer : int array; (* tid or -1, indexed by line *)
+  mutable readers : int array; (* bitmask over tids, indexed by line *)
+  mutable occupied : int;
+}
 
 let max_threads = 62
 
-let create () = { tbl = Hashtbl.create 4096 }
+(* Start small: a machine is created per run_single call on the harness
+   fast path, so creation must stay cheap; the arrays double on demand
+   and quickly reach a steady size for real workloads. *)
+let initial = 64
 
-let find_or_add t line =
-  match Hashtbl.find_opt t.tbl line with
-  | Some e -> e
-  | None ->
-      let e = { writer = -1; readers = 0 } in
-      Hashtbl.add t.tbl line e;
-      e
+let create () =
+  {
+    writer = Array.make initial (-1);
+    readers = Array.make initial 0;
+    occupied = 0;
+  }
 
-let find t line = Hashtbl.find_opt t.tbl line
+(* Grow both arrays to cover [line]; amortized O(1) per distinct line. *)
+let grow t line =
+  let n = max (2 * Array.length t.writer) (line + 1) in
+  let w = Array.make n (-1) and r = Array.make n 0 in
+  Array.blit t.writer 0 w 0 (Array.length t.writer);
+  Array.blit t.readers 0 r 0 (Array.length t.readers);
+  t.writer <- w;
+  t.readers <- r
+
+let[@inline] ensure t line = if line >= Array.length t.writer then grow t line
+
+let[@inline] owned t line = t.writer.(line) >= 0 || t.readers.(line) <> 0
 
 let add_reader t line tid =
-  let e = find_or_add t line in
-  e.readers <- e.readers lor (1 lsl tid)
+  ensure t line;
+  if not (owned t line) then t.occupied <- t.occupied + 1;
+  t.readers.(line) <- t.readers.(line) lor (1 lsl tid)
 
 let set_writer t line tid =
-  let e = find_or_add t line in
-  e.writer <- tid
+  ensure t line;
+  if not (owned t line) then t.occupied <- t.occupied + 1;
+  t.writer.(line) <- tid
+
+(* The writing thread of [line], or -1.  Hot path: no option allocation. *)
+let[@inline] writer t line =
+  if line < Array.length t.writer then t.writer.(line) else -1
 
 let writer_of t line =
-  match find t line with
-  | Some e when e.writer >= 0 -> Some e.writer
-  | Some _ | None -> None
+  let w = writer t line in
+  if w >= 0 then Some w else None
 
-(* Thread ids of all readers except [tid]. *)
+let[@inline] is_reader t line tid =
+  line < Array.length t.readers && t.readers.(line) land (1 lsl tid) <> 0
+
+(* Reader tids of [line] except [tid], ascending — the doom order the
+   machine charges victims in, so it is part of the deterministic trace. *)
+let iter_readers_except t line tid f =
+  if line < Array.length t.readers then begin
+    let mask = t.readers.(line) land lnot (1 lsl tid) in
+    if mask <> 0 then
+      for i = 0 to max_threads - 1 do
+        if mask land (1 lsl i) <> 0 then f i
+      done
+  end
+
 let readers_except t line tid =
-  match find t line with
-  | None -> []
-  | Some e ->
-      let mask = e.readers land lnot (1 lsl tid) in
-      if mask = 0 then []
-      else begin
-        let acc = ref [] in
-        for i = max_threads - 1 downto 0 do
-          if mask land (1 lsl i) <> 0 then acc := i :: !acc
-        done;
-        !acc
-      end
+  let acc = ref [] in
+  iter_readers_except t line tid (fun i -> acc := i :: !acc);
+  List.rev !acc
 
 let remove_thread t line tid =
-  match find t line with
-  | None -> ()
-  | Some e ->
-      if e.writer = tid then e.writer <- -1;
-      e.readers <- e.readers land lnot (1 lsl tid);
-      if e.writer = -1 && e.readers = 0 then Hashtbl.remove t.tbl line
+  if line < Array.length t.writer && owned t line then begin
+    if t.writer.(line) = tid then t.writer.(line) <- -1;
+    t.readers.(line) <- t.readers.(line) land lnot (1 lsl tid);
+    if not (owned t line) then t.occupied <- t.occupied - 1
+  end
 
-let clear t = Hashtbl.reset t.tbl
-let size t = Hashtbl.length t.tbl
+let clear t =
+  Array.fill t.writer 0 (Array.length t.writer) (-1);
+  Array.fill t.readers 0 (Array.length t.readers) 0;
+  t.occupied <- 0
+
+let size t = t.occupied

@@ -10,7 +10,16 @@
    real RTM abort rolling back to the xbegin point.
 
    The whole machine runs on one host thread; given a seed, every run is
-   bit-for-bit reproducible. *)
+   bit-for-bit reproducible.
+
+   Fast paths (see docs/SIMULATOR.md "fast paths"): per-access state is
+   flat-array only — line ownership and last-writer sockets are arrays
+   indexed by line, transaction read/write sets live in the Line_table
+   bits plus a per-thread log, buffered stores sit in an epoch-versioned
+   table cleared O(1) on abort, the scheduler's pick-min is a lazy binary
+   heap (Sched), and the fault-injection hooks are skipped entirely while
+   no injector is installed.  None of this changes simulated behavior:
+   the determinism suite replays recorded seed-42 traces byte for byte. *)
 
 module Mem = Euno_mem.Memory
 module Lmap = Euno_mem.Linemap
@@ -85,11 +94,11 @@ let no_injector =
     inj_alloc_fail = (fun ~tid:_ ~clock:_ ~in_txn:_ -> false);
   }
 
-type resume = Resume : ('a, unit) Effect.Deep.continuation * 'a -> resume
-
 type status =
   | Start of (unit -> unit)
-  | Ready of resume
+  | Ready : ('a, unit) Effect.Deep.continuation * 'a -> status
+      (* parked continuation and the value to resume it with, boxed
+         together (one block per interpreted effect, not two) *)
   | Running
   | Done
   | Failed of exn
@@ -104,6 +113,9 @@ type tstate = {
     (* non-abort exception to deliver at the next resumption (e.g. an
        injected allocation failure outside a transaction) *)
   mutable txn : Txn.t option;
+  arena : Txn.t;
+    (* the one Txn value this thread ever uses; [txn = Some arena] while a
+       transaction is active.  Reset in O(1) at each xbegin. *)
   rng : Rng.t;
   mutable op_key : int;
   cache : int array; (* direct-mapped warmth cache of line ids *)
@@ -115,13 +127,31 @@ type t = {
   map : Lmap.t;
   alloc : Al.t;
   cost : Cost.t;
+  (* Cost-model fields memoized out of the record so the access path does
+     one load instead of two; immutable for the machine's lifetime. *)
+  c_hit : int;
+  c_miss : int;
+  c_remote : int;
+  c_wextra : int;
+  c_cas : int;
+  c_xbegin : int;
+  c_xend : int;
+  c_abort : int;
+  c_spur : int;
+  c_txn_limit : int;
+  c_rs_cap : int;
+  c_ws_cap : int;
   lt : Line_table.t;
   threads : tstate array;
+  sched : Sched.t;
   mutable current : int;
-  owner_socket : (int, int) Hashtbl.t; (* line -> socket of last writer *)
+  mutable owner_socket : int array; (* line -> socket of last writer, -1 *)
   cache_mask : int;
   mutable tracer : (Trace.event -> unit) option;
   mutable inject : injector;
+  mutable inj_active : bool;
+    (* false while [inject == no_injector]: every hook is inert, so the
+       access path skips the closure calls entirely *)
   mutable sample_window : int; (* 0 = periodic sampling disabled *)
   mutable next_sample : int; (* next window boundary, simulated cycles *)
   mutable samples : (int * snapshot) list; (* newest first *)
@@ -152,6 +182,7 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
       doom = None;
       pending_exn = None;
       txn = None;
+      arena = Txn.create ~tid;
       rng = Rng.create (seed + (tid * 7919) + 1);
       op_key = -1;
       cache = Array.make cache_size (-1);
@@ -163,20 +194,37 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     map;
     alloc;
     cost;
+    c_hit = cost.Cost.cache_hit;
+    c_miss = cost.Cost.cache_miss;
+    c_remote = cost.Cost.remote_extra;
+    c_wextra = cost.Cost.write_extra;
+    c_cas = cost.Cost.cas;
+    c_xbegin = cost.Cost.xbegin;
+    c_xend = cost.Cost.xend;
+    c_abort = cost.Cost.abort_penalty;
+    c_spur = cost.Cost.spurious_per_million;
+    c_txn_limit = cost.Cost.txn_cycle_limit;
+    c_rs_cap = cost.Cost.rs_capacity;
+    c_ws_cap = cost.Cost.ws_capacity;
     lt = Line_table.create ();
     threads = Array.init threads mk;
+    sched = Sched.create ~capacity:threads;
     current = 0;
-    owner_socket = Hashtbl.create 4096;
+    owner_socket = Array.make 64 (-1);
     cache_mask = cache_size - 1;
     tracer = None;
     inject = no_injector;
+    inj_active = false;
     sample_window = 0;
     next_sample = max_int;
     samples = [];
   }
 
 let set_tracer m tracer = m.tracer <- tracer
-let set_injector m inj = m.inject <- inj
+
+let set_injector m inj =
+  m.inject <- inj;
+  m.inj_active <- inj != no_injector
 
 let set_sampling m ~window =
   if window < 1 then invalid_arg "Machine.set_sampling: window < 1";
@@ -195,50 +243,68 @@ let cost m = m.cost
 (* ---------- cache warmth and cycle charging ---------- *)
 
 (* Every cycle charge passes through the skew hook, so a fault plan can
-   slow one core down uniformly (DVFS / thermal throttling). *)
-let charge m t c =
+   slow one core down uniformly (DVFS / thermal throttling).  Without an
+   injector the charge is a single add. *)
+let[@inline] charge m t c =
   let c =
-    match m.inject.inj_skew ~tid:t.tid ~clock:t.clock with
-    | 0 -> c
-    | sk -> c + (c * sk / 1000)
+    if not m.inj_active then c
+    else
+      match m.inject.inj_skew ~tid:t.tid ~clock:t.clock with
+      | 0 -> c
+      | sk -> c + (c * sk / 1000)
   in
   t.clock <- t.clock + c
 
 (* Injected capacity squeeze overrides the nominal read/write-set limits. *)
-let rs_capacity m t =
-  match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
-  | Some (rs, _) -> rs
-  | None -> m.cost.Cost.rs_capacity
+let[@inline] rs_capacity m t =
+  if not m.inj_active then m.c_rs_cap
+  else
+    match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
+    | Some (rs, _) -> rs
+    | None -> m.c_rs_cap
 
-let ws_capacity m t =
-  match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
-  | Some (_, ws) -> ws
-  | None -> m.cost.Cost.ws_capacity
+let[@inline] ws_capacity m t =
+  if not m.inj_active then m.c_ws_cap
+  else
+    match m.inject.inj_capacity ~tid:t.tid ~clock:t.clock with
+    | Some (_, ws) -> ws
+    | None -> m.c_ws_cap
+
+let[@inline] socket_of_line m line =
+  if line < Array.length m.owner_socket then m.owner_socket.(line) else -1
+
+let set_socket_of_line m line socket =
+  (if line >= Array.length m.owner_socket then begin
+     let n = max (2 * Array.length m.owner_socket) (line + 1) in
+     let a = Array.make n (-1) in
+     Array.blit m.owner_socket 0 a 0 (Array.length m.owner_socket);
+     m.owner_socket <- a
+   end);
+  m.owner_socket.(line) <- socket
 
 let mem_cost m t line ~write =
   let idx = line land m.cache_mask in
   let c =
-    if t.cache.(idx) = line then m.cost.Cost.cache_hit
+    if t.cache.(idx) = line then m.c_hit
     else begin
-      let remote =
-        match Hashtbl.find_opt m.owner_socket line with
-        | Some s when s <> t.socket -> m.cost.Cost.remote_extra
-        | Some _ | None -> 0
-      in
+      let s = socket_of_line m line in
+      let remote = if s >= 0 && s <> t.socket then m.c_remote else 0 in
       t.cache.(idx) <- line;
-      m.cost.Cost.cache_miss + remote
+      m.c_miss + remote
     end
   in
-  if write then c + m.cost.Cost.write_extra else c
+  if write then c + m.c_wextra else c
 
 (* A write that becomes visible: invalidate the line in every other thread's
    warmth cache and record which socket owns it now. *)
 let publish_write m ~writer line =
   let idx = line land m.cache_mask in
-  Array.iter
-    (fun t -> if t.tid <> writer && t.cache.(idx) = line then t.cache.(idx) <- -1)
-    m.threads;
-  Hashtbl.replace m.owner_socket line m.threads.(writer).socket
+  let threads = m.threads in
+  for i = 0 to Array.length threads - 1 do
+    let t = Array.unsafe_get threads i in
+    if t.tid <> writer && t.cache.(idx) = line then t.cache.(idx) <- -1
+  done;
+  set_socket_of_line m line m.threads.(writer).socket
 
 (* ---------- aborting transactions ---------- *)
 
@@ -249,10 +315,10 @@ let rollback_allocs m (txn : Txn.t) =
   List.iter
     (fun (from_kind, to_kind, words) ->
       Al.reclassify m.alloc ~from_kind:to_kind ~to_kind:from_kind ~words)
-    txn.Txn.reclassifies;
+    (Txn.reclassifies txn);
   List.iter
     (fun (kind, addr, words) -> Al.free m.alloc ~kind ~addr ~words)
-    txn.Txn.allocs
+    (Txn.allocs txn)
 
 (* Abort a thread's active transaction: release ownership, roll back
    allocations, account wasted cycles, and arrange for Txn_abort to be
@@ -266,9 +332,8 @@ let abort_txn m (v : tstate) (code : Abort.code) =
       v.txn <- None;
       v.cnt.aborts.(Abort.index code) <- v.cnt.aborts.(Abort.index code) + 1;
       v.cnt.wasted_cycles <-
-        v.cnt.wasted_cycles + (v.clock - txn.Txn.start_clock)
-        + m.cost.Cost.abort_penalty;
-      charge m v m.cost.Cost.abort_penalty;
+        v.cnt.wasted_cycles + (v.clock - Txn.start_clock txn) + m.c_abort;
+      charge m v m.c_abort;
       trace m (Trace.Aborted { tid = v.tid; clock = v.clock; code });
       v.doom <- Some code
 
@@ -290,15 +355,13 @@ let doom_holder m ~attacker ~victim_tid line =
        { attacker; victim = victim_tid; line; kind; clock = a.clock });
   abort_txn m v (Abort.Conflict cls)
 
-let doom_writer_of m ~attacker line =
-  match Line_table.writer_of m.lt line with
-  | Some w when w <> attacker -> doom_holder m ~attacker ~victim_tid:w line
-  | Some _ | None -> ()
+let[@inline] doom_writer_of m ~attacker line =
+  let w = Line_table.writer m.lt line in
+  if w >= 0 && w <> attacker then doom_holder m ~attacker ~victim_tid:w line
 
-let doom_readers_of m ~attacker line =
-  List.iter
-    (fun r -> doom_holder m ~attacker ~victim_tid:r line)
-    (Line_table.readers_except m.lt line attacker)
+let[@inline] doom_readers_of m ~attacker line =
+  Line_table.iter_readers_except m.lt line attacker (fun r ->
+      doom_holder m ~attacker ~victim_tid:r line)
 
 (* ---------- transactional hazards ---------- *)
 
@@ -306,14 +369,14 @@ let doom_readers_of m ~attacker line =
    transactional access.  Returns true if the transaction just died. *)
 let txn_hazards m (t : tstate) (txn : Txn.t) =
   let spur =
-    m.cost.Cost.spurious_per_million
-    + m.inject.inj_spurious ~tid:t.tid ~clock:t.clock
+    if m.inj_active then m.c_spur + m.inject.inj_spurious ~tid:t.tid ~clock:t.clock
+    else m.c_spur
   in
   if spur > 0 && Rng.int t.rng 1_000_000 < spur then begin
     abort_txn m t Abort.Spurious;
     true
   end
-  else if t.clock - txn.Txn.start_clock > m.cost.Cost.txn_cycle_limit then begin
+  else if t.clock - Txn.start_clock txn > m.c_txn_limit then begin
     abort_txn m t Abort.Timer;
     true
   end
@@ -336,15 +399,18 @@ let process_read m (t : tstate) addr =
         | Some v -> v
         | None ->
             doom_writer_of m ~attacker:t.tid line;
-            if Txn.track_read txn line && txn.Txn.reads > rs_capacity m t
-            then begin
-              abort_txn m t Abort.Capacity_read;
-              0
+            if not (Line_table.is_reader m.lt line t.tid) then begin
+              Txn.note_read txn line;
+              if Txn.reads txn > rs_capacity m t then begin
+                abort_txn m t Abort.Capacity_read;
+                0
+              end
+              else begin
+                Line_table.add_reader m.lt line t.tid;
+                Mem.get m.mem addr
+              end
             end
-            else begin
-              Line_table.add_reader m.lt line t.tid;
-              Mem.get m.mem addr
-            end
+            else Mem.get m.mem addr
       end
 
 let process_write m (t : tstate) addr value =
@@ -362,12 +428,25 @@ let process_write m (t : tstate) addr value =
       else begin
         doom_writer_of m ~attacker:t.tid line;
         doom_readers_of m ~attacker:t.tid line;
-        if Txn.track_write txn line && txn.Txn.written > ws_capacity m t
-        then abort_txn m t Abort.Capacity_write
+        if Line_table.writer m.lt line <> t.tid then begin
+          Txn.note_write txn line;
+          if Txn.written txn > ws_capacity m t then
+            abort_txn m t Abort.Capacity_write
+          else begin
+            Line_table.set_writer m.lt line t.tid;
+            (* A written line is implicitly monitored for reads too. *)
+            if not (Line_table.is_reader m.lt line t.tid) then begin
+              Txn.note_read txn line;
+              Line_table.add_reader m.lt line t.tid
+            end;
+            Txn.buffer_write txn addr value
+          end
+        end
         else begin
-          Line_table.set_writer m.lt line t.tid;
-          (* A written line is implicitly monitored for reads too. *)
-          if Txn.track_read txn line then Line_table.add_reader m.lt line t.tid;
+          if not (Line_table.is_reader m.lt line t.tid) then begin
+            Txn.note_read txn line;
+            Line_table.add_reader m.lt line t.tid
+          end;
           Txn.buffer_write txn addr value
         end
       end
@@ -383,7 +462,7 @@ let current_value m (t : tstate) addr =
 let process_cas m (t : tstate) addr expected desired =
   t.cnt.accesses <- t.cnt.accesses + 1;
   let line = Mem.line_of_addr addr in
-  charge m t (m.cost.Cost.cas + mem_cost m t line ~write:true);
+  charge m t (m.c_cas + mem_cost m t line ~write:true);
   let old = current_value m t addr in
   let success = old = expected in
   (match t.txn with
@@ -400,17 +479,30 @@ let process_cas m (t : tstate) addr expected desired =
         doom_writer_of m ~attacker:t.tid line;
         if success then begin
           doom_readers_of m ~attacker:t.tid line;
-          if Txn.track_write txn line && txn.Txn.written > ws_capacity m t
-          then abort_txn m t Abort.Capacity_write
+          if Line_table.writer m.lt line <> t.tid then begin
+            Txn.note_write txn line;
+            if Txn.written txn > ws_capacity m t then
+              abort_txn m t Abort.Capacity_write
+            else begin
+              Line_table.set_writer m.lt line t.tid;
+              if not (Line_table.is_reader m.lt line t.tid) then begin
+                Txn.note_read txn line;
+                Line_table.add_reader m.lt line t.tid
+              end;
+              Txn.buffer_write txn addr desired
+            end
+          end
           else begin
-            Line_table.set_writer m.lt line t.tid;
-            if Txn.track_read txn line then
-              Line_table.add_reader m.lt line t.tid;
+            if not (Line_table.is_reader m.lt line t.tid) then begin
+              Txn.note_read txn line;
+              Line_table.add_reader m.lt line t.tid
+            end;
             Txn.buffer_write txn addr desired
           end
         end
-        else if Txn.track_read txn line then begin
-          if txn.Txn.reads > rs_capacity m t then
+        else if not (Line_table.is_reader m.lt line t.tid) then begin
+          Txn.note_read txn line;
+          if Txn.reads txn > rs_capacity m t then
             abort_txn m t Abort.Capacity_read
           else Line_table.add_reader m.lt line t.tid
         end
@@ -418,8 +510,9 @@ let process_cas m (t : tstate) addr expected desired =
   (* Preemption while holding a lock: a successful non-transactional
      acquisition of a Lock-kind word can be followed by an injected stall,
      so every other thread sees the lock held for that much longer.  This
-     is the trigger for the fallback-holder lemming storm. *)
-  (if success && desired <> 0 && t.txn = None
+     is the trigger for the fallback-holder lemming storm.  (Inert, and
+     skipped, without an installed injector.) *)
+  (if m.inj_active && success && desired <> 0 && t.txn = None
       && Lmap.kind_of_line m.map line = Lmap.Lock
    then
      let stall = m.inject.inj_lock_stall ~tid:t.tid ~clock:t.clock in
@@ -445,16 +538,17 @@ let process_xbegin m (t : tstate) =
   (match t.txn with
   | Some _ -> failwith "Machine: nested transactions are not supported"
   | None -> ());
-  charge m t m.cost.Cost.xbegin;
+  charge m t m.c_xbegin;
   trace m (Trace.Xbegin { tid = t.tid; clock = t.clock });
-  t.txn <- Some (Txn.create ~tid:t.tid ~start_clock:t.clock)
+  Txn.reset t.arena ~start_clock:t.clock;
+  t.txn <- Some t.arena
 
 let process_xend m (t : tstate) =
   t.cnt.accesses <- t.cnt.accesses + 1;
   match t.txn with
   | None -> failwith "Machine: xend outside a transaction"
   | Some txn ->
-      charge m t m.cost.Cost.xend;
+      charge m t m.c_xend;
       (* Eager conflict detection guarantees exclusive ownership of the
          write set here, so commit always succeeds. *)
       Txn.iter_writes txn (fun addr value ->
@@ -462,25 +556,28 @@ let process_xend m (t : tstate) =
           publish_write m ~writer:t.tid (Mem.line_of_addr addr));
       List.iter
         (fun (kind, addr, words) -> Al.free m.alloc ~kind ~addr ~words)
-        txn.Txn.frees;
+        (Txn.frees txn);
       release_txn m t txn;
       t.cnt.commits <- t.cnt.commits + 1;
       t.cnt.committed_cycles <-
-        t.cnt.committed_cycles + (t.clock - txn.Txn.start_clock);
+        t.cnt.committed_cycles + (t.clock - Txn.start_clock txn);
       trace m
         (Trace.Commit
            {
              tid = t.tid;
              clock = t.clock;
-             reads = txn.Txn.reads;
-             writes = txn.Txn.written;
+             reads = Txn.reads txn;
+             writes = Txn.written txn;
            });
       t.txn <- None
 
 let process_alloc m (t : tstate) kind words =
   t.cnt.accesses <- t.cnt.accesses + 1;
-  charge m t m.cost.Cost.cache_miss;
-  if m.inject.inj_alloc_fail ~tid:t.tid ~clock:t.clock ~in_txn:(t.txn <> None)
+  charge m t m.c_miss;
+  if
+    m.inj_active
+    && m.inject.inj_alloc_fail ~tid:t.tid ~clock:t.clock
+         ~in_txn:(t.txn <> None)
   then begin
     (* The allocator's fast path is exhausted: inside a transaction the
        slow path (page fault / syscall) always aborts, like real RTM;
@@ -509,7 +606,7 @@ let process_reclassify m (t : tstate) from_kind to_kind words =
 
 let process_free m (t : tstate) kind addr words =
   t.cnt.accesses <- t.cnt.accesses + 1;
-  charge m t m.cost.Cost.cache_hit;
+  charge m t m.c_hit;
   match t.txn with
   | Some txn -> Txn.record_free txn kind addr words
   | None -> Al.free m.alloc ~kind ~addr ~words
@@ -563,24 +660,10 @@ let samples m = List.rev m.samples
 
 (* ---------- scheduler ---------- *)
 
-let pick m =
-  let best = ref (-1) and best_clock = ref max_int in
-  Array.iter
-    (fun t ->
-      match t.status with
-      | Start _ | Ready _ ->
-          if t.clock < !best_clock then begin
-            best_clock := t.clock;
-            best := t.tid
-          end
-      | Running | Done | Failed _ -> ())
-    m.threads;
-  !best
-
 let run m bodies =
   let handler (t : tstate) : (unit, unit) Effect.Deep.handler =
     let park : type a. (a, unit) Effect.Deep.continuation -> a -> unit =
-     fun k v -> t.status <- Ready (Resume (k, v))
+     fun k v -> t.status <- Ready (k, v)
     in
     {
       retc = (fun () -> t.status <- Done);
@@ -665,50 +748,95 @@ let run m bodies =
       t.pending_exn <- None;
       t.txn <- None)
     m.threads;
+  (* The run queue holds one entry per runnable thread, keyed by the clock
+     it was parked at.  A parked thread's clock can still advance (an
+     attacker charging it the abort penalty), so entries are validated on
+     pop and re-pushed at the thread's current clock when stale — clocks
+     only grow, so a stale (under-estimating) key can never hide the true
+     minimum.  Pop order equals the old O(n)-scan order exactly: smallest
+     clock first, ties to the smallest tid (see Sched). *)
+  Sched.clear m.sched;
+  Array.iter (fun t -> Sched.push m.sched ~clock:0 ~tid:t.tid) m.threads;
   let rec loop () =
-    let tid = pick m in
-    if tid >= 0 then begin
+    if not (Sched.is_empty m.sched) then begin
+      let packed = Sched.pop m.sched in
+      let tid = Sched.tid_of packed in
       let t = m.threads.(tid) in
-      if m.sample_window > 0 then sample_boundaries m t.clock;
-      (* Injected preemption: the OS descheduled this thread until
-         [resume_at].  A live transaction dies (context switches abort RTM
-         transactions), the clock jumps, and the scheduler re-picks — other
-         threads run right past the stalled one. *)
-      let resume_at = m.inject.inj_preempt ~tid ~clock:t.clock in
-      if resume_at > t.clock then begin
-        trace m
-          (Trace.Injected
-             {
-               tid;
-               clock = t.clock;
-               fault = Printf.sprintf "preempt:until=%d" resume_at;
-             });
-        abort_txn m t Abort.Spurious;
-        t.clock <- max t.clock resume_at;
+      (match t.status with
+      | Running | Done | Failed _ -> assert false
+      | Start _ | Ready _ -> ());
+      if t.clock <> Sched.clock_of packed then begin
+        (* Stale entry: the thread was charged while parked. *)
+        Sched.push m.sched ~clock:t.clock ~tid;
         loop ()
       end
-      else begin
-        m.current <- tid;
-        (match t.status with
-        | Start f ->
-            t.status <- Running;
-            Effect.Deep.match_with f () (handler t)
-        | Ready (Resume (k, v)) -> (
-            t.status <- Running;
-            match t.doom with
-            | Some code ->
-                t.doom <- None;
-                Effect.Deep.discontinue k (Eff.Txn_abort code)
-            | None -> (
-                match t.pending_exn with
-                | Some e ->
-                    t.pending_exn <- None;
-                    Effect.Deep.discontinue k e
-                | None -> Effect.Deep.continue k v))
-        | Running | Done | Failed _ -> assert false);
-        loop ()
-      end
+      else dispatch t
     end
+  (* Pre-step checks (sampling, injected preemption) run before every step,
+     whether the thread came off the heap or straight from run-ahead. *)
+  and dispatch t =
+    if m.sample_window > 0 then sample_boundaries m t.clock;
+    (* Injected preemption: the OS descheduled this thread until
+       [resume_at].  A live transaction dies (context switches abort RTM
+       transactions), the clock jumps, and the scheduler re-picks — other
+       threads run right past the stalled one. *)
+    let resume_at =
+      if m.inj_active then m.inject.inj_preempt ~tid:t.tid ~clock:t.clock
+      else 0
+    in
+    if resume_at > t.clock then begin
+      trace m
+        (Trace.Injected
+           {
+             tid = t.tid;
+             clock = t.clock;
+             fault = Printf.sprintf "preempt:until=%d" resume_at;
+           });
+      abort_txn m t Abort.Spurious;
+      t.clock <- max t.clock resume_at;
+      Sched.push m.sched ~clock:t.clock ~tid:t.tid;
+      loop ()
+    end
+    else step t
+  and step t =
+    m.current <- t.tid;
+    (match t.status with
+    | Start f ->
+        t.status <- Running;
+        Effect.Deep.match_with f () (handler t)
+    | Ready (k, v) -> (
+        t.status <- Running;
+        match t.doom with
+        | Some code ->
+            t.doom <- None;
+            Effect.Deep.discontinue k (Eff.Txn_abort code)
+        | None -> (
+            match t.pending_exn with
+            | Some e ->
+                t.pending_exn <- None;
+                Effect.Deep.discontinue k e
+            | None -> Effect.Deep.continue k v))
+    | Running | Done | Failed _ -> assert false);
+    match t.status with
+    | Start _ | Ready _ ->
+        (* Run-ahead: keep executing this thread while it is still the
+           global minimum, with zero heap traffic.  The comparison against
+           [peek] is exact: the thread itself is not in the heap, tids
+           differ, and a stale peeked key only under-estimates its
+           thread's true key — so [key < peek] proves this thread is the
+           unique (clock, tid) minimum, the same pick the pop path would
+           make.  This collapses the single-threaded case (tree preloads,
+           run_single, the micro-benches) to straight-line execution. *)
+        if
+          Sched.is_empty m.sched
+          || Sched.pack ~clock:t.clock ~tid:t.tid < Sched.peek m.sched
+        then dispatch t
+        else begin
+          Sched.push m.sched ~clock:t.clock ~tid:t.tid;
+          loop ()
+        end
+    | Done | Failed _ -> loop ()
+    | Running -> assert false
   in
   loop ();
   (* Close the series with a final partial-window sample so the tail of the

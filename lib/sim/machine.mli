@@ -10,7 +10,24 @@
     accesses participate in conflict detection (strong atomicity).
 
     Given a seed, a run is bit-for-bit reproducible regardless of host
-    parallelism. *)
+    parallelism.
+
+    {b Complexity:} the access path is flat-array only — line ownership
+    ({!Line_table}), last-writer sockets, warmth caches and the per-thread
+    transaction arena ({!Txn}) are all indexed by line or address with no
+    hashing and no per-access allocation; aborts clear transaction state in
+    O(1) by epoch bump.  The scheduler's pick-min step is a lazy binary
+    heap ({!Sched}) with a run-ahead fast path that keeps the current
+    thread executing while it provably remains the (clock, tid) minimum,
+    so single-threaded runs never touch the heap.  See
+    docs/SIMULATOR.md "Fast paths".
+
+    {b Determinism:} threads are resumed strictly in (clock, tid) order;
+    ties go to the smallest tid; victim dooming iterates reader tids in
+    ascending order; all randomness (spurious aborts, thread-local jitter)
+    comes from per-thread SplitMix64 streams derived from the seed.  The
+    determinism test suite replays recorded seed-42 traces byte-for-byte
+    to pin this down. *)
 
 type t
 

@@ -1,43 +1,78 @@
-(** Per-thread RTM transaction state.
+(** Per-thread RTM transaction state, as a reusable arena.
 
-    Eager conflict detection (ownership acquired at access time), lazy
-    versioning (stores buffered until commit) — the combination used by
-    Intel TSX, where the L1 cache holds speculative state and the coherence
-    protocol detects conflicts as they happen. *)
+    Eager conflict detection (ownership acquired at access time through
+    the machine's {!Line_table}), lazy versioning (stores buffered until
+    commit) — the combination used by Intel TSX, where the L1 cache holds
+    speculative state and the coherence protocol detects conflicts as
+    they happen.
 
-type t = {
-  tid : int;
-  start_clock : int;
-  read_set : (int, unit) Hashtbl.t;
-  write_set : (int, unit) Hashtbl.t;
-  writes : (int, int) Hashtbl.t;
-  mutable write_log : int list;
-  mutable allocs : (Euno_mem.Linemap.kind * int * int) list;
-  mutable frees : (Euno_mem.Linemap.kind * int * int) list;
-  mutable reclassifies : (Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int) list;
-  mutable reads : int;
-  mutable written : int;
-}
+    {b Complexity:} one arena is created per hardware thread and reused
+    for every transaction it runs.  {!reset} is O(1) — it bumps an epoch
+    stamp that invalidates the buffered-write table wholesale — and no
+    operation allocates on the access path (backing arrays grow
+    geometrically and are kept).  {!buffer_write} and {!buffered_value}
+    are O(1) expected (open addressing at ≤ 50% load); {!iter_lines} and
+    {!iter_writes} are linear in the lines/stores actually touched.
 
-val create : tid:int -> start_clock:int -> t
+    {b Determinism:} the buffered-write table hashes addresses with a
+    fixed multiplicative constant — never host-dependent state — so
+    iteration and probe order are identical on every run.  Commit replay
+    order is the recorded first-write program order, not table order. *)
 
-val track_read : t -> int -> bool
-(** Add a line to the read set; true if it was not already present. *)
+type t
 
-val track_write : t -> int -> bool
+val create : tid:int -> t
+(** A fresh arena; call once per hardware thread. *)
+
+val reset : t -> start_clock:int -> unit
+(** Start a new transaction in this arena.  O(1): previous state is
+    discarded by epoch bump and log truncation, not traversal. *)
+
+val tid : t -> int
+val start_clock : t -> int
+
+val reads : t -> int
+(** Distinct lines in the read set (for capacity accounting). *)
+
+val written : t -> int
+(** Distinct lines in the write set. *)
+
+val note_read : t -> int -> unit
+(** Count a line newly added to the read set and log it for release.
+    The caller (the machine) owns the membership test — a line is "new"
+    when its reader bit in the Line_table is clear. *)
+
+val note_write : t -> int -> unit
 
 val buffer_write : t -> int -> int -> unit
-val buffered_value : t -> int -> int option
+(** [buffer_write t addr v]: record a speculative store; applied only at
+    commit.  Last value per address wins. *)
 
-val in_read_set : t -> int -> bool
-val in_write_set : t -> int -> bool
+val buffered_value : t -> int -> int option
+(** The speculative value this transaction wrote to [addr], if any
+    (read-own-writes). *)
 
 val iter_lines : t -> (int -> unit) -> unit
-(** Every line in either set, once. *)
+(** Every line this transaction claimed in the Line_table, in claim
+    order.  A read-then-written line appears twice; release is
+    idempotent so this is harmless. *)
 
 val iter_writes : t -> (int -> int -> unit) -> unit
-(** Buffered writes, first-write order, final value per address. *)
+(** Buffered writes, first-write program order, final value per address. *)
 
 val record_alloc : t -> Euno_mem.Linemap.kind -> int -> int -> unit
 val record_free : t -> Euno_mem.Linemap.kind -> int -> int -> unit
-val record_reclassify : t -> Euno_mem.Linemap.kind -> Euno_mem.Linemap.kind -> int -> unit
+
+val record_reclassify :
+  t -> Euno_mem.Linemap.kind -> Euno_mem.Linemap.kind -> int -> unit
+
+val allocs : t -> (Euno_mem.Linemap.kind * int * int) list
+(** Allocations made inside the transaction, newest first (rolled back on
+    abort). *)
+
+val frees : t -> (Euno_mem.Linemap.kind * int * int) list
+(** Frees deferred to commit, newest first. *)
+
+val reclassifies :
+  t -> (Euno_mem.Linemap.kind * Euno_mem.Linemap.kind * int) list
+(** Allocator reclassifications to revert on abort, newest first. *)

@@ -16,4 +16,6 @@ let () =
       ("harness", Test_harness.suite);
       ("fault", Test_fault.suite);
       ("history", Test_history.suite);
+      ("engine", Test_engine.suite);
+      ("determinism", Test_determinism.suite);
     ]

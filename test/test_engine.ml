@@ -1,0 +1,304 @@
+(* Unit tests of the fast-path engine structures: the packed-key scheduler
+   heap, the flat line-ownership table, the reusable transaction arena's
+   versioned clear, and the perf-regression gate's comparison logic.  The
+   end-to-end behavior of the machine built from these is covered by
+   test_sim.ml and the determinism goldens; these tests pin down each
+   structure's own contract, especially the reuse/clear paths a whole-run
+   test can miss. *)
+
+open Util
+module Sched = Euno_sim.Sched
+module Line_table = Euno_sim.Line_table
+module Txn = Euno_sim.Txn
+module Linemap = Euno_mem.Linemap
+module Gate = Euno_harness.Perf_gate
+
+(* ---------- Sched ---------- *)
+
+let test_sched_pack_roundtrip () =
+  List.iter
+    (fun (clock, tid) ->
+      let p = Sched.pack ~clock ~tid in
+      check_int "tid" tid (Sched.tid_of p);
+      check_int "clock" clock (Sched.clock_of p))
+    [ (0, 0); (1, 63); (123456789, 7); (max_int lsr Sched.tid_bits, 61) ]
+
+let drain sched =
+  let rec go acc =
+    if Sched.is_empty sched then List.rev acc
+    else
+      let p = Sched.pop sched in
+      go ((Sched.clock_of p, Sched.tid_of p) :: acc)
+  in
+  go []
+
+let test_sched_pop_order () =
+  let s = Sched.create ~capacity:4 in
+  List.iter
+    (fun (clock, tid) -> Sched.push s ~clock ~tid)
+    [ (5, 3); (1, 2); (5, 1); (0, 4); (1, 0) ];
+  Alcotest.(check (list (pair int int)))
+    "sorted by (clock, tid)"
+    [ (0, 4); (1, 0); (1, 2); (5, 1); (5, 3) ]
+    (drain s)
+
+let test_sched_tie_break () =
+  (* Equal clocks must resume the smallest tid: the old linear scan's
+     strict-< pick, which the goldens depend on. *)
+  let s = Sched.create ~capacity:8 in
+  List.iter (fun tid -> Sched.push s ~clock:7 ~tid) [ 9; 2; 30; 0; 17 ];
+  Alcotest.(check (list (pair int int)))
+    "ties to smallest tid"
+    [ (7, 0); (7, 2); (7, 9); (7, 17); (7, 30) ]
+    (drain s)
+
+let test_sched_growth_and_clear () =
+  let s = Sched.create ~capacity:2 in
+  for i = 199 downto 0 do
+    Sched.push s ~clock:i ~tid:(i mod 62)
+  done;
+  check_int "length" 200 (Sched.length s);
+  check_int "peek is min" (Sched.pack ~clock:0 ~tid:0) (Sched.peek s);
+  let popped = drain s in
+  check_int "drained" 200 (List.length popped);
+  Alcotest.(check (list (pair int int)))
+    "sorted" (List.sort compare popped) popped;
+  check_bool "empty after drain" true (Sched.is_empty s);
+  Sched.push s ~clock:1 ~tid:1;
+  Sched.clear s;
+  check_bool "clear empties" true (Sched.is_empty s)
+
+let test_sched_empty_raises () =
+  let s = Sched.create ~capacity:1 in
+  (match Sched.pop s with
+  | _ -> Alcotest.fail "pop on empty should raise"
+  | exception Invalid_argument _ -> ());
+  match Sched.peek s with
+  | _ -> Alcotest.fail "peek on empty should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_sched_peek_does_not_remove () =
+  let s = Sched.create ~capacity:2 in
+  Sched.push s ~clock:9 ~tid:5;
+  Sched.push s ~clock:3 ~tid:8;
+  check_int "peek" (Sched.pack ~clock:3 ~tid:8) (Sched.peek s);
+  check_int "still two entries" 2 (Sched.length s);
+  check_int "pop agrees with peek" (Sched.pack ~clock:3 ~tid:8) (Sched.pop s)
+
+(* ---------- Line_table ---------- *)
+
+let test_lt_untouched_lines () =
+  let lt = Line_table.create () in
+  check_int "no writer" (-1) (Line_table.writer lt 3);
+  check_bool "no writer_of" true (Line_table.writer_of lt 3 = None);
+  check_bool "not a reader" false (Line_table.is_reader lt 3 0);
+  (* Far beyond the initial array: reads must not grow or crash. *)
+  check_int "huge line unowned" (-1) (Line_table.writer lt 1_000_000);
+  check_int "size" 0 (Line_table.size lt)
+
+let test_lt_readers () =
+  let lt = Line_table.create () in
+  List.iter (fun tid -> Line_table.add_reader lt 7 tid) [ 4; 1; 61 ];
+  check_bool "is_reader" true (Line_table.is_reader lt 7 61);
+  check_bool "other line untouched" false (Line_table.is_reader lt 8 4);
+  Alcotest.(check (list int))
+    "ascending, excluding self" [ 1; 61 ]
+    (Line_table.readers_except lt 7 4);
+  Alcotest.(check (list int))
+    "non-reader exclusion is a no-op" [ 1; 4; 61 ]
+    (Line_table.readers_except lt 7 9);
+  check_int "one occupied line" 1 (Line_table.size lt)
+
+let test_lt_writer_and_remove () =
+  let lt = Line_table.create () in
+  Line_table.set_writer lt 100 5;
+  (* line 100 is past the initial 64-entry arrays: exercises growth *)
+  Line_table.add_reader lt 100 5;
+  Line_table.add_reader lt 100 6;
+  check_int "writer" 5 (Line_table.writer lt 100);
+  Line_table.remove_thread lt 100 5;
+  check_int "writer gone" (-1) (Line_table.writer lt 100);
+  check_bool "reader bit gone" false (Line_table.is_reader lt 100 5);
+  check_bool "other reader kept" true (Line_table.is_reader lt 100 6);
+  check_int "still occupied" 1 (Line_table.size lt);
+  Line_table.remove_thread lt 100 5;
+  (* idempotent: the machine releases read-then-written lines twice *)
+  Line_table.remove_thread lt 100 6;
+  check_int "empty" 0 (Line_table.size lt);
+  Line_table.remove_thread lt 100 6;
+  check_int "remove on empty line is a no-op" 0 (Line_table.size lt)
+
+let test_lt_clear () =
+  let lt = Line_table.create () in
+  Line_table.set_writer lt 1 0;
+  Line_table.add_reader lt 2 1;
+  Line_table.clear lt;
+  check_int "size" 0 (Line_table.size lt);
+  check_int "writer cleared" (-1) (Line_table.writer lt 1);
+  check_bool "reader cleared" false (Line_table.is_reader lt 2 1)
+
+(* ---------- Txn arena reuse ---------- *)
+
+let collect_writes txn =
+  let acc = ref [] in
+  Txn.iter_writes txn (fun addr v -> acc := (addr, v) :: !acc);
+  List.rev !acc
+
+let collect_lines txn =
+  let acc = ref [] in
+  Txn.iter_lines txn (fun l -> acc := l :: !acc);
+  List.rev !acc
+
+let test_txn_basic () =
+  let txn = Txn.create ~tid:3 in
+  Txn.reset txn ~start_clock:50;
+  check_int "tid" 3 (Txn.tid txn);
+  check_int "start clock" 50 (Txn.start_clock txn);
+  Txn.note_read txn 10;
+  Txn.note_read txn 11;
+  Txn.note_write txn 11;
+  check_int "reads" 2 (Txn.reads txn);
+  check_int "written" 1 (Txn.written txn);
+  Txn.buffer_write txn 88 1;
+  Txn.buffer_write txn 89 2;
+  Txn.buffer_write txn 88 3;
+  check_bool "last value wins" true (Txn.buffered_value txn 88 = Some 3);
+  check_bool "unwritten addr" true (Txn.buffered_value txn 90 = None);
+  Alcotest.(check (list (pair int int)))
+    "first-write order, final values"
+    [ (88, 3); (89, 2) ]
+    (collect_writes txn);
+  Alcotest.(check (list int)) "claim order" [ 10; 11; 11 ] (collect_lines txn)
+
+let test_txn_reset_leaks_nothing () =
+  (* The arena is reused for every transaction of its thread; a reset must
+     behave exactly like a fresh arena even though the O(1) clear only
+     bumps the epoch stamp and truncates logs. *)
+  let txn = Txn.create ~tid:0 in
+  Txn.reset txn ~start_clock:1;
+  for i = 0 to 99 do
+    Txn.note_read txn i;
+    Txn.note_write txn i;
+    Txn.buffer_write txn (i * 8) (i + 1000)
+  done;
+  Txn.record_alloc txn Linemap.Record 512 8;
+  Txn.record_free txn Linemap.Record 256 8;
+  Txn.record_reclassify txn Linemap.Reserved Linemap.Record 8;
+  Txn.reset txn ~start_clock:77;
+  check_int "reads cleared" 0 (Txn.reads txn);
+  check_int "writes cleared" 0 (Txn.written txn);
+  check_int "start clock updated" 77 (Txn.start_clock txn);
+  check_bool "alloc log cleared" true (Txn.allocs txn = []);
+  check_bool "free log cleared" true (Txn.frees txn = []);
+  check_bool "reclassify log cleared" true (Txn.reclassifies txn = []);
+  Alcotest.(check (list (pair int int))) "no writes replay" [] (collect_writes txn);
+  Alcotest.(check (list int)) "no lines replay" [] (collect_lines txn);
+  for i = 0 to 99 do
+    check_bool "stale buffered value invisible" true
+      (Txn.buffered_value txn (i * 8) = None)
+  done;
+  (* And the reused arena accepts new state cleanly. *)
+  Txn.buffer_write txn 16 9;
+  check_bool "fresh write visible" true (Txn.buffered_value txn 16 = Some 9);
+  Alcotest.(check (list (pair int int))) "only the fresh write" [ (16, 9) ]
+    (collect_writes txn)
+
+let test_txn_buffer_growth () =
+  let txn = Txn.create ~tid:1 in
+  Txn.reset txn ~start_clock:0;
+  let n = 500 in
+  for i = 0 to n - 1 do
+    Txn.buffer_write txn (i * 3) i
+  done;
+  for i = 0 to n - 1 do
+    check_bool "all retained across growth" true
+      (Txn.buffered_value txn (i * 3) = Some i)
+  done;
+  check_int "replay count" n (List.length (collect_writes txn));
+  Alcotest.(check (pair int int)) "first write first" (0, 0)
+    (List.hd (collect_writes txn))
+
+(* ---------- Perf_gate ---------- *)
+
+let probe name metric value =
+  { Gate.p_name = name; p_metric = metric; p_value = value }
+
+let test_gate_directions () =
+  let baseline =
+    [ probe "micro:a" "ns_per_call" 100.0; probe "tree:b" "sim_ops_per_wall_sec" 1000.0 ]
+  in
+  let judge current =
+    List.map (fun c -> (c.Gate.c_name, c.Gate.c_ok))
+      (Gate.compare_probes ~band:1.5 ~baseline ~current)
+  in
+  Alcotest.(check (list (pair string bool)))
+    "within band both ways"
+    [ ("micro:a", true); ("tree:b", true) ]
+    (judge [ probe "micro:a" "ns_per_call" 140.0;
+             probe "tree:b" "sim_ops_per_wall_sec" 700.0 ]);
+  Alcotest.(check (list (pair string bool)))
+    "slower micro fails, faster passes"
+    [ ("micro:a", false); ("tree:b", true) ]
+    (judge [ probe "micro:a" "ns_per_call" 151.0;
+             probe "tree:b" "sim_ops_per_wall_sec" 5000.0 ]);
+  Alcotest.(check (list (pair string bool)))
+    "throughput collapse fails"
+    [ ("micro:a", true); ("tree:b", false) ]
+    (judge [ probe "micro:a" "ns_per_call" 10.0;
+             probe "tree:b" "sim_ops_per_wall_sec" 600.0 ])
+
+let test_gate_missing_and_new () =
+  let cs =
+    Gate.compare_probes ~band:3.0
+      ~baseline:[ probe "gone" "ns_per_call" 10.0 ]
+      ~current:[ probe "new" "ns_per_call" 10.0 ]
+  in
+  Alcotest.(check (list (pair string bool)))
+    "missing fails, new passes"
+    [ ("gone", false); ("new", true) ]
+    (List.map (fun c -> (c.Gate.c_name, c.Gate.c_ok)) cs);
+  check_bool "overall verdict" false (Gate.all_ok cs);
+  match Gate.compare_probes ~band:0.9 ~baseline:[] ~current:[] with
+  | _ -> Alcotest.fail "band < 1 should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_gate_document_roundtrip () =
+  let probes =
+    [ probe "micro:x" "ns_per_call" 42.5; probe "tree:y" "sim_ops_per_wall_sec" 9.0 ]
+  in
+  let doc = Gate.baseline_document probes in
+  (match Euno_harness.Report.validate_document doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "baseline document invalid: %s" e);
+  let reparsed =
+    match Euno_stats.Json.of_string (Euno_stats.Json.to_string doc) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "reparse: %s" e
+  in
+  match Gate.probes_of_document reparsed with
+  | Error e -> Alcotest.failf "probes_of_document: %s" e
+  | Ok round -> check_bool "probes round-trip" true (round = probes)
+
+let suite =
+  [
+    Alcotest.test_case "sched: pack round-trips" `Quick test_sched_pack_roundtrip;
+    Alcotest.test_case "sched: pops in (clock, tid) order" `Quick test_sched_pop_order;
+    Alcotest.test_case "sched: ties resume smallest tid" `Quick test_sched_tie_break;
+    Alcotest.test_case "sched: grows and clears" `Quick test_sched_growth_and_clear;
+    Alcotest.test_case "sched: empty pop/peek raise" `Quick test_sched_empty_raises;
+    Alcotest.test_case "sched: peek does not remove" `Quick test_sched_peek_does_not_remove;
+    Alcotest.test_case "line table: untouched lines unowned" `Quick test_lt_untouched_lines;
+    Alcotest.test_case "line table: reader bitmask" `Quick test_lt_readers;
+    Alcotest.test_case "line table: writer and idempotent release" `Quick
+      test_lt_writer_and_remove;
+    Alcotest.test_case "line table: clear" `Quick test_lt_clear;
+    Alcotest.test_case "txn: counts, buffering, replay order" `Quick test_txn_basic;
+    Alcotest.test_case "txn: O(1) reset leaks nothing" `Quick
+      test_txn_reset_leaks_nothing;
+    Alcotest.test_case "txn: write buffer growth" `Quick test_txn_buffer_growth;
+    Alcotest.test_case "perf gate: direction-aware bands" `Quick test_gate_directions;
+    Alcotest.test_case "perf gate: missing fails, new passes" `Quick
+      test_gate_missing_and_new;
+    Alcotest.test_case "perf gate: baseline document round-trips" `Quick
+      test_gate_document_roundtrip;
+  ]
