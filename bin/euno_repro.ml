@@ -12,9 +12,9 @@ module Figures = Euno_harness.Figures
 module Report = Euno_harness.Report
 
 let experiment =
-  (* "chaos" is not a figure: it is the fault-injection campaign, handled
-     by its own driver below. *)
-  let names = List.map fst Figures.by_name @ [ "chaos" ] in
+  (* "chaos" and "san" are not figures: the fault-injection campaign and
+     the sanitizer sweep are handled by their own drivers below. *)
+  let names = List.map fst Figures.by_name @ [ "chaos"; "san" ] in
   let doc =
     Printf.sprintf "Experiment to run: one of %s." (String.concat ", " names)
   in
@@ -120,9 +120,28 @@ let run_chaos quick keys_log2 ops max_threads seed json =
       Printf.printf "wrote %s\n%!" path
   | None -> ()
 
+(* EunoSan lint sweep: every tree under zipf 0.2/0.8/0.99 plus the chaos
+   campaign, sanitizer armed.  Non-zero exit when anything is flagged. *)
+let run_san quick seed json =
+  let module San_run = Euno_harness.San_run in
+  print_endline
+    "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
+     trees";
+  let outs = San_run.run ~quick ~seed () in
+  San_run.print stdout outs;
+  (match json with
+  | Some path ->
+      Report.write_file path
+        (Report.document ~experiment:"san"
+           (San_run.to_records ~experiment:"san" outs));
+      Printf.printf "wrote %s\n%!" path
+  | None -> ());
+  if not (San_run.clean outs) then exit 1
+
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
     snapshots window =
-  if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
+  if name = "san" then run_san quick seed json
+  else if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
   else begin
   (match csv with
   | Some dir ->

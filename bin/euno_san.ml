@@ -1,0 +1,41 @@
+(* Standalone EunoSan driver for CI and local lint runs.
+
+     euno_san                  # full-scale sweep, all trees
+     euno_san --quick          # CI smoke scale
+     euno_san --json out.json  # also write schema-v1 "san" records
+
+   Exit status 0 iff the sweep reports zero findings. *)
+
+let () = Printexc.record_backtrace true
+
+module San_run = Euno_harness.San_run
+module Report = Euno_harness.Report
+
+let () =
+  let quick = ref false in
+  let seed = ref 42 in
+  let json = ref None in
+  let usage = "euno_san [--quick] [--seed N] [--json PATH]" in
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " Smoke-test scale (CI).");
+      ("--seed", Arg.Set_int seed, "N Simulation seed (default 42).");
+      ( "--json",
+        Arg.String (fun p -> json := Some p),
+        "PATH Write schema-versioned san records to PATH." );
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  print_endline
+    "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
+     trees";
+  let outs = San_run.run ~quick:!quick ~seed:!seed () in
+  San_run.print stdout outs;
+  (match !json with
+  | Some path ->
+      Report.write_file path
+        (Report.document ~experiment:"san"
+           (San_run.to_records ~experiment:"san" outs));
+      Printf.printf "wrote %s\n%!" path
+  | None -> ());
+  exit (if San_run.clean outs then 0 else 1)

@@ -121,13 +121,14 @@ let grow_root t left sep right =
   Api.write (L.parent right) newroot;
   Api.write (L.parent newroot) null;
   Api.write (t.meta + L.meta_root) newroot;
-  Api.write (t.meta + L.meta_depth) (depth t + 1)
+  Api.write (t.meta + L.meta_depth) (depth t + 1);
+  newroot
 
 (* Propagate a split upwards (Algorithm 1 lines 17-19 / Algorithm 3 lines
    84-86). *)
 let rec insert_into_parent t node sep right =
   let parent = Api.read (L.parent node) in
-  if parent = null then grow_root t node sep right
+  if parent = null then ignore (grow_root t node sep right)
   else begin
     let n = Api.read (L.nkeys parent) in
     if n < t.layout.L.fanout then begin

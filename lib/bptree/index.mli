@@ -40,8 +40,9 @@ val split_internal : ?on_alloc:(int -> unit) -> t -> int -> int * int
     [on_alloc] runs on the fresh right node before it becomes reachable
     (lock-coupling protocols create it locked). *)
 
-val grow_root : t -> int -> int -> int -> unit
-(** [grow_root t left sep right]: install a new root above two nodes. *)
+val grow_root : t -> int -> int -> int -> int
+(** [grow_root t left sep right]: install a new root above two nodes and
+    return it (lock-coupling callers announce it to the sanitizer). *)
 
 val internal_remove_at : t -> int -> int -> unit
 (** [internal_remove_at t node i]: drop separator [i] and child [i+1]

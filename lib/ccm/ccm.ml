@@ -18,6 +18,7 @@
    under 5%, false-positive rate under 6%). *)
 
 module Api = Euno_sim.Api
+module Sev = Euno_sim.Sev
 
 (* Word offsets within the CCM's line-aligned block.  The mode word lives
    at a caller-chosen address instead (Eunomia puts it on the leaf header
@@ -36,6 +37,13 @@ let max_slots = 62
 
 let make ~base ~mode_addr ~capacity =
   let nslots = min max_slots (2 * capacity) in
+  (* The mode word is a benign-race hint by design: operations read it
+     plainly while the contention detector writes it plainly, and the
+     protocol tolerates stale values (a wrong mode only costs a detour
+     through the CCM or one extra conflict).  Register it so the race
+     detector does not report it.  (No-op unless the sanitizer is armed;
+     host-side, so marks made while preloading carry over.) *)
+  Sev.mark_racy mode_addr;
   { base; mode_addr; nslots }
 
 let nslots t = t.nslots
@@ -61,6 +69,11 @@ let rec clear_bit addr bit =
 
 (* ---------- lock bits ---------- *)
 
+(* Sanitizer identity of a slot lock: the lock word's address shifted to
+   make room for the slot index (nslots <= 62 < 64), so every (leaf, slot)
+   pair is a distinct lock. *)
+let slot_lock_id t slot = ((t.base + off_locks) * 64) + slot
+
 let lock_slot t slot =
   let addr = t.base + off_locks in
   let bit = 1 lsl slot in
@@ -71,9 +84,14 @@ let lock_slot t slot =
       loop ()
     end
   in
-  loop ()
+  loop ();
+  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Slot, slot_lock_id t slot))
 
-let unlock_slot t slot = clear_bit (t.base + off_locks) (1 lsl slot)
+let unlock_slot t slot =
+  (* Announce before the bit clears: once it does, the next holder's
+     acquire note may precede ours in the event stream. *)
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Slot, slot_lock_id t slot));
+  clear_bit (t.base + off_locks) (1 lsl slot)
 
 (* ---------- mark bits ---------- *)
 

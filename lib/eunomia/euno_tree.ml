@@ -42,6 +42,15 @@ module Ccm = Euno_ccm.Ccm
 module Index = Euno_bptree.Index
 module Linemap = Euno_mem.Linemap
 
+(* Test-only mutation switches: reintroduce historical protocol bugs so
+   the sanitizer test suite can prove it detects them.  Never set outside
+   test code. *)
+module Testonly = struct
+  let leak_locks_on_exn = ref false
+  (* PR 2 bug: when an exception escapes the lower region, skip the
+     exception-path release of the advisory split lock and CCM slot bit. *)
+end
+
 (* User-counter indices published by this tree (0-2 belong to Htm). *)
 module Counter = struct
   let consistency_retries = 3 (* lower region saw a stale seqno *)
@@ -94,9 +103,17 @@ let with_epoch t f =
   | Some e ->
       let slot = Api.tid () in
       Euno_mem.Epoch.pin e slot;
-      let result = f () in
-      Euno_mem.Epoch.unpin e slot;
-      result
+      (* Unpin on the exception path too: an operation that gives up
+         (Stuck_fallback, injected allocation failure) must not leave its
+         slot pinned, or the global epoch can never advance again and
+         every retired leaf leaks for the rest of the run. *)
+      (match f () with
+      | result ->
+          Euno_mem.Epoch.unpin e slot;
+          result
+      | exception ex ->
+          Euno_mem.Epoch.unpin e slot;
+          raise ex)
 
 (* Bulk load sorted, distinct records (the single-threaded YCSB load
    phase): leaves filled round-robin to [fill] of capacity, mark bits
@@ -380,8 +397,10 @@ let run_op t req key =
                (Stuck_fallback, injected allocation failure) must not leak
                its advisory locks — a leaked split lock or CCM slot bit
                would hang every later operation that needs it. *)
-            if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);
-            unlock ();
+            if not !Testonly.leak_locks_on_exn then begin
+              if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);
+              unlock ()
+            end;
             raise e
       in
       if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);

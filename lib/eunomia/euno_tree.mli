@@ -12,6 +12,15 @@
 
 type t
 
+(** Test-only mutation switches: reintroduce historical protocol bugs so
+    the sanitizer suite can prove it detects them.  Never set these
+    outside test code. *)
+module Testonly : sig
+  val leak_locks_on_exn : bool ref
+  (** PR 2 bug: skip the exception-path release of the advisory split
+      lock and CCM slot bit when an exception escapes the lower region. *)
+end
+
 (** User-counter indices published by the tree (0-2 belong to
     {!Euno_htm.Htm.Counter}). *)
 module Counter : sig

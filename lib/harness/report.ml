@@ -160,6 +160,34 @@ let result_to_json ?experiment ?run (r : Runner.result) =
             (List.map window_to_json (windows_of_snapshots r.r_snapshots)) );
       ])
 
+(* ---------- sanitizer records ---------- *)
+
+let san_finding_to_json (f : Euno_san.San.finding) =
+  Json.Obj
+    [
+      ("kind", Json.Str (Euno_san.San.kind_name f.Euno_san.San.f_kind));
+      ("subject", Json.Str f.f_subject);
+      ("tid", Json.Int f.f_tid);
+      ("clock", Json.Int f.f_clock);
+      ("detail", Json.Str f.f_detail);
+    ]
+
+(* One record per sanitized run: the verdict of the EunoSan pass
+   (bin/euno_san and the euno_repro san subcommand emit these). *)
+let san_to_json ?experiment ?run ~tree ~workload ~threads ~seed
+    (s : Euno_san.San.summary) =
+  Json.Obj
+    (context_fields ?experiment ?run ~record:"san" ()
+    @ [
+        ("tree", Json.Str tree);
+        ("workload", Json.Str workload);
+        ("threads", Json.Int threads);
+        ("seed", Json.Int seed);
+        ("events", Json.Int s.Euno_san.San.events);
+        ("findings_total", Json.Int s.total);
+        ("findings", Json.List (List.map san_finding_to_json s.findings));
+      ])
+
 let aggregate_to_json ?experiment (a : Runner.aggregate) =
   Json.Obj
     (context_fields ?experiment ~record:"aggregate" ()
@@ -320,6 +348,31 @@ let validate_perf obj =
   let* () = require_field obj "metric" is_str in
   require_field obj "value" is_num
 
+(* San records carry the sanitizer verdict of one run; [findings] entries
+   are objects with kind/subject/tid/clock/detail. *)
+let validate_san obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_field obj "workload" is_str in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "seed" is_int in
+  let* () = require_field obj "events" is_int in
+  let* () = require_field obj "findings_total" is_int in
+  match Json.member "findings" obj with
+  | Some (Json.List fs) ->
+      List.fold_left
+        (fun acc f ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              let* () = require_field f "kind" is_str in
+              let* () = require_field f "subject" is_str in
+              let* () = require_field f "tid" is_int in
+              let* () = require_field f "clock" is_int in
+              require_field f "detail" is_str)
+        (Ok ()) fs
+  | _ -> Error "missing findings list"
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
@@ -327,6 +380,7 @@ let validate_record obj =
   | Some (Json.Str "aggregate") -> validate_aggregate obj
   | Some (Json.Str "chaos") -> validate_chaos obj
   | Some (Json.Str "perf") -> validate_perf obj
+  | Some (Json.Str "san") -> validate_san obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

@@ -50,6 +50,19 @@ val result_to_json : ?experiment:string -> ?run:int -> Runner.result -> Json.t
 
 val aggregate_to_json : ?experiment:string -> Runner.aggregate -> Json.t
 
+val san_to_json :
+  ?experiment:string ->
+  ?run:int ->
+  tree:string ->
+  workload:string ->
+  threads:int ->
+  seed:int ->
+  Euno_san.San.summary ->
+  Json.t
+(** One ["san"] record: the EunoSan verdict of a sanitized run — event
+    count, finding total, and the capped finding list (kind, subject,
+    announcing thread, logical clock, detail). *)
+
 val snapshot_lines : ?experiment:string -> ?run:int -> Runner.result -> Json.t list
 (** One self-describing ["window"] record per sampling window (for JSONL
     export); empty when the run had no [snapshot_window]. *)
@@ -80,6 +93,9 @@ val validate_perf : Json.t -> (unit, string) result
     [euno_perf_check] regression gate consumes: [name], [metric] (unit and
     better-direction, e.g. ["ns_per_call"] lower-is-better or
     ["sim_ops_per_wall_sec"] higher-is-better) and numeric [value]. *)
+
+val validate_san : Json.t -> (unit, string) result
+(** Contract for the ["san"] records {!san_to_json} emits. *)
 
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)

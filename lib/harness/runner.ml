@@ -53,6 +53,11 @@ type setup = {
   fault_plan : Euno_fault.Plan.t;
     (* deterministic fault injections compiled into the machine's hooks
        before the measurement phase; [] (the default) = no faults *)
+  sanitize : bool;
+    (* arm EunoSan for the measurement phase: the machine streams semantic
+       events into a checker and the findings land in [r_san].  Slower and
+       schedule-perturbing (announcement notes enter the event stream), so
+       never combine with golden-trace or perf measurements *)
 }
 
 let default_setup =
@@ -66,6 +71,7 @@ let default_setup =
     check_after = false;
     snapshot_window = None;
     fault_plan = [];
+    sanitize = false;
   }
 
 type result = {
@@ -95,6 +101,8 @@ type result = {
   r_snapshots : (int * Machine.snapshot) list;
     (* cumulative aggregate counters at each sampled window boundary
        (oldest first); empty unless setup.snapshot_window was set *)
+  r_san : Euno_san.San.summary option;
+    (* sanitizer verdict; Some only when setup.sanitize was set *)
 }
 
 (* Observers (the Report telemetry collector) subscribe here; called with
@@ -130,6 +138,22 @@ let partition_scan_keys ~key_space ~threads ~tid ~from ~len =
 let run kind workload setup =
   if not (is_power_of_two workload.key_space) then
     invalid_arg "Runner.run: key_space must be a power of two";
+  (* Arm the sanitizer before the preload: benign-race registrations
+     (Sev.mark_racy) happen while trees are built, and the host registry
+     carries them into the measurement machine, whose event hook is the
+     only one installed.  Disarmed on every exit path so an aborted run
+     cannot leak arming into later (golden-trace) runs. *)
+  let san = if setup.sanitize then Some (Euno_san.San.create ()) else None in
+  if setup.sanitize then begin
+    Euno_sim.Sev.enabled := true;
+    Euno_sim.Sev.reset_racy ()
+  end;
+  Fun.protect ~finally:(fun () ->
+      if setup.sanitize then begin
+        Euno_sim.Sev.enabled := false;
+        Euno_sim.Sev.reset_racy ()
+      end)
+  @@ fun () ->
   let mem = Memory.create () in
   let map = Linemap.create () in
   let alloc = Alloc.create mem map in
@@ -163,6 +187,9 @@ let run kind workload setup =
   (match setup.snapshot_window with
   | Some window -> Machine.set_sampling m ~window
   | None -> ());
+  (match san with
+  | Some checker -> Machine.set_san_hook m (Some (Euno_san.San.hook checker))
+  | None -> ());
   Machine.run m (fun tid ->
       let n =
         if workload.partitioned then workload.key_space / setup.threads
@@ -180,7 +207,8 @@ let run kind workload setup =
       for i = 0 to setup.ops_per_thread - 1 do
         Api.work client_work;
         let t0 = Api.clock () in
-        (match Opgen.next gen with
+        (try
+          match Opgen.next gen with
         | Opgen.Get k -> ignore (kv.Kv.get (remap k))
         | Opgen.Put (k, v) ->
             kv.Kv.put (remap k) v;
@@ -200,7 +228,14 @@ let run kind workload setup =
         | Opgen.Rmw (k, v) ->
             let k = remap k in
             let prev = Option.value ~default:0 (kv.Kv.get k) in
-            kv.Kv.put k (prev + v));
+            kv.Kv.put k (prev + v)
+        with
+        | (Euno_htm.Htm.Stuck_fallback _ | Alloc.Alloc_failure)
+          when setup.fault_plan <> [] ->
+            (* Injected faults may defeat an operation gracefully (the
+               chaos driver counts these the same way); the structure is
+               untouched, so just move on to the next op. *)
+            ());
         latencies.(tid).(i) <- Api.clock () - t0;
         Api.op_done ()
       done);
@@ -274,6 +309,7 @@ let run kind workload setup =
       (Alloc.stats_of_kind alloc Linemap.Lock).Alloc.live_words
       * Memory.word_bytes;
     r_snapshots = Machine.samples m;
+    r_san = Option.map Euno_san.San.finish san;
   }
   in
   (match !on_result with Some observe -> observe result | None -> ());

@@ -39,6 +39,10 @@ type setup = {
   fault_plan : Euno_fault.Plan.t;
       (** deterministic fault injections installed on the measurement
           machine before the run; [[]] (the default) = no faults *)
+  sanitize : bool;
+      (** arm EunoSan for the measurement phase; findings land in
+          [r_san].  Announcement notes perturb schedules, so never
+          combine with golden-trace or perf measurements *)
 }
 
 val default_setup : setup
@@ -76,6 +80,8 @@ type result = {
   r_snapshots : (int * Euno_sim.Machine.snapshot) list;
       (** [(window_end_clock, cumulative aggregate)] series, oldest first;
           non-empty only when [setup.snapshot_window] was set *)
+  r_san : Euno_san.San.summary option;
+      (** sanitizer verdict; [Some] only when [setup.sanitize] was set *)
 }
 
 val on_result : (result -> unit) option ref

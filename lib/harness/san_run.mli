@@ -1,0 +1,33 @@
+(** The EunoSan lint sweep: every tree under representative contention.
+
+    One sweep runs all four trees (see {!Kv.all_kinds}) under a
+    mixed-operation workload at zipfian theta 0.2 / 0.8 / 0.99, then once
+    more under the stock chaos campaign ({!Euno_fault.Plan.campaign},
+    horizon taken from the tree's own zipf-0.8 run), each with the
+    sanitizer armed and post-run invariant checks on.  A healthy repo
+    reports zero findings everywhere; [bin/euno_san] and the
+    [euno_repro san] subcommand are thin shells over this module. *)
+
+type outcome = {
+  o_tree : string;
+  o_workload : string;  (** e.g. ["zipf-0.80"] or ["chaos-zipf-0.80"] *)
+  o_threads : int;
+  o_seed : int;
+  o_summary : Euno_san.San.summary;
+}
+
+val run : ?quick:bool -> ?seed:int -> unit -> outcome list
+(** Execute the sweep.  [quick] shrinks threads, operation count and key
+    space for smoke-test latitude (CI); default scale matches
+    {!Runner.default_setup}.  Outcomes appear tree-major in
+    {!Kv.all_kinds} order, thetas ascending, chaos last. *)
+
+val clean : outcome list -> bool
+(** No findings anywhere in the sweep. *)
+
+val print : out_channel -> outcome list -> unit
+(** Human-readable verdict table; findings (if any) listed underneath. *)
+
+val to_records :
+  ?experiment:string -> outcome list -> Euno_stats.Json.t list
+(** One schema-v1 ["san"] record per outcome, [run]-indexed in order. *)

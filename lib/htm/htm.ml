@@ -18,8 +18,19 @@
 module Api = Euno_sim.Api
 module Abort = Euno_sim.Abort
 module Eff = Euno_sim.Eff
+module Sev = Euno_sim.Sev
 module Spinlock = Euno_sync.Spinlock
 module Backoff = Euno_sync.Backoff
+
+(* Test-only mutation switches: reintroduce historical protocol bugs so
+   the sanitizer test suite can prove it detects them.  Never set outside
+   test code. *)
+module Testonly = struct
+  let escape_xbegin_park = ref false
+  (* PR 2 bug: evaluate xbegin *before* the match scrutinee, so an abort
+     delivered while parked at the xbegin call site escapes [attempt]
+     uncaught. *)
+end
 
 type policy = {
   conflict_retries : int;
@@ -134,25 +145,61 @@ exception Stuck_fallback of { lock : int; waited : int }
    thread can already be doomed (e.g. by an injected preemption) while
    parked at the xbegin call site — the abort is then delivered exactly
    there, and a scrutinee that starts after xbegin would let it escape. *)
-let attempt f =
-  match
+let attempt_body f =
+  if !Testonly.escape_xbegin_park then begin
+    (* The pre-fix shape: the transaction starts before the match
+       scrutinee, so a doom delivered at the xbegin park point is raised
+       outside the handler below and escapes. *)
     Api.xbegin ();
-    let v = f () in
-    Api.xend ();
-    v
-  with
-  | v -> Ok v
-  | exception Eff.Txn_abort code -> Error code
-  | exception e ->
-      (* A user exception escaping [f] must not leave the machine with an
-         open transaction: explicitly abort (rolling back buffered writes)
-         before re-raising.  The xabort itself is observed as Txn_abort at
-         its own call site, and the transaction may already have been
-         doomed before [e] was raised — swallow that delivery, the user
-         exception is what propagates. *)
-      (try if Api.xtest () then Api.xabort Abort.xabort_user_exn
-       with Eff.Txn_abort _ -> ());
-      raise e
+    match
+      let v = f () in
+      Api.xend ();
+      v
+    with
+    | v -> Ok v
+    | exception Eff.Txn_abort code -> Error code
+    | exception e ->
+        (try if Api.xtest () then Api.xabort Abort.xabort_user_exn
+         with Eff.Txn_abort _ -> ());
+        raise e
+  end
+  else
+    match
+      Api.xbegin ();
+      let v = f () in
+      Api.xend ();
+      v
+    with
+    | v -> Ok v
+    | exception Eff.Txn_abort code -> Error code
+    | exception e ->
+        (* A user exception escaping [f] must not leave the machine with an
+           open transaction: explicitly abort (rolling back buffered writes)
+           before re-raising.  The xabort itself is observed as Txn_abort at
+           its own call site, and the transaction may already have been
+           doomed before [e] was raised — swallow that delivery, the user
+           exception is what propagates. *)
+        (try if Api.xtest () then Api.xabort Abort.xabort_user_exn
+         with Eff.Txn_abort _ -> ());
+        raise e
+
+(* The sanitizer brackets every attempt so it can tell aborts delivered
+   inside the wrapper (normal) from ones escaping it (the bug class the
+   scrutinee placement above exists to prevent).  The exit note fires on
+   the exception path too: escape detection keys off the thread dying
+   with Txn_abort, not off bracket imbalance. *)
+let attempt f =
+  if !Sev.enabled then begin
+    Api.san_note Sev.Attempt_enter;
+    match attempt_body f with
+    | r ->
+        Api.san_note Sev.Attempt_exit;
+        r
+    | exception e ->
+        Api.san_note Sev.Attempt_exit;
+        raise e
+  end
+  else attempt_body f
 
 (* One *elided* attempt: subscribe to the fallback lock first. *)
 let attempt_elided ~lock f =

@@ -33,6 +33,16 @@ type policy = {
           jittered backoff ahead of the lock; [max_int] disables *)
 }
 
+(** Test-only mutation switches: reintroduce historical protocol bugs so
+    the sanitizer suite can prove it detects them.  Never set these
+    outside test code. *)
+module Testonly : sig
+  val escape_xbegin_park : bool ref
+  (** PR 2 bug: start the transaction before the match scrutinee in
+      {!attempt}, letting an abort delivered at the xbegin park point
+      escape uncaught. *)
+end
+
 val default_policy : policy
 (** The DBX-style paper-era policy (naive lock retry, starvation
     detection disabled so the paper's collapse shapes are preserved). *)

@@ -22,6 +22,7 @@
 
 module Api = Euno_sim.Api
 module Abort = Euno_sim.Abort
+module Sev = Euno_sim.Sev
 module Linemap = Euno_mem.Linemap
 module Index = Euno_bptree.Index
 module L = Euno_bptree.Layout
@@ -96,7 +97,9 @@ let lock_node t node =
         go ()
       end
     in
-    go ()
+    go ();
+    if !Sev.enabled then
+      Api.san_note (Sev.Acquire (Sev.Version, version_addr node))
   end
 
 (* Lock a node nothing else can reach yet: fresh split siblings are born
@@ -104,7 +107,11 @@ let lock_node t node =
    visible.  (Elided mode needs no node locks: the enclosing transaction —
    or the global fallback lock — already serializes the whole operation.) *)
 let lock_fresh t node =
-  if not t.elide then Api.write (version_addr node) lock_bit
+  if not t.elide then begin
+    Api.write (version_addr node) lock_bit;
+    if !Sev.enabled then
+      Api.san_note (Sev.Acquire (Sev.Version, version_addr node))
+  end
 
 (* Release, bumping vinsert and optionally vsplit. *)
 let unlock_node t node ~split =
@@ -112,12 +119,22 @@ let unlock_node t node ~split =
   let v = if t.elide then v else v land lnot lock_bit in
   let v = v + vinsert_unit in
   let v = if split then v + vsplit_unit else v in
+  (* Announce before the version write: once the lock bit clears, the next
+     holder's acquire note may precede ours in the event stream.  (Elided
+     mode takes no lock, so there is nothing to release.) *)
+  if (not t.elide) && !Sev.enabled then
+    Api.san_note (Sev.Release (Sev.Version, version_addr node));
   Api.write (version_addr node) v
 
 (* ---------- construction ---------- *)
 
 let alloc_leaf_with ~(layout : L.t) ~map =
   let node = Api.alloc ~kind:Linemap.Node_meta ~words:layout.L.leaf_words in
+  (* Parent pointers are Masstree's by-design benign race: they are read
+     outside any common lock and validated after locking (the [contains]
+     re-check in [insert_up]), so the race detector must not flag them.
+     (Host-side no-op unless the sanitizer is armed.) *)
+  Sev.mark_racy (L.parent node);
   Linemap.set_range map
     ~addr:(node + layout.L.records_off)
     ~words:(layout.L.leaf_words - layout.L.records_off)
@@ -227,6 +244,10 @@ let leaf_find t leaf key =
 
 let get t key =
   Api.op_key key;
+  (* The whole lookup is one optimistic section: every read is validated
+     by the before-and-after version checks, so the race detector must not
+     treat them as synchronized accesses. *)
+  if !Sev.enabled then Api.san_note Sev.Opt_enter;
   let rec attempt () =
     let leaf, v = descend t key in
     let rec read_leaf v =
@@ -239,7 +260,9 @@ let get t key =
     in
     read_leaf v
   in
-  attempt ()
+  let result = attempt () in
+  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  result
 
 (* ---------- structural modification (writers) ---------- *)
 
@@ -265,7 +288,14 @@ let rec insert_up t node sep right =
     end
     else Spinlock.acquire t.root_lock;
     if Api.read (L.parent node) = null then begin
-      Index.grow_root t.idx node sep right;
+      let newroot = Index.grow_root t.idx node sep right in
+      Sev.mark_racy (L.parent newroot);
+      (* The new root's contents are written under [root_lock] but later
+         mutated under its own version lock.  A publish note (zero
+         simulated cycles) tells the sanitizer that everything written so
+         far happens-before any later holder of that lock. *)
+      if (not t.elide) && !Sev.enabled then
+        Api.san_note (Sev.Publish (Sev.Version, version_addr newroot));
       if not t.elide then Spinlock.release t.root_lock
     end
     else begin
@@ -292,7 +322,11 @@ let rec insert_up t node sep right =
         (* The new sibling is born locked: rewriting the moved children's
            parent pointers makes it reachable to their splitters. *)
         let promoted, pright =
-          Index.split_internal ~on_alloc:(lock_fresh t) t.idx parent
+          Index.split_internal
+            ~on_alloc:(fun n ->
+              Sev.mark_racy (L.parent n);
+              lock_fresh t n)
+            t.idx parent
         in
         insert_up t parent promoted pright;
         let target = if sep < promoted then parent else pright in
@@ -342,8 +376,13 @@ let put t key value =
   Api.op_key key;
   let lay = layout t in
   let rec attempt () =
+    (* The descend-until-locked phase is optimistic; once the leaf lock is
+       held the remaining accesses are lock-synchronized and stay visible
+       to the race detector. *)
+    if !Sev.enabled then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
     lock_node t leaf;
+    if !Sev.enabled then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;
     (* Between validation and locking the leaf may have split: its key
        range only ever shrinks, so a moved vsplit forces a restart. *)
@@ -382,8 +421,10 @@ let delete t key =
   Api.op_key key;
   let lay = layout t in
   let rec attempt () =
+    if !Sev.enabled then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
     lock_node t leaf;
+    if !Sev.enabled then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;
     let v' = Api.read (version_addr leaf) in
     if vsplit_of v' <> vsplit_of v then begin
@@ -412,6 +453,8 @@ let delete t key =
 (* Versioned hand-over-hand over the leaf chain. *)
 let scan t ~from ~count =
   Api.op_key from;
+  (* Lock-free versioned reads throughout: one optimistic section. *)
+  if !Sev.enabled then Api.san_note Sev.Opt_enter;
   let lay = layout t in
   let rec restart from acc remaining =
     if remaining <= 0 then List.rev acc
@@ -447,7 +490,9 @@ let scan t ~from ~count =
         if remaining = 0 || nxt = null then List.rev acc
         else walk nxt nv from acc remaining
   in
-  restart from [] count
+  let result = restart from [] count in
+  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  result
 
 (* ---------- inspection (tests) ---------- *)
 

@@ -32,6 +32,9 @@ type _ Effect.t +=
   | Count : int * int -> unit Effect.t (* user counter idx, delta *)
   | Untracked_read : int -> int Effect.t (* stats only: no coherence *)
   | Untracked_write : int * int -> unit Effect.t
+  | San_note : Sev.note -> unit Effect.t
+    (* sanitizer announcement (lock acquired, optimistic section, ...);
+       free of cycles, performed only while Sev.enabled *)
 
 exception Txn_abort of Abort.code
 (* Delivered into a transaction body when the hardware aborts it.  User code

@@ -35,6 +35,9 @@ type _ Effect.t +=
   | Count : int * int -> unit Effect.t
   | Untracked_read : int -> int Effect.t
   | Untracked_write : int * int -> unit Effect.t
+  | San_note : Sev.note -> unit Effect.t
+      (** sanitizer announcement; costs no cycles, only performed while
+          {!Sev.enabled} *)
 
 exception Txn_abort of Abort.code
 (** Delivered into a transaction body when the hardware aborts it; only

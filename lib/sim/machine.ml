@@ -152,6 +152,10 @@ type t = {
   mutable inj_active : bool;
     (* false while [inject == no_injector]: every hook is inert, so the
        access path skips the closure calls entirely *)
+  mutable san : Sev.event -> unit;
+  mutable san_active : bool;
+    (* same inert-branch pattern as the injector: while no sanitizer hook
+       is installed the access path tests one bool and builds no event *)
   mutable sample_window : int; (* 0 = periodic sampling disabled *)
   mutable next_sample : int; (* next window boundary, simulated cycles *)
   mutable samples : (int * snapshot) list; (* newest first *)
@@ -215,6 +219,8 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     tracer = None;
     inject = no_injector;
     inj_active = false;
+    san = ignore;
+    san_active = false;
     sample_window = 0;
     next_sample = max_int;
     samples = [];
@@ -225,6 +231,20 @@ let set_tracer m tracer = m.tracer <- tracer
 let set_injector m inj =
   m.inject <- inj;
   m.inj_active <- inj != no_injector
+
+let set_san_hook m hook =
+  match hook with
+  | Some f ->
+      m.san <- f;
+      m.san_active <- true
+  | None ->
+      m.san <- ignore;
+      m.san_active <- false
+
+(* Emit a sanitizer event for thread [t].  Callers must test
+   [m.san_active] first so the disabled path allocates nothing. *)
+let[@inline never] san m (t : tstate) body =
+  m.san { Sev.tid = t.tid; clock = t.clock; body }
 
 let set_sampling m ~window =
   if window < 1 then invalid_arg "Machine.set_sampling: window < 1";
@@ -335,6 +355,7 @@ let abort_txn m (v : tstate) (code : Abort.code) =
         v.cnt.wasted_cycles + (v.clock - Txn.start_clock txn) + m.c_abort;
       charge m v m.c_abort;
       trace m (Trace.Aborted { tid = v.tid; clock = v.clock; code });
+      if m.san_active then san m v Sev.Txn_aborted;
       v.doom <- Some code
 
 (* Requester-wins: the thread currently issuing the access survives; the
@@ -391,10 +412,14 @@ let process_read m (t : tstate) addr =
   match t.txn with
   | None ->
       doom_writer_of m ~attacker:t.tid line;
+      if m.san_active then
+        san m t
+          (Sev.Plain_read { addr; kind = Lmap.kind_of_line m.map line });
       Mem.get m.mem addr
   | Some txn ->
       if txn_hazards m t txn then 0
       else begin
+        if m.san_active then san m t (Sev.Txn_line_read line);
         match Txn.buffered_value txn addr with
         | Some v -> v
         | None ->
@@ -421,11 +446,15 @@ let process_write m (t : tstate) addr value =
   | None ->
       doom_writer_of m ~attacker:t.tid line;
       doom_readers_of m ~attacker:t.tid line;
+      if m.san_active then
+        san m t
+          (Sev.Plain_write { addr; kind = Lmap.kind_of_line m.map line });
       Mem.set m.mem addr value;
       publish_write m ~writer:t.tid line
   | Some txn ->
       if txn_hazards m t txn then ()
       else begin
+        if m.san_active then san m t (Sev.Txn_line_write line);
         doom_writer_of m ~attacker:t.tid line;
         doom_readers_of m ~attacker:t.tid line;
         if Line_table.writer m.lt line <> t.tid then begin
@@ -476,6 +505,10 @@ let process_cas m (t : tstate) addr expected desired =
   | Some txn ->
       if txn_hazards m t txn then ()
       else begin
+        (if m.san_active then begin
+           san m t (Sev.Txn_line_read line);
+           if success then san m t (Sev.Txn_line_write line)
+         end);
         doom_writer_of m ~attacker:t.tid line;
         if success then begin
           doom_readers_of m ~attacker:t.tid line;
@@ -540,6 +573,7 @@ let process_xbegin m (t : tstate) =
   | None -> ());
   charge m t m.c_xbegin;
   trace m (Trace.Xbegin { tid = t.tid; clock = t.clock });
+  if m.san_active then san m t Sev.Txn_begin;
   Txn.reset t.arena ~start_clock:t.clock;
   t.txn <- Some t.arena
 
@@ -555,7 +589,9 @@ let process_xend m (t : tstate) =
           Mem.set m.mem addr value;
           publish_write m ~writer:t.tid (Mem.line_of_addr addr));
       List.iter
-        (fun (kind, addr, words) -> Al.free m.alloc ~kind ~addr ~words)
+        (fun (kind, addr, words) ->
+          if m.san_active then san m t (Sev.Free_done { addr; words });
+          Al.free m.alloc ~kind ~addr ~words)
         (Txn.frees txn);
       release_txn m t txn;
       t.cnt.commits <- t.cnt.commits + 1;
@@ -569,6 +605,7 @@ let process_xend m (t : tstate) =
              reads = Txn.reads txn;
              writes = Txn.written txn;
            });
+      if m.san_active then san m t Sev.Txn_commit;
       t.txn <- None
 
 let process_alloc m (t : tstate) kind words =
@@ -595,6 +632,7 @@ let process_alloc m (t : tstate) kind words =
     (match t.txn with
     | Some txn -> Txn.record_alloc txn kind addr words
     | None -> ());
+    if m.san_active then san m t (Sev.Alloc_done { addr; words });
     addr
   end
 
@@ -609,7 +647,9 @@ let process_free m (t : tstate) kind addr words =
   charge m t m.c_hit;
   match t.txn with
   | Some txn -> Txn.record_free txn kind addr words
-  | None -> Al.free m.alloc ~kind ~addr ~words
+  | None ->
+      if m.san_active then san m t (Sev.Free_done { addr; words });
+      Al.free m.alloc ~kind ~addr ~words
 
 (* ---------- aggregated counters ---------- *)
 
@@ -666,7 +706,11 @@ let run m bodies =
      fun k v -> t.status <- Ready (k, v)
     in
     {
-      retc = (fun () -> t.status <- Done);
+      retc =
+        (fun () ->
+          if m.san_active then
+            san m t (Sev.Thread_exit { failed = false; aborted = false });
+          t.status <- Done);
       exnc =
         (fun e ->
           (match t.txn with
@@ -675,6 +719,14 @@ let run m bodies =
               rollback_allocs m txn;
               t.txn <- None
           | None -> ());
+          if m.san_active then
+            san m t
+              (Sev.Thread_exit
+                 {
+                   failed = true;
+                   aborted =
+                     (match e with Eff.Txn_abort _ -> true | _ -> false);
+                 });
           t.status <- Failed e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -720,6 +772,7 @@ let run m bodies =
                   trace m
                     (Trace.Op_done
                        { tid = t.tid; clock = t.clock; key = t.op_key });
+                  if m.san_active then san m t Sev.Op_exit;
                   t.op_key <- -1;
                   park k ())
           | Eff.Count (i, d) ->
@@ -731,12 +784,19 @@ let run m bodies =
               Some
                 (fun k ->
                   charge m t 1;
+                  if m.san_active then san m t (Sev.Unsafe_read addr);
                   park k (Mem.get m.mem addr))
           | Eff.Untracked_write (addr, v) ->
               Some
                 (fun k ->
                   charge m t 1;
+                  if m.san_active then san m t (Sev.Unsafe_write addr);
                   park k (Mem.set m.mem addr v))
+          | Eff.San_note note ->
+              Some
+                (fun k ->
+                  if m.san_active then san m t (Sev.Note note);
+                  park k ())
           | _ -> None)
     }
   in

@@ -105,6 +105,15 @@ val no_injector : injector
 val set_injector : t -> injector -> unit
 (** Install fault hooks.  Call before {!run}. *)
 
+val set_san_hook : t -> (Sev.event -> unit) option -> unit
+(** Install (or remove) a sanitizer event sink; see {!Sev} and
+    [Euno_san].  Gated behind the same inert-branch pattern as the fault
+    injector: with no hook installed the access path tests a single bool
+    and builds no event, so disabled-mode runs stay byte-identical.  The
+    hook observes counters and protocol announcements only — it must not
+    (and cannot, through this interface) perturb simulated state.  Call
+    before {!run}. *)
+
 val n_threads : t -> int
 val memory : t -> Euno_mem.Memory.t
 val linemap : t -> Euno_mem.Linemap.t

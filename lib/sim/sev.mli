@@ -1,0 +1,72 @@
+(** Semantic-event vocabulary of the sanitizer (EunoSan).
+
+    When armed ({!enabled}), the machine forwards every memory access,
+    transaction event, lock announcement and thread lifecycle point to an
+    installed hook ({!Machine.set_san_hook}) as one of these events; the
+    checkers in [Euno_san] consume the stream.  With the sanitizer
+    disabled nothing here is consulted on the access path — disabled-mode
+    runs are byte-identical to a build without it.
+
+    {b Determinism:} events are emitted synchronously from the machine's
+    single-threaded interpreter in execution order, so for a fixed seed
+    the event stream — and therefore every sanitizer verdict — is
+    bit-for-bit reproducible. *)
+
+(** Protocol family of a lock announcement; paired with a representative
+    simulated address, [(kind, id)] identifies one lock uniquely. *)
+type lock_kind =
+  | Spin  (** {!Euno_sync.Spinlock}, incl. the HTM fallback lock *)
+  | Ticket  (** {!Euno_sync.Ticketlock} *)
+  | Seq_writer  (** {!Euno_sync.Seqlock} writer side *)
+  | Slot  (** a CCM per-slot advisory lock *)
+  | Version  (** a Masstree embedded node-version lock *)
+
+(** Announcements performed by instrumented synchronization code via
+    {!Api.san_note}; the machine stamps them with tid and clock. *)
+type note =
+  | Acquire of lock_kind * int  (** after the lock is won *)
+  | Release of lock_kind * int  (** after the lock is free again *)
+  | Publish of lock_kind * int
+      (** one-way happens-before transfer into a lock the announcer does
+          not hold (data initialized under one lock, later protected by
+          another); ignored by the lock-discipline checker *)
+  | Barrier_arrive of int  (** barrier id, on arrival *)
+  | Barrier_depart of int  (** barrier id, after the episode completes *)
+  | Attempt_enter  (** [Htm.attempt] entered *)
+  | Attempt_exit  (** [Htm.attempt] exited, on any path *)
+  | Opt_enter  (** optimistic read section begins *)
+  | Opt_exit  (** optimistic read section validated or abandoned *)
+
+type event = { tid : int; clock : int; body : body }
+
+and body =
+  | Plain_read of { addr : int; kind : Euno_mem.Linemap.kind }
+  | Plain_write of { addr : int; kind : Euno_mem.Linemap.kind }
+  | Txn_line_read of int  (** line id entering the live read set *)
+  | Txn_line_write of int  (** line id entering the live write set *)
+  | Txn_begin
+  | Txn_commit
+  | Txn_aborted
+  | Unsafe_read of int  (** untracked access (addr): bypasses coherence *)
+  | Unsafe_write of int
+  | Alloc_done of { addr : int; words : int }
+  | Free_done of { addr : int; words : int }
+  | Op_exit  (** one benchmark operation retired *)
+  | Thread_exit of { failed : bool; aborted : bool }
+      (** [aborted]: the thread died with an uncaught [Txn_abort] *)
+  | Note of note
+
+val enabled : bool ref
+(** Arms the sanitizer.  Announcement sites in simulated code test this
+    before building a note, so ordinary runs pay one load+branch per
+    announcement site and allocate nothing. *)
+
+val mark_racy : int -> unit
+(** Register a word as intentionally racy (a benign-race hint word); the
+    race detector ignores plain accesses to it.  Host-side, so marks made
+    while preloading survive into the measurement machine.  No-op unless
+    {!enabled}. *)
+
+val is_racy : int -> bool
+val reset_racy : unit -> unit
+(** Clear the registry; call at the start of each sanitizer session. *)

@@ -13,6 +13,7 @@
    as a failure, not a livelock. *)
 
 module Api = Euno_sim.Api
+module Sev = Euno_sim.Sev
 
 type t = { base : int; parties : int }
 
@@ -31,13 +32,19 @@ let create ~parties =
 
 let default_max_wait = 50_000_000
 
+(* Sanitizer happens-before: every party announces arrival before the
+   last arriver flips the sense, and departure only after observing the
+   flip, so the event stream orders all arrivals before all departures
+   of an episode. *)
 let wait ?(max_cycles = default_max_wait) t =
+  if !Sev.enabled then Api.san_note (Sev.Barrier_arrive t.base);
   let sense = Api.read (sense_addr t) in
   let arrived = Api.faa (count_addr t) 1 + 1 in
   if arrived = t.parties then begin
     (* Last arriver: open the next episode, then release everyone. *)
     Api.write (count_addr t) 0;
-    Api.write (sense_addr t) (1 - sense)
+    Api.write (sense_addr t) (1 - sense);
+    if !Sev.enabled then Api.san_note (Sev.Barrier_depart t.base)
   end
   else begin
     let t0 = Api.clock () in
@@ -49,5 +56,6 @@ let wait ?(max_cycles = default_max_wait) t =
         spin ()
       end
     in
-    spin ()
+    spin ();
+    if !Sev.enabled then Api.san_note (Sev.Barrier_depart t.base)
   end

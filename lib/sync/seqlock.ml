@@ -1,14 +1,29 @@
 (* Sequence lock on one simulated word: even = stable, odd = writer in
    critical section.  Readers retry until they observe the same even value
-   before and after; writers must be externally serialized (or use
-   [write_lock]). *)
+   before and after; writers are serialized by the CAS in write_begin.
+
+   The writer side is hardened like Spinlock: an owner stamp (tid + 1) in
+   the word next to the sequence word makes write_end by a thread that is
+   not the current writer raise Not_owner instead of silently flipping
+   the version to "stable" under a live writer.  When the sanitizer is
+   armed, writer acquire/release and the readers' optimistic sections are
+   announced to it. *)
 
 module Api = Euno_sim.Api
+module Sev = Euno_sim.Sev
+
+exception Not_owner of { lock : int; tid : int; holder : int }
+
+(* Owner stamp, on the same Lock line as the sequence word. *)
+let owner_addr addr = addr + 1
 
 let alloc () =
   Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Euno_mem.Memory.line_words
 
+(* Readers: read_begin/read_validate must be paired — each begin opens an
+   optimistic section for the sanitizer and each validate closes it. *)
 let read_begin addr =
+  if !Sev.enabled then Api.san_note Sev.Opt_enter;
   let rec stable () =
     let v = Api.read addr in
     if v land 1 = 1 then begin
@@ -19,7 +34,14 @@ let read_begin addr =
   in
   stable ()
 
-let read_validate addr v0 = Api.read addr = v0
+let read_validate addr v0 =
+  let ok = Api.read addr = v0 in
+  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  ok
+
+let announce_acquired addr =
+  Api.write (owner_addr addr) (Api.tid () + 1);
+  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Seq_writer, addr))
 
 let write_begin addr =
   let rec try_lock () =
@@ -29,9 +51,42 @@ let write_begin addr =
       try_lock ()
     end
   in
+  try_lock ();
+  announce_acquired addr
+
+(* Bounded writer acquisition: unlike a ticket queue there is nothing to
+   retract — a failed CAS leaves no trace — so bounding is just a clock
+   check on the retry loop. *)
+let write_begin_bounded ~max_cycles addr =
+  let t0 = Api.clock () in
+  let rec try_lock () =
+    let v = Api.read addr in
+    if v land 1 = 0 && Api.cas addr ~expected:v ~desired:(v + 1) then begin
+      announce_acquired addr;
+      true
+    end
+    else if Api.clock () - t0 >= max_cycles then false
+    else begin
+      Api.work 16;
+      try_lock ()
+    end
+  in
   try_lock ()
 
-let write_end addr = Api.write addr (Api.read addr + 1)
+let write_end addr =
+  let me = Api.tid () + 1 in
+  let h = Api.read (owner_addr addr) in
+  if h <> me then
+    raise (Not_owner { lock = addr; tid = me - 1; holder = h - 1 });
+  (* Announce before the sequence bump: once the word turns even the next
+     writer's acquire note may precede ours in the event stream. *)
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Seq_writer, addr));
+  Api.write (owner_addr addr) 0;
+  Api.write addr (Api.read addr + 1)
+
+let writer t =
+  let v = Api.read (owner_addr t) in
+  if v = 0 then -1 else v - 1
 
 let read addr f =
   let rec attempt () =

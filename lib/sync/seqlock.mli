@@ -1,13 +1,23 @@
 (** Sequence lock on one simulated word (even = stable, odd = writing).
 
     The building block of the Masstree-style "before-and-after" version
-    validation and of Eunomia's leaf sequence numbers. *)
+    validation and of Eunomia's leaf sequence numbers.
+
+    The writer side carries an owner stamp (tid + 1, in the adjacent
+    word): {!write_end} by a thread that is not the current writer raises
+    {!Not_owner}.  Readers' {!read_begin}/{!read_validate} pairs are
+    announced to the sanitizer as optimistic sections when it is armed. *)
+
+exception Not_owner of { lock : int; tid : int; holder : int }
+(** Raised by {!write_end} when the caller is not the current writer
+    ([holder] is -1 if no writer was active). *)
 
 val alloc : unit -> int
 (** Fresh sequence word on its own line, initially 0 (stable). *)
 
 val read_begin : int -> int
-(** Spin until stable; return the observed even version. *)
+(** Spin until stable; return the observed even version.  Must be paired
+    with exactly one {!read_validate}. *)
 
 val read_validate : int -> int -> bool
 (** True if the version is unchanged since [read_begin]. *)
@@ -15,8 +25,16 @@ val read_validate : int -> int -> bool
 val write_begin : int -> unit
 (** Acquire the writer side (version becomes odd). *)
 
+val write_begin_bounded : max_cycles:int -> int -> bool
+(** Like {!write_begin} but gives up (false) after ~[max_cycles] of
+    spinning, so a leaked writer lock cannot hang the caller forever. *)
+
 val write_end : int -> unit
-(** Release (version becomes even, one step up). *)
+(** Release (version becomes even, one step up).  Raises {!Not_owner}
+    if the caller did not win {!write_begin}. *)
+
+val writer : int -> int
+(** Tid of the active writer, or -1. *)
 
 val read : int -> (unit -> 'a) -> 'a
 (** Optimistic read section: retries [f] until it runs under a stable,

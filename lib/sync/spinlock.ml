@@ -9,6 +9,7 @@
    is invisible to the HTM fast path. *)
 
 module Api = Euno_sim.Api
+module Sev = Euno_sim.Sev
 
 let unlocked = 0
 
@@ -22,8 +23,12 @@ let alloc () =
   Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Euno_mem.Memory.line_words
 
 let try_acquire addr =
-  Api.read addr = unlocked
-  && Api.cas addr ~expected:unlocked ~desired:(stamp ())
+  let ok =
+    Api.read addr = unlocked
+    && Api.cas addr ~expected:unlocked ~desired:(stamp ())
+  in
+  if ok && !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Spin, addr));
+  ok
 
 let acquire addr =
   let b = Backoff.create () in
@@ -59,6 +64,11 @@ let release addr =
   let me = stamp () in
   if v <> me then
     raise (Not_owner { lock = addr; tid = me - 1; holder = v - 1 });
+  (* Announce before the unlocking write: once the word goes free the next
+     acquirer's note may enter the event stream ahead of ours, and the
+     sanitizer would miss the release->acquire edge.  The write itself is
+     on a Lock line the race checker never examines. *)
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
   Api.write addr unlocked
 
 let is_locked addr = Api.read addr <> unlocked

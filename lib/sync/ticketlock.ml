@@ -1,16 +1,32 @@
 (* Fair FIFO ticket lock on two simulated words (next-ticket, now-serving),
    placed on separate cache lines to avoid ping-pong between enqueuers and
-   the release path. *)
+   the release path.
+
+   Ownership discipline mirrors Spinlock's hardening: a third word (on the
+   serving line) stamps the holder's tid + 1, so releasing a lock you do
+   not hold raises Not_owner instead of silently advancing the queue and
+   letting two waiters in at once. *)
 
 module Api = Euno_sim.Api
+module Sev = Euno_sim.Sev
 module Memory = Euno_mem.Memory
 
 type t = { next : int; serving : int }
+
+exception Not_owner of { lock : int; tid : int; holder : int }
+
+(* The holder stamp shares the serving line: only the winning waiter and
+   the releasing holder touch it, never the enqueue path. *)
+let owner_addr t = t.serving + 1
 
 let alloc () =
   let next = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Memory.line_words in
   let serving = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:Memory.line_words in
   { next; serving }
+
+let announce_acquired t =
+  Api.write (owner_addr t) (Api.tid () + 1);
+  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Ticket, t.serving))
 
 let acquire t =
   let ticket = Api.faa t.next 1 in
@@ -20,9 +36,52 @@ let acquire t =
       wait ()
     end
   in
-  wait ()
+  wait ();
+  announce_acquired t
 
-let release t = Api.write t.serving (Api.read t.serving + 1)
+(* Grab the lock only if it is free right now: when next = serving no
+   ticket is outstanding, so advancing next claims the ticket currently
+   being served.  The CAS loses to any concurrent enqueuer, preserving
+   fairness for queued waiters. *)
+let try_acquire t =
+  let s = Api.read t.serving in
+  let ok = Api.read t.next = s && Api.cas t.next ~expected:s ~desired:(s + 1) in
+  if ok then announce_acquired t;
+  ok
+
+(* Bounded acquisition never joins the FIFO queue: a queued ticket cannot
+   be abandoned without deadlocking every later waiter, so the bounded
+   path polls try_acquire and gives up after ~[max_cycles].  This trades
+   fairness for the guarantee that a leaked or stalled lock cannot hang
+   the caller forever — exactly the fallback-path contract. *)
+let acquire_bounded ~max_cycles t =
+  let t0 = Api.clock () in
+  let rec loop () =
+    if try_acquire t then true
+    else if Api.clock () - t0 >= max_cycles then false
+    else begin
+      Api.work 24;
+      loop ()
+    end
+  in
+  loop ()
+
+let holder t =
+  let v = Api.read (owner_addr t) in
+  if v = 0 then -1 else v - 1
+
+let is_locked t = Api.read (owner_addr t) <> 0
+
+let release t =
+  let me = Api.tid () + 1 in
+  let h = Api.read (owner_addr t) in
+  if h <> me then
+    raise (Not_owner { lock = t.serving; tid = me - 1; holder = h - 1 });
+  (* Announce before the serving bump: once serving advances the next
+     waiter's acquire note may precede ours in the event stream. *)
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Ticket, t.serving));
+  Api.write (owner_addr t) 0;
+  Api.write t.serving (Api.read t.serving + 1)
 
 let with_lock t f =
   acquire t;

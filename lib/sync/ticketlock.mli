@@ -1,8 +1,38 @@
-(** Fair FIFO ticket lock (two simulated words on separate lines). *)
+(** Fair FIFO ticket lock (two simulated words on separate lines).
+
+    Hardened like {!Spinlock}: a holder stamp (tid + 1) on the serving
+    line makes a release by a thread that does not hold the lock raise
+    {!Not_owner} instead of corrupting the queue, and
+    {!acquire_bounded} gives fallback-style callers a way to give up on
+    a leaked or stalled lock.  When the sanitizer is armed, successful
+    acquisitions and releases are announced to it ({!Euno_sim.Sev}). *)
 
 type t
 
+exception Not_owner of { lock : int; tid : int; holder : int }
+(** Raised by {!release} when the caller is not the current holder
+    ([holder] is -1 if the lock was not held at all). *)
+
 val alloc : unit -> t
+
 val acquire : t -> unit
+(** Take a ticket and spin (FIFO-fair) until served. *)
+
+val try_acquire : t -> bool
+(** Acquire only if the lock is free right now; never queues.  Loses to
+    any concurrent enqueuer, preserving fairness for queued waiters. *)
+
+val acquire_bounded : max_cycles:int -> t -> bool
+(** Poll {!try_acquire} for ~[max_cycles], then give up (false).  Never
+    joins the FIFO queue — an abandoned ticket would deadlock every
+    later waiter — so it trades fairness for boundedness. *)
+
 val release : t -> unit
+(** Advance the queue.  Raises {!Not_owner} if the caller does not hold
+    the lock. *)
+
+val holder : t -> int
+(** Tid of the current holder, or -1. *)
+
+val is_locked : t -> bool
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -15,6 +15,7 @@ let () =
       ("stats", Test_stats.suite);
       ("harness", Test_harness.suite);
       ("fault", Test_fault.suite);
+      ("san", Test_san.suite);
       ("history", Test_history.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);

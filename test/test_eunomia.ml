@@ -535,6 +535,53 @@ let test_maintain_with_epoch_defers_reclaim () =
         (Euno_mem.Alloc.live_words w.alloc < live_before);
       Euno.check_invariants t)
 
+(* Regression for the with_epoch exception path: an operation defeated
+   mid-flight (injected allocation failure during a split) must unpin its
+   epoch slot.  A leaked pin would freeze the global epoch forever, so
+   nothing retired afterwards could ever be reclaimed without a flush. *)
+let test_epoch_unpinned_after_failed_op () =
+  let w = fresh_world () in
+  let epoch = Euno_mem.Epoch.create ~slots:1 ~advance_every:1 () in
+  let t =
+    run_one w (fun () -> Euno.create ~epoch ~cfg:Config.full ~map:w.map ())
+  in
+  let m =
+    Machine.create ~threads:1 ~seed:7 ~cost:Cost.unit_costs ~mem:w.mem
+      ~map:w.map ~alloc:w.alloc
+  in
+  let starve = ref false in
+  Machine.set_injector m
+    {
+      Machine.no_injector with
+      inj_alloc_fail = (fun ~tid:_ ~clock:_ ~in_txn:_ -> !starve);
+    };
+  Machine.run m (fun _ ->
+      (* fill one leaf, then starve the allocator so a split dies with
+         Alloc_failure inside with_epoch *)
+      (try
+         for k = 0 to 40 do
+           if k = 12 then starve := true;
+           Euno.put t k k
+         done;
+         Alcotest.fail "expected a starved split to fail"
+       with Euno_mem.Alloc.Alloc_failure -> ());
+      starve := false;
+      for k = 13 to 399 do
+        Euno.put t k k
+      done;
+      for k = 0 to 399 do
+        if k mod 4 <> 0 then ignore (Euno.delete t k)
+      done;
+      ignore (Euno.maintain t);
+      (* pin/unpin traffic advances the epoch only if the failed
+         operation really unpinned its slot *)
+      for k = 0 to 99 do
+        ignore (Euno.get t k)
+      done;
+      check_bool "epoch advanced past the failed operation" true
+        (Euno_mem.Epoch.freed epoch > 0);
+      Euno.check_invariants t)
+
 let prop_maintain_preserves_contents =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:25
@@ -806,6 +853,8 @@ let suite =
       test_maintain_concurrent_with_ops;
     Alcotest.test_case "maintain + epoch defers reclaim" `Quick
       test_maintain_with_epoch_defers_reclaim;
+    Alcotest.test_case "epoch unpinned after failed op" `Quick
+      test_epoch_unpinned_after_failed_op;
     prop_maintain_preserves_contents;
     Alcotest.test_case "mark-bit fast path fires" `Quick
       test_mark_fastpath_counts;

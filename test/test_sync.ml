@@ -125,6 +125,69 @@ let test_ticketlock_fifo () =
   check_bool "grant order matches arrival order" true
     (order = List.sort compare order)
 
+(* Ticket lock hardening: same ownership discipline as Spinlock. *)
+let test_ticketlock_release_unheld_detected () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Ticketlock.alloc () in
+      (match Ticketlock.release l with
+      | () -> Alcotest.fail "release of unheld ticket lock not detected"
+      | exception Ticketlock.Not_owner { holder; _ } ->
+          check_int "no holder" (-1) holder);
+      check_bool "still unlocked" false (Ticketlock.is_locked l);
+      (* The failed release must not have advanced the queue. *)
+      Ticketlock.acquire l;
+      check_int "still acquirable, holder stamped" (Api.tid ())
+        (Ticketlock.holder l);
+      Ticketlock.release l)
+
+let test_ticketlock_release_foreign_detected () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Ticketlock.alloc ()) in
+  let caught = ref (-2) in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:17 w (fun tid ->
+        if tid = 0 then begin
+          Ticketlock.acquire l;
+          Api.work 2_000;
+          Ticketlock.release l
+        end
+        else begin
+          (* wait until thread 0 demonstrably holds the lock *)
+          while Ticketlock.holder l <> 0 do
+            Api.work 50
+          done;
+          match Ticketlock.release l with
+          | () -> ()
+          | exception Ticketlock.Not_owner { holder; _ } -> caught := holder
+        end)
+  in
+  check_int "foreign release detected, holder identified" 0 !caught
+
+let test_ticketlock_bounded_acquire_times_out () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Ticketlock.alloc ()) in
+  let timed_out = ref false and acquired_late = ref false in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:19 w (fun tid ->
+        if tid = 0 then begin
+          Ticketlock.acquire l;
+          Api.work 30_000;
+          Ticketlock.release l
+        end
+        else begin
+          Api.work 100;
+          if not (Ticketlock.acquire_bounded ~max_cycles:2_000 l) then
+            timed_out := true;
+          if Ticketlock.acquire_bounded ~max_cycles:1_000_000 l then begin
+            acquired_late := true;
+            Ticketlock.release l
+          end
+        end)
+  in
+  check_bool "bounded acquire timed out under a long hold" true !timed_out;
+  check_bool "later bounded acquire succeeded" true !acquired_late
+
 let test_seqlock_reader_sees_consistent_pair () =
   let w = fresh_world () in
   let data = scratch w ~words:8 in
@@ -163,6 +226,67 @@ let test_seqlock_version_parity () =
       let v0 = Seqlock.read_begin l in
       check_bool "validate stable" true (Seqlock.read_validate l v0))
 
+(* Seqlock writer-side hardening: owner stamp and bounded begin. *)
+let test_seqlock_write_end_unheld_detected () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let l = Seqlock.alloc () in
+      (match Seqlock.write_end l with
+      | () -> Alcotest.fail "write_end without write_begin not detected"
+      | exception Seqlock.Not_owner { holder; _ } ->
+          check_int "no writer" (-1) holder);
+      (* The failed release must not have perturbed the version word. *)
+      check_int "still stable" 0 (Seqlock.version l land 1);
+      let v0 = Seqlock.read_begin l in
+      check_bool "readers unharmed" true (Seqlock.read_validate l v0))
+
+let test_seqlock_write_end_foreign_detected () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Seqlock.alloc ()) in
+  let caught = ref (-2) in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:23 w (fun tid ->
+        if tid = 0 then begin
+          Seqlock.write_begin l;
+          Api.work 2_000;
+          Seqlock.write_end l
+        end
+        else begin
+          (* wait until thread 0 is demonstrably mid-write *)
+          while Seqlock.writer l <> 0 do
+            Api.work 50
+          done;
+          match Seqlock.write_end l with
+          | () -> ()
+          | exception Seqlock.Not_owner { holder; _ } -> caught := holder
+        end)
+  in
+  check_int "foreign write_end detected, writer identified" 0 !caught
+
+let test_seqlock_write_begin_bounded_times_out () =
+  let w = fresh_world () in
+  let l = run_one w (fun () -> Seqlock.alloc ()) in
+  let timed_out = ref false and acquired_late = ref false in
+  let (_ : Machine.t) =
+    run_threads ~threads:2 ~cost:Cost.default ~seed:29 w (fun tid ->
+        if tid = 0 then begin
+          Seqlock.write_begin l;
+          Api.work 30_000;
+          Seqlock.write_end l
+        end
+        else begin
+          Api.work 100;
+          if not (Seqlock.write_begin_bounded ~max_cycles:2_000 l) then
+            timed_out := true;
+          if Seqlock.write_begin_bounded ~max_cycles:1_000_000 l then begin
+            acquired_late := true;
+            Seqlock.write_end l
+          end
+        end)
+  in
+  check_bool "bounded write_begin timed out under a long write" true !timed_out;
+  check_bool "later bounded write_begin succeeded" true !acquired_late
+
 let test_backoff_grows_and_resets () =
   let w = fresh_world () in
   run_one w (fun () ->
@@ -194,10 +318,22 @@ let suite =
     Alcotest.test_case "ticket lock mutual exclusion" `Quick
       test_ticketlock_mutual_exclusion;
     Alcotest.test_case "ticket lock is FIFO" `Quick test_ticketlock_fifo;
+    Alcotest.test_case "ticket lock release of unheld lock detected" `Quick
+      test_ticketlock_release_unheld_detected;
+    Alcotest.test_case "ticket lock foreign release detected" `Quick
+      test_ticketlock_release_foreign_detected;
+    Alcotest.test_case "ticket lock bounded acquire times out" `Quick
+      test_ticketlock_bounded_acquire_times_out;
     Alcotest.test_case "seqlock consistent reads" `Quick
       test_seqlock_reader_sees_consistent_pair;
     Alcotest.test_case "seqlock version parity" `Quick
       test_seqlock_version_parity;
+    Alcotest.test_case "seqlock write_end without begin detected" `Quick
+      test_seqlock_write_end_unheld_detected;
+    Alcotest.test_case "seqlock foreign write_end detected" `Quick
+      test_seqlock_write_end_foreign_detected;
+    Alcotest.test_case "seqlock bounded write_begin times out" `Quick
+      test_seqlock_write_begin_bounded_times_out;
     Alcotest.test_case "backoff grows and resets" `Quick
       test_backoff_grows_and_resets;
   ]
