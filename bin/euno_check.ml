@@ -1,0 +1,101 @@
+(* Standalone EunoCheck driver for CI and local hunts.
+
+     euno_check                     # clean sweep, all trees (exit 1 on bug)
+     euno_check --quick             # CI smoke scale
+     euno_check --mutations         # prove the checker catches the seeded
+                                    # Testonly bugs (exit 1 if one hides)
+     euno_check --repro 'tree=...'  # replay a minimized counterexample
+     euno_check --json out.json     # also write schema-v1 "check" records
+
+   The clean sweep exits 0 iff no tree produced a non-linearizable
+   history; the mutation campaign inverts that — every registered
+   mutation must be caught within the budget. *)
+
+let () = Printexc.record_backtrace true
+
+module Check_run = Euno_harness.Check_run
+module History = Euno_harness.History
+module Report = Euno_harness.Report
+
+let write_json path outcomes =
+  Report.write_file path
+    (Report.document ~experiment:"check"
+       (Check_run.to_records ~experiment:"check" outcomes));
+  Printf.printf "wrote %s\n%!" path
+
+let run_repro descriptor =
+  let config, policy = Check_run.repro_of_string descriptor in
+  Printf.printf "replaying %s\n%!" (Check_run.config_to_string config);
+  let x = Check_run.execute config ~policy in
+  match x.Check_run.x_verdict with
+  | History.Illegal core ->
+      Printf.printf "REPRODUCED: non-linearizable core\n%s\n"
+        (History.to_string core);
+      exit 0
+  | History.Linearizable _ ->
+      Printf.printf "did not reproduce: %d events linearizable\n"
+        x.Check_run.x_events;
+      exit 1
+
+let run_mutations ~budget ~seed ~json =
+  print_endline
+    "EunoCheck mutation campaign: every seeded Testonly bug must surface \
+     as a non-linearizable history";
+  let outs = Check_run.hunt_mutations ~budget ~seed () in
+  Check_run.print stdout outs;
+  Option.iter (fun p -> write_json p outs) json;
+  let missed =
+    List.filter (fun o -> o.Check_run.o_violation = None) outs
+  in
+  List.iter
+    (fun o ->
+      Printf.printf "MISSED: mutation %s survived %d runs undetected\n"
+        o.Check_run.o_config.Check_run.mutation o.Check_run.o_runs)
+    missed;
+  exit (if missed = [] then 0 else 1)
+
+let run_sweep ~quick ~seed ~json =
+  print_endline
+    "EunoCheck sweep: adversarial schedule exploration + linearizability \
+     checking over all trees";
+  let outs = Check_run.sweep ~quick ~seed () in
+  Check_run.print stdout outs;
+  Option.iter (fun p -> write_json p outs) json;
+  exit (if Check_run.clean outs then 0 else 1)
+
+let () =
+  let quick = ref false in
+  let mutations = ref false in
+  let budget = ref 64 in
+  let seed = ref 42 in
+  let json = ref None in
+  let repro = ref None in
+  let usage =
+    "euno_check [--quick] [--mutations] [--budget N] [--seed N] [--json \
+     PATH] [--repro DESCRIPTOR]"
+  in
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " Smoke-test scale (CI).");
+      ( "--mutations",
+        Arg.Set mutations,
+        " Hunt the seeded Testonly bugs instead of sweeping clean trees." );
+      ( "--budget",
+        Arg.Set_int budget,
+        "N (policy, seed) schedules per mutation hunt (default 64)." );
+      ("--seed", Arg.Set_int seed, "N Base campaign seed (default 42).");
+      ( "--json",
+        Arg.String (fun p -> json := Some p),
+        "PATH Write schema-versioned check records to PATH." );
+      ( "--repro",
+        Arg.String (fun s -> repro := Some s),
+        "DESCRIPTOR Replay one counterexample descriptor and exit 0 iff it \
+         reproduces." );
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  match !repro with
+  | Some descriptor -> run_repro descriptor
+  | None ->
+      if !mutations then run_mutations ~budget:!budget ~seed:!seed ~json:!json
+      else run_sweep ~quick:!quick ~seed:!seed ~json:!json

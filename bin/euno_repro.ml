@@ -12,9 +12,10 @@ module Figures = Euno_harness.Figures
 module Report = Euno_harness.Report
 
 let experiment =
-  (* "chaos" and "san" are not figures: the fault-injection campaign and
-     the sanitizer sweep are handled by their own drivers below. *)
-  let names = List.map fst Figures.by_name @ [ "chaos"; "san" ] in
+  (* "chaos", "san" and "check" are not figures: the fault-injection
+     campaign, the sanitizer sweep and the linearizability-checking
+     campaign are handled by their own drivers below. *)
+  let names = List.map fst Figures.by_name @ [ "chaos"; "san"; "check" ] in
   let doc =
     Printf.sprintf "Experiment to run: one of %s." (String.concat ", " names)
   in
@@ -138,9 +139,30 @@ let run_san quick seed json =
   | None -> ());
   if not (San_run.clean outs) then exit 1
 
+(* EunoCheck sweep: adversarial schedule exploration plus linearizability
+   checking over every tree.  Non-zero exit on any non-linearizable
+   history — which here would be a real tree (or checker) bug, since the
+   Testonly mutations stay off. *)
+let run_check quick seed json =
+  let module Check_run = Euno_harness.Check_run in
+  print_endline
+    "EunoCheck sweep: adversarial schedule exploration + linearizability \
+     checking over all trees";
+  let outs = Check_run.sweep ~quick ~seed () in
+  Check_run.print stdout outs;
+  (match json with
+  | Some path ->
+      Report.write_file path
+        (Report.document ~experiment:"check"
+           (Check_run.to_records ~experiment:"check" outs));
+      Printf.printf "wrote %s\n%!" path
+  | None -> ());
+  if not (Check_run.clean outs) then exit 1
+
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
     snapshots window =
   if name = "san" then run_san quick seed json
+  else if name = "check" then run_check quick seed json
   else if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
   else begin
   (match csv with

@@ -7,14 +7,32 @@
    real time (if op A responded before op B was invoked, A precedes B) and
    agrees with the sequential specification of a map.
 
-   The search is Wing & Gong's algorithm with memoization on the
-   (completed-set, map-state) pair; worst case exponential, fine for the
-   small histories tests generate (tens of operations). *)
+   Two engines share the work:
+
+   - Scan-free histories are checked *compositionally*.  Every point
+     operation touches exactly one key, keys are independent sub-objects
+     of the map, and linearizability is local (Herlihy & Wing): the
+     history is linearizable iff each per-key sub-history is.  Each
+     sub-history is searched with Wing & Gong's algorithm over the tiny
+     per-key state (one [int option]) with a sorted-by-invocation
+     candidate frontier, so thousands of events check in milliseconds and
+     the old 62-event cap does not apply.
+
+   - Histories containing Scan (which reads many keys atomically) fall
+     back to the bounded whole-history Wing & Gong search over the full
+     map state, capped at 62 events exactly as before.
+
+   Either way the checker returns a witness linearization on success, or a
+   greedily minimized non-linearizable core on failure (a debugging aid:
+   the core is itself non-linearizable from the same initial state, and
+   shrinking never reintroduces legality). *)
 
 type op =
   | Get of int * int option (* key, observed result *)
   | Put of int * int
   | Delete of int * bool (* key, observed success *)
+  | Rmw of int * int option * int (* key, observed prior, stored value *)
+  | Scan of int * int * (int * int) list (* from, count, observed bindings *)
 
 type event = {
   tid : int;
@@ -28,6 +46,16 @@ let op_to_string = function
   | Get (k, None) -> Printf.sprintf "get %d = None" k
   | Put (k, v) -> Printf.sprintf "put %d %d" k v
   | Delete (k, ok) -> Printf.sprintf "delete %d = %b" k ok
+  | Rmw (k, Some p, v) -> Printf.sprintf "rmw %d (Some %d -> %d)" k p v
+  | Rmw (k, None, v) -> Printf.sprintf "rmw %d (None -> %d)" k v
+  | Scan (from, count, obs) ->
+      Printf.sprintf "scan %d #%d = [%s]" from count
+        (String.concat "; "
+           (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) obs))
+
+let key_of_op = function
+  | Get (k, _) | Put (k, _) | Delete (k, _) | Rmw (k, _, _) -> Some k
+  | Scan _ -> None
 
 (* A recorder for one run: threads append from the machine body. *)
 type recorder = { mutable events : event list }
@@ -35,13 +63,31 @@ type recorder = { mutable events : event list }
 let recorder () = { events = [] }
 
 let record r ~tid ~invoked ~responded op =
+  if invoked < 0 || responded < invoked then
+    invalid_arg
+      (Printf.sprintf
+         "History.record: bad interval [%d, %d] (negative or responded < \
+          invoked)"
+         invoked responded);
   r.events <- { tid; invoked; responded; op } :: r.events
 
 let events r = List.rev r.events
 
 module IntMap = Map.Make (Int)
 
-(* Apply an operation to the model; None if the observed result
+(* ---------- sequential specification ---------- *)
+
+let scan_model state ~from ~count =
+  let rec take n seq =
+    if n = 0 then []
+    else
+      match seq () with
+      | Seq.Nil -> []
+      | Seq.Cons (kv, rest) -> kv :: take (n - 1) rest
+  in
+  take count (IntMap.to_seq_from from state)
+
+(* Apply an operation to the full-map model; None if the observed result
    contradicts the model state. *)
 let apply state = function
   | Get (k, observed) ->
@@ -50,21 +96,35 @@ let apply state = function
   | Delete (k, observed) ->
       if IntMap.mem k state = observed then Some (IntMap.remove k state)
       else None
+  | Rmw (k, observed, v) ->
+      if IntMap.find_opt k state = observed then Some (IntMap.add k v state)
+      else None
+  | Scan (from, count, observed) ->
+      if scan_model state ~from ~count = observed then Some state else None
 
-(* Key for the memo table: which events are done plus the model state. *)
-let memo_key done_mask state =
-  (done_mask, IntMap.bindings state)
+(* Apply a point operation to its key's sub-state. *)
+let apply_key (state : int option) op : int option option =
+  match op with
+  | Get (_, observed) -> if observed = state then Some state else None
+  | Put (_, v) -> Some (Some v)
+  | Delete (_, observed) ->
+      if observed = (state <> None) then Some None else None
+  | Rmw (_, observed, v) -> if observed = state then Some (Some v) else None
+  | Scan _ -> assert false (* never partitioned by key *)
+
+(* ---------- bounded whole-history search (handles Scan) ---------- *)
 
 exception Found
 
-(* Is the history linearizable with respect to the map specification,
-   starting from [init]? *)
-let linearizable ?(init = IntMap.empty) evs =
-  let evs = Array.of_list evs in
+(* Wing & Gong over the full map state, n <= 62, int done-mask, memo on
+   (done-mask, state).  Returns the witness order as indices, or None. *)
+let wg_full init (evs : event array) : int list option =
   let n = Array.length evs in
-  if n > 62 then invalid_arg "History.linearizable: history too long";
+  if n > 62 then
+    invalid_arg "History: histories with Scan are limited to 62 events";
   let full = (1 lsl n) - 1 in
   let memo = Hashtbl.create 4096 in
+  let path = ref [] in
   (* ev i may be linearized next (given pending set) iff no other pending
      event responded before its invocation. *)
   let minimal pending i =
@@ -81,19 +141,207 @@ let linearizable ?(init = IntMap.empty) evs =
   in
   let rec search done_mask state =
     if done_mask = full then raise Found;
-    let key = memo_key done_mask state in
+    let key = (done_mask, IntMap.bindings state) in
     if not (Hashtbl.mem memo key) then begin
       Hashtbl.add memo key ();
       let pending = full land lnot done_mask in
       for i = 0 to n - 1 do
         if pending land (1 lsl i) <> 0 && minimal pending i then
           match apply state evs.(i).op with
-          | Some state' -> search (done_mask lor (1 lsl i)) state'
+          | Some state' ->
+              path := i :: !path;
+              search (done_mask lor (1 lsl i)) state';
+              path := List.tl !path
           | None -> ()
       done
     end
   in
-  match search 0 init with () -> false | exception Found -> true
+  match search 0 init with
+  | () -> None
+  | exception Found -> Some (List.rev !path)
+
+(* ---------- per-key search (unbounded length) ---------- *)
+
+(* Wing & Gong over one key's sub-history.  The state is one [int option],
+   the done-set a byte mask (no 62-event cap), and candidates come from a
+   frontier scan: with events sorted by invocation, an event is a legal
+   next linearization exactly while its invocation does not exceed the
+   minimum response among pending events scanned before it — every later
+   event responds after its own (later) invocation, so the scan stops at
+   the first pending event past the bound.  The frontier is at most the
+   run's thread count wide, which keeps the search effectively quadratic
+   on real histories. *)
+let wg_key (init : int option) (evs : event array) : int list option =
+  let n = Array.length evs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare evs.(a).invoked evs.(b).invoked in
+      if c <> 0 then c
+      else
+        let c = compare evs.(a).responded evs.(b).responded in
+        if c <> 0 then c else compare a b)
+    order;
+  let sorted = Array.map (fun i -> evs.(i)) order in
+  let mask = Bytes.make ((n + 7) / 8) '\000' in
+  let is_done i =
+    Char.code (Bytes.get mask (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  in
+  let set_done i v =
+    let b = Char.code (Bytes.get mask (i lsr 3)) in
+    let bit = 1 lsl (i land 7) in
+    Bytes.set mask (i lsr 3) (Char.chr (if v then b lor bit else b land lnot bit))
+  in
+  let memo = Hashtbl.create 4096 in
+  let memo_key state =
+    Bytes.to_string mask
+    ^ match state with None -> "N" | Some v -> string_of_int v
+  in
+  let path = ref [] in
+  (* Pending candidates in sorted order, smallest invocation first. *)
+  let candidates () =
+    let rec go i bound acc =
+      if i >= n then List.rev acc
+      else if is_done i then go (i + 1) bound acc
+      else if sorted.(i).invoked > bound then List.rev acc
+      else go (i + 1) (min bound sorted.(i).responded) (i :: acc)
+    in
+    go 0 max_int []
+  in
+  let rec search remaining state =
+    if remaining = 0 then raise Found;
+    let key = memo_key state in
+    if not (Hashtbl.mem memo key) then begin
+      Hashtbl.add memo key ();
+      List.iter
+        (fun i ->
+          match apply_key state sorted.(i).op with
+          | Some state' ->
+              set_done i true;
+              path := i :: !path;
+              search (remaining - 1) state';
+              path := List.tl !path;
+              set_done i false
+          | None -> ())
+        (candidates ())
+    end
+  in
+  match search n init with
+  | () -> None
+  | exception Found -> Some (List.rev_map (fun i -> order.(i)) !path)
+
+(* ---------- compositional checking and witness merging ---------- *)
+
+type verdict =
+  | Linearizable of event list (* a witness linearization, in order *)
+  | Illegal of event list (* a minimized non-linearizable core *)
+
+let validate evs =
+  List.iter
+    (fun e ->
+      if e.invoked < 0 || e.responded < e.invoked then
+        invalid_arg
+          (Printf.sprintf "History: bad interval [%d, %d]" e.invoked
+             e.responded))
+    evs
+
+(* Assign linearization points to one key's witness: each event gets
+   (base, tick) with base = max(own invocation, predecessor's base) and
+   tick counting ties.  Because the witness respects per-key real time,
+   base never exceeds the event's own response — so if event A responded
+   before event B (of any key) was invoked, A's base is strictly smaller
+   than B's and a global sort by (base, tick) respects cross-key real time
+   while preserving every per-key order: a valid whole-history witness. *)
+let assign_points evs_in_order =
+  let rec go base tick acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        if e.invoked > base then go e.invoked 0 ((e.invoked, 0, e) :: acc) rest
+        else go base (tick + 1) ((base, tick + 1, e) :: acc) rest
+  in
+  go (-1) 0 [] evs_in_order
+
+(* Greedy shrink of a non-linearizable sub-history: drop events (latest
+   invocation first) while the remainder stays non-linearizable under
+   [still_illegal].  The result is a genuine counterexample from the same
+   initial state, kept small for human eyes. *)
+let minimize_core still_illegal evs =
+  let sorted =
+    List.sort (fun a b -> compare b.invoked a.invoked) evs
+  in
+  let rec drop_each kept = function
+    | [] -> List.rev kept
+    | e :: rest ->
+        let without = List.rev_append kept rest in
+        if still_illegal without then drop_each kept rest
+        else drop_each (e :: kept) rest
+  in
+  let core = drop_each [] sorted in
+  List.sort (fun a b -> compare a.invoked b.invoked) core
+
+let check ?(init = IntMap.empty) evs =
+  validate evs;
+  let has_scan =
+    List.exists (fun e -> match e.op with Scan _ -> true | _ -> false) evs
+  in
+  if has_scan then begin
+    let arr = Array.of_list evs in
+    match wg_full init arr with
+    | Some order -> Linearizable (List.map (fun i -> arr.(i)) order)
+    | None ->
+        let illegal sub = wg_full init (Array.of_list sub) = None in
+        Illegal (minimize_core illegal evs)
+  end
+  else begin
+    (* Partition by key (ascending, deterministic), check each key's
+       sub-history independently, merge witnesses. *)
+    let by_key =
+      List.fold_left
+        (fun acc e ->
+          match key_of_op e.op with
+          | Some k ->
+              IntMap.update k
+                (function Some l -> Some (e :: l) | None -> Some [ e ])
+                acc
+          | None -> acc)
+        IntMap.empty evs
+    in
+    let result =
+      IntMap.fold
+        (fun k rev_evs acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok witnesses -> (
+              let arr = Array.of_list (List.rev rev_evs) in
+              match wg_key (IntMap.find_opt k init) arr with
+              | Some order ->
+                  Ok (List.map (fun i -> arr.(i)) order :: witnesses)
+              | None -> Error (k, Array.to_list arr)))
+        by_key (Ok [])
+    in
+    match result with
+    | Ok witnesses ->
+        let pointed = List.concat_map assign_points witnesses in
+        let sorted =
+          List.sort
+            (fun (b1, t1, e1) (b2, t2, e2) ->
+              let c = compare b1 b2 in
+              if c <> 0 then c
+              else
+                let c = compare t1 t2 in
+                if c <> 0 then c else compare (key_of_op e1.op) (key_of_op e2.op))
+            pointed
+        in
+        Linearizable (List.map (fun (_, _, e) -> e) sorted)
+    | Error (k, sub) ->
+        let illegal s =
+          wg_key (IntMap.find_opt k init) (Array.of_list s) = None
+        in
+        Illegal (minimize_core illegal sub)
+  end
+
+let linearizable ?init evs =
+  match check ?init evs with Linearizable _ -> true | Illegal _ -> false
 
 (* A human-readable dump for failing tests. *)
 let to_string evs =

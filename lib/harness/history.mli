@@ -2,18 +2,37 @@
 
     Record one event per completed operation (exact simulated-cycle
     invocation/response times plus the observed result), then search for a
-    linearization with Wing & Gong's algorithm against a map
-    specification.  Intended for test harnesses: exponential worst case,
-    memoized, suitable for histories of a few dozen operations. *)
+    linearization against the sequential map specification.
+
+    {b Complexity:} scan-free histories are checked compositionally —
+    linearizability is local, so the history is split into per-key
+    sub-histories each searched with Wing & Gong over a one-value state
+    and a sorted invocation frontier; thousands of events check quickly
+    and there is no hard length cap.  Histories containing {!Scan} (an
+    atomic multi-key read) fall back to the whole-history Wing & Gong
+    search, memoized, bounded at 62 events.
+
+    {b Determinism:} the search explores candidates in a fixed order and
+    uses no host entropy, so verdicts, witnesses and minimized cores are
+    stable across runs. *)
 
 type op =
   | Get of int * int option  (** key, observed result *)
   | Put of int * int
   | Delete of int * bool  (** key, observed success *)
+  | Rmw of int * int option * int
+      (** key, observed prior value, stored value: an atomic
+          read-modify-write that saw the prior and installed the new *)
+  | Scan of int * int * (int * int) list
+      (** from, count, observed bindings: an atomic snapshot of the first
+          [count] bindings with key [>= from], ascending *)
 
 type event = { tid : int; invoked : int; responded : int; op : op }
 
 val op_to_string : op -> string
+
+val key_of_op : op -> int option
+(** The single key a point operation touches; [None] for {!Scan}. *)
 
 type recorder
 
@@ -21,14 +40,29 @@ val recorder : unit -> recorder
 
 val record : recorder -> tid:int -> invoked:int -> responded:int -> op -> unit
 (** Append one completed operation (host-side; deterministic under the
-    machine). *)
+    machine).  Raises [Invalid_argument] if [invoked < 0] or
+    [responded < invoked] — a malformed interval would silently weaken
+    every real-time ordering constraint derived from it. *)
 
 val events : recorder -> event list
 (** All events in recording order. *)
 
+(** Outcome of a check: either a witness linearization (every event, in a
+    legal sequential order respecting real time), or a greedily minimized
+    non-linearizable core — a subset of the history that is itself
+    non-linearizable from the same initial state, kept small for
+    debugging. *)
+type verdict = Linearizable of event list | Illegal of event list
+
+val check : ?init:int Map.Make(Int).t -> event list -> verdict
+(** Full check with witness or core.  [init] is the starting map state
+    (e.g. the preloaded records).  Raises [Invalid_argument] on malformed
+    intervals, or beyond 62 events if the history contains {!Scan}. *)
+
 val linearizable : ?init:int Map.Make(Int).t -> event list -> bool
-(** Does a linearization exist?  [init] is the starting map state (e.g.
-    the preloaded records).  Raises [Invalid_argument] beyond 62 events. *)
+(** [check] collapsed to a boolean.  Scan-free histories of thousands of
+    events are fine; histories with {!Scan} raise [Invalid_argument]
+    beyond 62 events (the old whole-history bound). *)
 
 val to_string : event list -> string
 (** Debug dump for failing tests. *)

@@ -188,6 +188,41 @@ let san_to_json ?experiment ?run ~tree ~workload ~threads ~seed
         ("findings", Json.List (List.map san_finding_to_json s.findings));
       ])
 
+(* One record per EunoCheck campaign cell: the exploration budget spent
+   and, on a violation, the size of the counterexample before/after
+   shrinking plus the one-line repro descriptor (bin/euno_check and the
+   euno_repro check subcommand emit these). *)
+let check_to_json ?experiment ?run ~tree ~mix ~dist ~mutation ~threads ~seed
+    ~policy ~runs ~events ~violation () =
+  Json.Obj
+    (context_fields ?experiment ?run ~record:"check" ()
+    @ [
+        ("tree", Json.Str tree);
+        ("mix", Json.Str mix);
+        ("dist", Json.Str dist);
+        ("mutation", Json.Str mutation);
+        ("threads", Json.Int threads);
+        ("seed", Json.Int seed);
+        ("policy", Json.Str policy);
+        ("runs", Json.Int runs);
+        ("events", Json.Int events);
+        ("violations", Json.Int (match violation with None -> 0 | Some _ -> 1));
+      ]
+    @
+    match violation with
+    | None -> []
+    | Some (fired, minimized, core, repro) ->
+        [
+          ( "violation",
+            Json.Obj
+              [
+                ("preemptions_fired", Json.Int fired);
+                ("preemptions_minimized", Json.Int minimized);
+                ("core_events", Json.Int core);
+                ("repro", Json.Str repro);
+              ] );
+        ])
+
 let aggregate_to_json ?experiment (a : Runner.aggregate) =
   Json.Obj
     (context_fields ?experiment ~record:"aggregate" ()
@@ -373,6 +408,31 @@ let validate_san obj =
         (Ok ()) fs
   | _ -> Error "missing findings list"
 
+(* Check records carry one EunoCheck campaign cell; a nested [violation]
+   object (with the shrunk counterexample and repro line) appears exactly
+   when [violations] is non-zero. *)
+let validate_check obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_field obj "mix" is_str in
+  let* () = require_field obj "dist" is_str in
+  let* () = require_field obj "mutation" is_str in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "seed" is_int in
+  let* () = require_field obj "policy" is_str in
+  let* () = require_field obj "runs" is_int in
+  let* () = require_field obj "events" is_int in
+  let* () = require_field obj "violations" is_int in
+  match (Json.member "violations" obj, Json.member "violation" obj) with
+  | Some (Json.Int 0), None -> Ok ()
+  | Some (Json.Int 0), Some _ -> Error "violation object with violations = 0"
+  | Some (Json.Int _), Some v ->
+      let* () = require_field v "preemptions_fired" is_int in
+      let* () = require_field v "preemptions_minimized" is_int in
+      let* () = require_field v "core_events" is_int in
+      require_field v "repro" is_str
+  | _ -> Error "missing violation object"
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
@@ -381,6 +441,7 @@ let validate_record obj =
   | Some (Json.Str "chaos") -> validate_chaos obj
   | Some (Json.Str "perf") -> validate_perf obj
   | Some (Json.Str "san") -> validate_san obj
+  | Some (Json.Str "check") -> validate_check obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

@@ -63,6 +63,27 @@ val san_to_json :
     count, finding total, and the capped finding list (kind, subject,
     announcing thread, logical clock, detail). *)
 
+val check_to_json :
+  ?experiment:string ->
+  ?run:int ->
+  tree:string ->
+  mix:string ->
+  dist:string ->
+  mutation:string ->
+  threads:int ->
+  seed:int ->
+  policy:string ->
+  runs:int ->
+  events:int ->
+  violation:(int * int * int * string) option ->
+  unit ->
+  Json.t
+(** One ["check"] record: an EunoCheck campaign cell — the tree, op mix,
+    distribution and mutation explored, the (policy, seed) budget spent,
+    the history events checked, and on a violation the counterexample
+    sizes (preemptions fired, preemptions after shrinking, core events)
+    plus the one-line repro descriptor. *)
+
 val snapshot_lines : ?experiment:string -> ?run:int -> Runner.result -> Json.t list
 (** One self-describing ["window"] record per sampling window (for JSONL
     export); empty when the run had no [snapshot_window]. *)
@@ -96,6 +117,9 @@ val validate_perf : Json.t -> (unit, string) result
 
 val validate_san : Json.t -> (unit, string) result
 (** Contract for the ["san"] records {!san_to_json} emits. *)
+
+val validate_check : Json.t -> (unit, string) result
+(** Contract for the ["check"] records {!check_to_json} emits. *)
 
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)

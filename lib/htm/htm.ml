@@ -30,6 +30,13 @@ module Testonly = struct
   (* PR 2 bug: evaluate xbegin *before* the match scrutinee, so an abort
      delivered while parked at the xbegin call site escapes [attempt]
      uncaught. *)
+
+  let skip_subscription = ref false
+  (* Lock-elision bug: skip the fallback-lock subscription check in
+     [attempt_elided].  An unsubscribed transaction neither aborts when a
+     fallback holder is active nor joins its read set, so it can commit in
+     the middle of the holder's critical section — the classic lost-update
+     window EunoCheck must catch as a non-linearizable history. *)
 end
 
 type policy = {
@@ -201,10 +208,15 @@ let attempt f =
   end
   else attempt_body f
 
-(* One *elided* attempt: subscribe to the fallback lock first. *)
+(* One *elided* attempt: subscribe to the fallback lock first.  The
+   subscription read is what makes elision safe — it both aborts the
+   attempt while a fallback holder is active and puts the lock word in the
+   transaction's read set so a later acquisition dooms it. *)
 let attempt_elided ~lock f =
   attempt (fun () ->
-      if Spinlock.is_locked lock.word then begin
+      if
+        (not !Testonly.skip_subscription) && Spinlock.is_locked lock.word
+      then begin
         Api.xabort Abort.xabort_lock_held;
         raise Unreachable_after_xabort
       end;

@@ -41,6 +41,12 @@ module Testonly : sig
   (** PR 2 bug: start the transaction before the match scrutinee in
       {!attempt}, letting an abort delivered at the xbegin park point
       escape uncaught. *)
+
+  val skip_subscription : bool ref
+  (** Lock-elision bug: skip the fallback-lock subscription check in
+      elided attempts, so a transaction can commit in the middle of a
+      fallback holder's critical section.  EunoCheck's mutation tests
+      prove this surfaces as a non-linearizable history. *)
 end
 
 val default_policy : policy

@@ -29,6 +29,16 @@ module L = Euno_bptree.Layout
 module Backoff = Euno_sync.Backoff
 module Spinlock = Euno_sync.Spinlock
 
+(* Test-only mutation switches: reintroduce historical protocol bugs so
+   EunoCheck can prove it detects them.  Never set outside test code. *)
+module Testonly = struct
+  let widen_read_window = ref false
+  (* OLC bug: validate the leaf version *before* the record reads instead
+     of after, so a writer mutating between the check and the reads hands
+     the reader a torn record — the TOCTOU window before-and-after
+     validation exists to close. *)
+end
+
 type t = {
   idx : Index.t; (* node layout, tree meta, shared internal-node ops *)
   root_lock : int; (* serializes root growth *)
@@ -252,11 +262,21 @@ let get t key =
     let leaf, v = descend t key in
     let rec read_leaf v =
       Api.work leaf_work;
-      let result = leaf_find t leaf key in
-      let v' = stable_version leaf in
-      if v' = v then result
-      else if vsplit_of v' <> vsplit_of v then attempt ()
-      else read_leaf v'
+      if !Testonly.widen_read_window then begin
+        (* The pre-fix shape: version checked first, records read after —
+           a writer landing in between hands us a torn record. *)
+        let v' = stable_version leaf in
+        if v' = v then leaf_find t leaf key
+        else if vsplit_of v' <> vsplit_of v then attempt ()
+        else read_leaf v'
+      end
+      else begin
+        let result = leaf_find t leaf key in
+        let v' = stable_version leaf in
+        if v' = v then result
+        else if vsplit_of v' <> vsplit_of v then attempt ()
+        else read_leaf v'
+      end
     in
     read_leaf v
   in

@@ -7,6 +7,17 @@
     {!Htm_masstree}) to turn lock acquisitions into version-word reads
     inside an enclosing RTM region. *)
 
+(** Test-only mutation switches: reintroduce historical protocol bugs so
+    EunoCheck can prove it detects them.  Never set these outside test
+    code. *)
+module Testonly : sig
+  val widen_read_window : bool ref
+  (** OLC bug: in {!get}, validate the leaf version {e before} the record
+      reads instead of after, reopening the TOCTOU window that
+      before-and-after validation closes.  EunoCheck's mutation tests
+      prove this surfaces as a non-linearizable history. *)
+end
+
 type t
 
 val create : ?elide:bool -> fanout:int -> map:Euno_mem.Linemap.t -> unit -> t

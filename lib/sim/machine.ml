@@ -156,6 +156,15 @@ type t = {
   mutable san_active : bool;
     (* same inert-branch pattern as the injector: while no sanitizer hook
        is installed the access path tests one bool and builds no event *)
+  mutable explore : tid:int -> point:Explore.point -> int;
+  mutable exp_active : bool;
+    (* inert-branch pattern again: with no exploration policy installed,
+       [run] uses the Sched heap loop untouched and the access path only
+       tests this bool before tagging points, so golden traces stay
+       byte-identical *)
+  mutable exp_point : Explore.point;
+    (* point kind of the effect currently being interpreted; reset to
+       [Step] before each resumption, upgraded by the process functions *)
   mutable sample_window : int; (* 0 = periodic sampling disabled *)
   mutable next_sample : int; (* next window boundary, simulated cycles *)
   mutable samples : (int * snapshot) list; (* newest first *)
@@ -221,6 +230,9 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     inj_active = false;
     san = ignore;
     san_active = false;
+    explore = (fun ~tid:_ ~point:_ -> 0);
+    exp_active = false;
+    exp_point = Explore.Step;
     sample_window = 0;
     next_sample = max_int;
     samples = [];
@@ -240,6 +252,15 @@ let set_san_hook m hook =
   | None ->
       m.san <- ignore;
       m.san_active <- false
+
+let set_explorer m hook =
+  match hook with
+  | Some f ->
+      m.explore <- f;
+      m.exp_active <- true
+  | None ->
+      m.explore <- (fun ~tid:_ ~point:_ -> 0);
+      m.exp_active <- false
 
 (* Emit a sanitizer event for thread [t].  Callers must test
    [m.san_active] first so the disabled path allocates nothing. *)
@@ -545,6 +566,14 @@ let process_cas m (t : tstate) addr expected desired =
      so every other thread sees the lock held for that much longer.  This
      is the trigger for the fallback-holder lemming storm.  (Inert, and
      skipped, without an installed injector.) *)
+  (* Tag the exploration point: a successful plain CAS is where lock
+     handoffs and version bumps become visible, so targeted policies
+     preempt right after it. *)
+  (if m.exp_active && success && t.txn = None then
+     m.exp_point <-
+       (if desired <> 0 && Lmap.kind_of_line m.map line = Lmap.Lock then
+          Explore.Lock_acquire
+        else Explore.Atomic_rmw));
   (if m.inj_active && success && desired <> 0 && t.txn = None
       && Lmap.kind_of_line m.map line = Lmap.Lock
    then
@@ -572,6 +601,7 @@ let process_xbegin m (t : tstate) =
   | Some _ -> failwith "Machine: nested transactions are not supported"
   | None -> ());
   charge m t m.c_xbegin;
+  if m.exp_active then m.exp_point <- Explore.Xbegin;
   trace m (Trace.Xbegin { tid = t.tid; clock = t.clock });
   if m.san_active then san m t Sev.Txn_begin;
   Txn.reset t.arena ~start_clock:t.clock;
@@ -583,6 +613,7 @@ let process_xend m (t : tstate) =
   | None -> failwith "Machine: xend outside a transaction"
   | Some txn ->
       charge m t m.c_xend;
+      if m.exp_active then m.exp_point <- Explore.Xcommit;
       (* Eager conflict detection guarantees exclusive ownership of the
          write set here, so commit always succeeds. *)
       Txn.iter_writes txn (fun addr value ->
@@ -748,6 +779,7 @@ let run m bodies =
           | Eff.Xabort code ->
               Some
                 (fun k ->
+                  if m.exp_active then m.exp_point <- Explore.Xabort;
                   abort_txn m t (Abort.Explicit code);
                   park k ())
           | Eff.Xtest -> Some (fun k -> park k (t.txn <> None))
@@ -817,6 +849,32 @@ let run m bodies =
      clock first, ties to the smallest tid (see Sched). *)
   Sched.clear m.sched;
   Array.iter (fun t -> Sched.push m.sched ~clock:0 ~tid:t.tid) m.threads;
+  (* Resume thread [t] exactly once: it runs until its next effect is
+     interpreted and parked (or it finishes).  Shared by the heap loop and
+     the exploration loop. *)
+  let resume_once t =
+    m.current <- t.tid;
+    match t.status with
+    | Start f ->
+        t.status <- Running;
+        Effect.Deep.match_with f () (handler t)
+    | Ready (k, v) -> (
+        t.status <- Running;
+        match t.doom with
+        | Some code ->
+            t.doom <- None;
+            (* The first effect after a delivered abort is where the
+               retry/fallback path begins — a prime preemption target. *)
+            if m.exp_active then m.exp_point <- Explore.Xabort;
+            Effect.Deep.discontinue k (Eff.Txn_abort code)
+        | None -> (
+            match t.pending_exn with
+            | Some e ->
+                t.pending_exn <- None;
+                Effect.Deep.discontinue k e
+            | None -> Effect.Deep.continue k v))
+    | Running | Done | Failed _ -> assert false
+  in
   let rec loop () =
     if not (Sched.is_empty m.sched) then begin
       let packed = Sched.pop m.sched in
@@ -859,24 +917,7 @@ let run m bodies =
     end
     else step t
   and step t =
-    m.current <- t.tid;
-    (match t.status with
-    | Start f ->
-        t.status <- Running;
-        Effect.Deep.match_with f () (handler t)
-    | Ready (k, v) -> (
-        t.status <- Running;
-        match t.doom with
-        | Some code ->
-            t.doom <- None;
-            Effect.Deep.discontinue k (Eff.Txn_abort code)
-        | None -> (
-            match t.pending_exn with
-            | Some e ->
-                t.pending_exn <- None;
-                Effect.Deep.discontinue k e
-            | None -> Effect.Deep.continue k v))
-    | Running | Done | Failed _ -> assert false);
+    resume_once t;
     match t.status with
     | Start _ | Ready _ ->
         (* Run-ahead: keep executing this thread while it is still the
@@ -898,7 +939,97 @@ let run m bodies =
     | Done | Failed _ -> loop ()
     | Running -> assert false
   in
-  loop ();
+  (* Exploration scheduler: same min-(clock, tid) pick, but over a linear
+     scan (thread counts in explore runs are tiny) with a park overlay.  A
+     policy consultation after every interpreted effect may park the
+     thread for [span] picks; parked threads are skipped until their span
+     drains (one tick per pick of another thread) or until every runnable
+     thread is parked, when the minimum parked thread is force-released so
+     the machine never deadlocks itself.
+
+     Timestamp truthfulness: linearizability checking orders events by
+     their recorded clocks, so execution order must never contradict
+     them.  A thread overtaken while parked could otherwise execute "in
+     the past" of effects that already ran; bumping its clock to the start
+     clock of the last executed effect ([now]) keeps recorded intervals
+     consistent with execution order.  Under a pure min-clock policy the
+     bump is provably a no-op (the picked minimum never decreases), so an
+     inert policy reproduces the heap loop's schedule exactly. *)
+  let explore_loop () =
+    let n = Array.length m.threads in
+    let parked = Array.make n 0 in
+    let now = ref 0 in
+    let runnable t =
+      match t.status with Start _ | Ready _ -> true | _ -> false
+    in
+    let pick_min pred =
+      let b = ref (-1) in
+      for i = 0 to n - 1 do
+        let t = m.threads.(i) in
+        if runnable t && pred i && (!b < 0 || t.clock < m.threads.(!b).clock)
+        then b := i
+      done;
+      !b
+    in
+    let rec pick () =
+      let c =
+        match pick_min (fun i -> parked.(i) = 0) with
+        | -1 ->
+            let p = pick_min (fun i -> parked.(i) > 0) in
+            if p >= 0 then parked.(p) <- 0;
+            p
+        | c -> c
+      in
+      if c >= 0 then begin
+        let t = m.threads.(c) in
+        for i = 0 to n - 1 do
+          if i <> c && parked.(i) > 0 && runnable m.threads.(i) then
+            parked.(i) <- parked.(i) - 1
+        done;
+        if t.clock < !now then t.clock <- !now;
+        now := t.clock;
+        if m.sample_window > 0 then sample_boundaries m t.clock;
+        (* Injected-preemption parity with [dispatch]. *)
+        let resume_at =
+          if m.inj_active then m.inject.inj_preempt ~tid:t.tid ~clock:t.clock
+          else 0
+        in
+        if resume_at > t.clock then begin
+          trace m
+            (Trace.Injected
+               {
+                 tid = t.tid;
+                 clock = t.clock;
+                 fault = Printf.sprintf "preempt:until=%d" resume_at;
+               });
+          abort_txn m t Abort.Spurious;
+          t.clock <- max t.clock resume_at
+        end
+        else begin
+          m.exp_point <- Explore.Step;
+          resume_once t;
+          match t.status with
+          | Start _ | Ready _ ->
+              let span = m.explore ~tid:t.tid ~point:m.exp_point in
+              if span > 0 then begin
+                parked.(c) <- span;
+                trace m
+                  (Trace.Injected
+                     {
+                       tid = t.tid;
+                       clock = t.clock;
+                       fault = Printf.sprintf "explore-park:%d" span;
+                     })
+              end
+          | Done | Failed _ -> ()
+          | Running -> assert false
+        end;
+        pick ()
+      end
+    in
+    pick ()
+  in
+  if m.exp_active then explore_loop () else loop ();
   (* Close the series with a final partial-window sample so the tail of the
      run is never silently dropped. *)
   if m.sample_window > 0 then begin

@@ -114,6 +114,22 @@ val set_san_hook : t -> (Sev.event -> unit) option -> unit
     (and cannot, through this interface) perturb simulated state.  Call
     before {!run}. *)
 
+val set_explorer : t -> (tid:int -> point:Explore.point -> int) option -> unit
+(** Install (or remove) a schedule-exploration policy consultation; see
+    {!Explore}.  While installed, {!run} replaces the heap scheduler with
+    an exploration loop: after every interpreted effect the hook is asked
+    whether the thread that just ran should be parked for the returned
+    number of scheduler picks (0 = keep it schedulable), letting other
+    ready threads overtake it.  Parked threads are force-released when
+    every runnable thread is parked, so exploration cannot deadlock the
+    machine, and an overtaken thread's clock is bumped forward so recorded
+    timestamps never contradict execution order.  With no explorer
+    installed (the default) the machine never consults {!Explore} and runs
+    are byte-identical to builds without it; with [Some
+    (Explore.hook policy)] the run is still fully deterministic — the
+    schedule is a pure function of (machine seed, policy spec, policy
+    seed).  Call before {!run}. *)
+
 val n_threads : t -> int
 val memory : t -> Euno_mem.Memory.t
 val linemap : t -> Euno_mem.Linemap.t

@@ -17,6 +17,7 @@ let () =
       ("fault", Test_fault.suite);
       ("san", Test_san.suite);
       ("history", Test_history.suite);
+      ("check", Test_check.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
     ]

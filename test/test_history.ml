@@ -80,6 +80,184 @@ let test_initial_state () =
   check_bool "initial state respected" true (History.linearizable ~init h);
   check_bool "without init it fails" false (History.linearizable h)
 
+let test_rmw_semantics () =
+  let good =
+    [
+      ev 0 0 10 (History.Put (1, 5));
+      ev 0 20 30 (History.Rmw (1, Some 5, 9));
+      ev 1 40 50 (History.Get (1, Some 9));
+    ]
+  in
+  check_bool "rmw chains" true (History.linearizable good);
+  let wrong_prior =
+    [
+      ev 0 0 10 (History.Put (1, 5));
+      ev 0 20 30 (History.Rmw (1, Some 4, 9));
+    ]
+  in
+  check_bool "rmw wrong prior rejected" false (History.linearizable wrong_prior);
+  (* two overlapping rmws claiming the same prior: whichever goes first,
+     the other must have seen its stored value — atomicity forbids both *)
+  let dup =
+    [
+      ev 0 0 10 (History.Put (1, 5));
+      ev 0 20 100 (History.Rmw (1, Some 5, 7));
+      ev 1 20 100 (History.Rmw (1, Some 5, 8));
+    ]
+  in
+  check_bool "duplicate rmw priors rejected" false (History.linearizable dup)
+
+let test_scan_semantics () =
+  let init = IntMap.of_seq (List.to_seq [ (1, 10); (3, 30); (5, 50) ]) in
+  let ok = [ ev 0 0 10 (History.Scan (2, 2, [ (3, 30); (5, 50) ])) ] in
+  check_bool "scan sees the snapshot" true (History.linearizable ~init ok);
+  let torn = [ ev 0 0 10 (History.Scan (2, 2, [ (3, 30); (5, 51) ])) ] in
+  check_bool "torn scan rejected" false (History.linearizable ~init torn);
+  (* a scan concurrent with a put may linearize on either side of it *)
+  let hit =
+    [
+      ev 0 0 100 (History.Put (2, 20));
+      ev 1 10 90 (History.Scan (2, 2, [ (2, 20); (3, 30) ]));
+    ]
+  in
+  let miss =
+    [
+      ev 0 0 100 (History.Put (2, 20));
+      ev 1 10 90 (History.Scan (2, 2, [ (3, 30); (5, 50) ]));
+    ]
+  in
+  check_bool "scan after concurrent put" true (History.linearizable ~init hit);
+  check_bool "scan before concurrent put" true (History.linearizable ~init miss);
+  (* histories with a scan keep the bounded whole-history search and its
+     62-event cap *)
+  let long =
+    List.init 70 (fun i -> ev 0 (i * 10) ((i * 10) + 5) (History.Put (i, i)))
+    @ [ ev 0 1000 1010 (History.Scan (0, 1, [ (0, 0) ])) ]
+  in
+  try
+    ignore (History.linearizable long);
+    Alcotest.fail "scan history beyond 62 events accepted"
+  with Invalid_argument _ -> ()
+
+(* The recorder must reject malformed intervals outright: a response
+   before the invocation would silently weaken every real-time constraint
+   derived from it.  Regression for the old recorder, which accepted
+   them. *)
+let test_record_rejects_malformed () =
+  let r = History.recorder () in
+  History.record r ~tid:0 ~invoked:5 ~responded:5 (History.Get (1, None));
+  (try
+     History.record r ~tid:0 ~invoked:10 ~responded:9 (History.Get (1, None));
+     Alcotest.fail "responded < invoked accepted"
+   with Invalid_argument _ -> ());
+  (try
+     History.record r ~tid:0 ~invoked:(-1) ~responded:9 (History.Get (1, None));
+     Alcotest.fail "negative invoked accepted"
+   with Invalid_argument _ -> ());
+  check_int "only the valid event was recorded" 1
+    (List.length (History.events r))
+
+(* A linearizable verdict carries a witness: every event exactly once, in
+   an order that is legal against the sequential map model and respects
+   real time (an event that responded before another was invoked comes
+   first). *)
+let test_witness_is_legal () =
+  let init = IntMap.add 9 90 IntMap.empty in
+  let evs =
+    [
+      ev 0 0 100 (History.Put (1, 5));
+      ev 1 10 90 (History.Get (1, Some 5));
+      ev 2 10 90 (History.Rmw (9, Some 90, 91));
+      ev 0 110 120 (History.Delete (1, true));
+      ev 1 110 200 (History.Get (9, Some 91));
+    ]
+  in
+  match History.check ~init evs with
+  | History.Illegal core ->
+      Alcotest.failf "legal history rejected:\n%s" (History.to_string core)
+  | History.Linearizable w ->
+      check_int "witness covers every event" (List.length evs) (List.length w);
+      List.iter
+        (fun e -> check_bool "witness is a permutation" true (List.memq e w))
+        evs;
+      (* legality against the model *)
+      let apply st e =
+        match e.History.op with
+        | History.Get (k, r) ->
+            check_bool "witness get" true (IntMap.find_opt k st = r);
+            st
+        | History.Put (k, v) -> IntMap.add k v st
+        | History.Delete (k, r) ->
+            check_bool "witness delete" true (IntMap.mem k st = r);
+            IntMap.remove k st
+        | History.Rmw (k, prior, v) ->
+            check_bool "witness rmw" true (IntMap.find_opt k st = prior);
+            IntMap.add k v st
+        | History.Scan _ -> st
+      in
+      ignore (List.fold_left apply init w);
+      (* real-time order *)
+      let rec rt = function
+        | [] -> ()
+        | e :: rest ->
+            List.iter
+              (fun later ->
+                if later.History.responded < e.History.invoked then
+                  Alcotest.failf "witness violates real time: %s after %s"
+                    (History.op_to_string later.History.op)
+                    (History.op_to_string e.History.op))
+              rest;
+            rt rest
+      in
+      rt w
+
+(* Scan-free histories have no length cap: per-key partitioning checks
+   thousands of events quickly, and a single corrupted read deep in the
+   history still comes back as a small self-contained illegal core. *)
+let test_large_history () =
+  let n = 1200 in
+  let state = Hashtbl.create 64 in
+  let evs =
+    List.init n (fun i ->
+        let k = i mod 40 in
+        let t = i * 2 in
+        let op =
+          match (i / 40) mod 3 with
+          | 0 ->
+              Hashtbl.replace state k i;
+              History.Put (k, i)
+          | 1 -> History.Get (k, Hashtbl.find_opt state k)
+          | _ ->
+              let present = Hashtbl.mem state k in
+              Hashtbl.remove state k;
+              History.Delete (k, present)
+        in
+        { History.tid = i mod 4; invoked = t; responded = t + 5; op })
+  in
+  (match History.check evs with
+  | History.Linearizable w ->
+      check_int "large witness covers history" n (List.length w)
+  | History.Illegal core ->
+      Alcotest.failf "large legal history rejected:\n%s"
+        (History.to_string core));
+  let corrupted =
+    List.mapi
+      (fun i e ->
+        if i = 1000 then
+          match e.History.op with
+          | History.Get (k, _) ->
+              { e with History.op = History.Get (k, Some 424_242) }
+          | _ -> e
+        else e)
+      evs
+  in
+  match History.check corrupted with
+  | History.Linearizable _ -> Alcotest.fail "corrupted large history accepted"
+  | History.Illegal core ->
+      check_bool "core is small" true (List.length core <= 8);
+      check_bool "core itself non-linearizable" false
+        (History.linearizable core)
+
 (* ---------- live checks against the trees ---------- *)
 
 (* Run a small contended workload on the machine, recording exact
@@ -155,7 +333,7 @@ let test_checker_detects_corruption () =
         match e.History.op with
         | History.Get (k, _) ->
             { e with History.op = History.Get (k, Some 999_999_999) }
-        | History.Put _ | History.Delete _ -> e)
+        | _ -> e)
       evs
   in
   let has_get =
@@ -179,6 +357,14 @@ let suite =
     Alcotest.test_case "lost update rejected" `Quick test_lost_update_rejected;
     Alcotest.test_case "delete semantics" `Quick test_delete_semantics;
     Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "rmw semantics" `Quick test_rmw_semantics;
+    Alcotest.test_case "scan semantics" `Quick test_scan_semantics;
+    Alcotest.test_case "recorder rejects malformed intervals" `Quick
+      test_record_rejects_malformed;
+    Alcotest.test_case "witness is a legal linearization" `Quick
+      test_witness_is_legal;
+    Alcotest.test_case "per-key checking handles 1200 events" `Quick
+      test_large_history;
     Alcotest.test_case "all four trees produce linearizable histories" `Slow
       test_trees_linearizable;
   ]
