@@ -182,41 +182,71 @@ let perf_thetas = [ 0.2; 0.8; 0.99 ]
 let perf_micro_names =
   [ "sim: 100 read/write effects"; "htm: one-write elided txn x100" ]
 
+(* One probe: (name, strategy name, capacity-model name, ops/wall-sec). *)
+let perf_probe ~tname ~kind ~theta ~policy ~capacity ~name_fmt =
+  let workload =
+    {
+      Euno_harness.Runner.default_workload with
+      dist = Euno_workload.Dist.Zipfian theta;
+      key_space = 16_384;
+    }
+  in
+  let setup =
+    {
+      Euno_harness.Runner.default_setup with
+      threads = 4;
+      ops_per_thread = 5_000;
+      seed = 7;
+      cost = Euno_sim.Cost.with_capacity Euno_sim.Cost.default capacity;
+      policy;
+      check_after = false;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Euno_harness.Runner.run kind workload setup in
+  let dt = Unix.gettimeofday () -. t0 in
+  let ops_per_sec = float_of_int r.Euno_harness.Runner.r_ops /. dt in
+  let name = name_fmt tname theta in
+  Printf.printf "  %-44s %12.0f ops/s\n%!" name ops_per_sec;
+  (name, r.Euno_harness.Runner.r_strategy, r.r_capacity_model, ops_per_sec)
+
 let run_perf () =
   print_endline "== Perf probes (simulated ops per host wall-second) ==";
-  let results =
+  (* The historical grid: every tree x theta under the default policy
+     (elision) and nominal capacity, names unchanged so old baselines
+     stay comparable. *)
+  let default_grid =
     List.concat_map
       (fun (tname, kind) ->
         List.map
           (fun theta ->
-            let workload =
-              {
-                Euno_harness.Runner.default_workload with
-                dist = Euno_workload.Dist.Zipfian theta;
-                key_space = 16_384;
-              }
-            in
-            let setup =
-              {
-                Euno_harness.Runner.default_setup with
-                threads = 4;
-                ops_per_thread = 5_000;
-                seed = 7;
-                check_after = false;
-              }
-            in
-            let t0 = Unix.gettimeofday () in
-            let r = Euno_harness.Runner.run kind workload setup in
-            let dt = Unix.gettimeofday () -. t0 in
-            let ops_per_sec = float_of_int r.Euno_harness.Runner.r_ops /. dt in
-            let name = Printf.sprintf "tree:%s:zipf-%.2f" tname theta in
-            Printf.printf "  %-28s %12.0f ops/s\n%!" name ops_per_sec;
-            (name, ops_per_sec))
+            perf_probe ~tname ~kind ~theta ~policy:None
+              ~capacity:Euno_sim.Cost.nominal
+              ~name_fmt:(Printf.sprintf "tree:%s:zipf-%.2f"))
           perf_thetas)
       perf_trees
   in
+  (* The (strategy x capacity-model) sweep on the HTM-heaviest tree at
+     mid contention: one probe per combination, so a fallback-strategy or
+     capacity-model regression cannot hide behind the default cell. *)
+  let sweep_grid =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (fun (_, capacity) ->
+            perf_probe ~tname:"bptree-htm" ~kind:Euno_harness.Kv.Htm_bptree
+              ~theta:0.8
+              ~policy:(Some { Htm.default_policy with Htm.strategy })
+              ~capacity
+              ~name_fmt:(fun tname theta ->
+                Printf.sprintf "sweep:%s:zipf-%.2f:%s:%s" tname theta
+                  (Htm.strategy_name strategy)
+                  capacity.Euno_sim.Cost.cm_name))
+          Euno_sim.Cost.capacity_models)
+      Htm.all_strategies
+  in
   print_newline ();
-  results
+  default_grid @ sweep_grid
 
 (* ---------- figure reproduction ---------- *)
 
@@ -243,9 +273,15 @@ let micro_record (name, ns) =
       ("ns_per_call", Json.Float ns);
     ]
 
-let perf_record ~metric (name, value) =
+let perf_record ~metric (name, strategy, capacity_model, value) =
   Euno_harness.Perf_gate.probe_to_json
-    { Euno_harness.Perf_gate.p_name = name; p_metric = metric; p_value = value }
+    {
+      Euno_harness.Perf_gate.p_name = name;
+      p_strategy = strategy;
+      p_capacity_model = capacity_model;
+      p_metric = metric;
+      p_value = value;
+    }
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
@@ -271,7 +307,9 @@ let () =
       @ List.filter_map
           (fun (n, ns) ->
             if List.mem n perf_micro_names then
-              Some (perf_record ~metric:"ns_per_call" ("micro:" ^ n, ns))
+              Some
+                (perf_record ~metric:"ns_per_call"
+                   ("micro:" ^ n, "elision", "nominal", ns))
             else None)
           micro
   in

@@ -16,6 +16,7 @@ let () = Printexc.record_backtrace true
 module Check_run = Euno_harness.Check_run
 module History = Euno_harness.History
 module Report = Euno_harness.Report
+module Htm = Euno_htm.Htm
 
 let write_json path outcomes =
   Report.write_file path
@@ -54,11 +55,11 @@ let run_mutations ~budget ~seed ~json =
     missed;
   exit (if missed = [] then 0 else 1)
 
-let run_sweep ~quick ~seed ~json =
+let run_sweep ~quick ~seed ~json ~strategies =
   print_endline
     "EunoCheck sweep: adversarial schedule exploration + linearizability \
      checking over all trees";
-  let outs = Check_run.sweep ~quick ~seed () in
+  let outs = Check_run.sweep ~quick ~seed ?strategies () in
   Check_run.print stdout outs;
   Option.iter (fun p -> write_json p outs) json;
   exit (if Check_run.clean outs then 0 else 1)
@@ -70,9 +71,10 @@ let () =
   let seed = ref 42 in
   let json = ref None in
   let repro = ref None in
+  let strategies = ref None in
   let usage =
     "euno_check [--quick] [--mutations] [--budget N] [--seed N] [--json \
-     PATH] [--repro DESCRIPTOR]"
+     PATH] [--repro DESCRIPTOR] [--strategy NAME]"
   in
   Arg.parse
     [
@@ -91,6 +93,23 @@ let () =
         Arg.String (fun s -> repro := Some s),
         "DESCRIPTOR Replay one counterexample descriptor and exit 0 iff it \
          reproduces." );
+      ( "--strategy",
+        Arg.String
+          (fun n ->
+            if n = "all" then strategies := None
+            else
+              match Htm.strategy_of_name n with
+              | Some s -> strategies := Some [ s ]
+              | None ->
+                  raise
+                    (Arg.Bad
+                       (Printf.sprintf "unknown strategy %S (one of %s, all)" n
+                          (String.concat ", " Htm.strategy_names)))),
+        Printf.sprintf
+          "NAME Restrict the clean sweep to one fallback strategy: %s or all \
+           (default all).  Mutation hunts ignore this: each registered bug \
+           is hunted under the strategy it lives in."
+          (String.concat ", " Htm.strategy_names) );
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
@@ -98,4 +117,6 @@ let () =
   | Some descriptor -> run_repro descriptor
   | None ->
       if !mutations then run_mutations ~budget:!budget ~seed:!seed ~json:!json
-      else run_sweep ~quick:!quick ~seed:!seed ~json:!json
+      else
+        run_sweep ~quick:!quick ~seed:!seed ~json:!json
+          ~strategies:!strategies

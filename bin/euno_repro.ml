@@ -10,6 +10,8 @@ let () = Printexc.record_backtrace true
 open Cmdliner
 module Figures = Euno_harness.Figures
 module Report = Euno_harness.Report
+module Htm = Euno_htm.Htm
+module Cost = Euno_sim.Cost
 
 let experiment =
   (* "chaos", "san" and "check" are not figures: the fault-injection
@@ -89,6 +91,29 @@ let window =
           "Counter sampling window in simulated cycles (default 2000 when \
            $(b,--snapshots) or $(b,--json) is given).")
 
+let strategy =
+  let strat_conv =
+    Arg.enum (List.map (fun s -> (Htm.strategy_name s, s)) Htm.all_strategies)
+  in
+  let doc =
+    Printf.sprintf
+      "HTM fallback strategy for every run: one of %s.  Default: the trees' \
+       own elision policy.  For $(b,san) and $(b,check) this restricts the \
+       sweep to the named strategy instead of covering all of them."
+      (String.concat ", " Htm.strategy_names)
+  in
+  Arg.(value & opt (some strat_conv) None & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let capacity =
+  let cap_conv = Arg.enum Cost.capacity_models in
+  let doc =
+    Printf.sprintf
+      "Capacity/conflict model of the simulated RTM: one of %s (default \
+       nominal).  For $(b,san) this restricts the sweep to the named model."
+      (String.concat ", " Cost.capacity_model_names)
+  in
+  Arg.(value & opt (some cap_conv) None & info [ "capacity" ] ~docv:"MODEL" ~doc)
+
 (* Fault-injection campaign over the four trees: calibrate, inject,
    validate, report phase throughputs and recovery time.  Deterministic
    for a fixed seed, so two runs of the same command produce identical
@@ -123,12 +148,17 @@ let run_chaos quick keys_log2 ops max_threads seed json =
 
 (* EunoSan lint sweep: every tree under zipf 0.2/0.8/0.99 plus the chaos
    campaign, sanitizer armed.  Non-zero exit when anything is flagged. *)
-let run_san quick seed json =
+let run_san quick seed json strategy capacity =
   let module San_run = Euno_harness.San_run in
   print_endline
     "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
      trees";
-  let outs = San_run.run ~quick ~seed () in
+  let outs =
+    San_run.run ~quick ~seed
+      ?strategies:(Option.map (fun s -> [ s ]) strategy)
+      ?capacities:(Option.map (fun c -> [ c ]) capacity)
+      ()
+  in
   San_run.print stdout outs;
   (match json with
   | Some path ->
@@ -143,12 +173,16 @@ let run_san quick seed json =
    checking over every tree.  Non-zero exit on any non-linearizable
    history — which here would be a real tree (or checker) bug, since the
    Testonly mutations stay off. *)
-let run_check quick seed json =
+let run_check quick seed json strategy =
   let module Check_run = Euno_harness.Check_run in
   print_endline
     "EunoCheck sweep: adversarial schedule exploration + linearizability \
      checking over all trees";
-  let outs = Check_run.sweep ~quick ~seed () in
+  let outs =
+    Check_run.sweep ~quick ~seed
+      ?strategies:(Option.map (fun s -> [ s ]) strategy)
+      ()
+  in
   Check_run.print stdout outs;
   (match json with
   | Some path ->
@@ -160,9 +194,9 @@ let run_check quick seed json =
   if not (Check_run.clean outs) then exit 1
 
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
-    snapshots window =
-  if name = "san" then run_san quick seed json
-  else if name = "check" then run_check quick seed json
+    snapshots window strategy capacity =
+  if name = "san" then run_san quick seed json strategy capacity
+  else if name = "check" then run_check quick seed json strategy
   else if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
   else begin
   (match csv with
@@ -192,6 +226,8 @@ let run_experiment name quick keys_log2 ops max_threads seed charts csv json
         (match window with
         | Some w -> Some w
         | None -> if telemetry then Some 2000 else None);
+      strategy;
+      capacity;
     }
   in
   if telemetry then Report.start_collecting ();
@@ -218,6 +254,6 @@ let cmd =
     (Cmd.info "euno_repro" ~version:"1.0.0" ~doc)
     Term.(
       const run_experiment $ experiment $ quick $ keys_log2 $ ops $ max_threads
-      $ seed $ charts $ csv $ json $ snapshots $ window)
+      $ seed $ charts $ csv $ json $ snapshots $ window $ strategy $ capacity)
 
 let () = exit (Cmd.eval cmd)

@@ -10,12 +10,19 @@ let () = Printexc.record_backtrace true
 
 module San_run = Euno_harness.San_run
 module Report = Euno_harness.Report
+module Htm = Euno_htm.Htm
+module Cost = Euno_sim.Cost
 
 let () =
   let quick = ref false in
   let seed = ref 42 in
   let json = ref None in
-  let usage = "euno_san [--quick] [--seed N] [--json PATH]" in
+  let strategies = ref Htm.all_strategies in
+  let capacities = ref [ Cost.nominal ] in
+  let usage =
+    "euno_san [--quick] [--seed N] [--json PATH] [--strategy NAME] \
+     [--capacity NAME]"
+  in
   Arg.parse
     [
       ("--quick", Arg.Set quick, " Smoke-test scale (CI).");
@@ -23,13 +30,47 @@ let () =
       ( "--json",
         Arg.String (fun p -> json := Some p),
         "PATH Write schema-versioned san records to PATH." );
+      ( "--strategy",
+        Arg.String
+          (fun n ->
+            if n = "all" then strategies := Htm.all_strategies
+            else
+              match Htm.strategy_of_name n with
+              | Some s -> strategies := [ s ]
+              | None ->
+                  raise
+                    (Arg.Bad
+                       (Printf.sprintf "unknown strategy %S (one of %s, all)" n
+                          (String.concat ", " Htm.strategy_names)))),
+        Printf.sprintf
+          "NAME Fallback strategy to sweep: %s or all (default all)."
+          (String.concat ", " Htm.strategy_names) );
+      ( "--capacity",
+        Arg.String
+          (fun n ->
+            if n = "all" then capacities := List.map snd Cost.capacity_models
+            else
+              match Cost.capacity_model_of_name n with
+              | Some m -> capacities := [ m ]
+              | None ->
+                  raise
+                    (Arg.Bad
+                       (Printf.sprintf
+                          "unknown capacity model %S (one of %s, all)" n
+                          (String.concat ", " Cost.capacity_model_names)))),
+        Printf.sprintf
+          "NAME Capacity/conflict model to sweep: %s or all (default nominal)."
+          (String.concat ", " Cost.capacity_model_names) );
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
   print_endline
     "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
      trees";
-  let outs = San_run.run ~quick:!quick ~seed:!seed () in
+  let outs =
+    San_run.run ~quick:!quick ~seed:!seed ~strategies:!strategies
+      ~capacities:!capacities ()
+  in
   San_run.print stdout outs;
   (match !json with
   | Some path ->

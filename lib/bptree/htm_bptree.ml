@@ -10,10 +10,10 @@ module Htm = Euno_htm.Htm
 type t = { tree : Bptree.t; lock : Htm.lock; policy : Htm.policy }
 
 let create ?(policy = Htm.default_policy) ~fanout ~map () =
-  { tree = Bptree.create ~fanout ~map (); lock = Htm.alloc_lock (); policy }
+  { tree = Bptree.create ~fanout ~map (); lock = Htm.alloc_lock ~policy (); policy }
 
 let of_tree ?(policy = Htm.default_policy) tree =
-  { tree; lock = Htm.alloc_lock (); policy }
+  { tree; lock = Htm.alloc_lock ~policy (); policy }
 
 let tree t = t.tree
 

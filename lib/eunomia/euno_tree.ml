@@ -70,6 +70,8 @@ module Counter = struct
     ]
 end
 
+let () = Euno_sim.Machine.register_user_counters ~owner:"euno_tree" Counter.names
+
 type t = {
   cfg : Config.t;
   shape : Leaf.shape;
@@ -89,7 +91,7 @@ let create ?epoch ~cfg ~map () =
     cfg;
     shape;
     idx = Index.create ~fanout:cfg.Config.fanout ~map ~root ();
-    lock = Htm.alloc_lock ();
+    lock = Htm.alloc_lock ~policy:cfg.Config.policy ();
     deletes = 0;
     epoch;
   }
@@ -152,7 +154,14 @@ let bulk_load ?epoch ?(fill = 0.7) ~cfg ~map records =
         Index.create ~fanout:cfg.Config.fanout ~map ~root:(snd (List.hd leaves)) ()
       in
       Index.build_levels idx leaves;
-      { cfg; shape; idx; lock = Htm.alloc_lock (); deletes = 0; epoch }
+      {
+        cfg;
+        shape;
+        idx;
+        lock = Htm.alloc_lock ~policy:cfg.Config.policy ();
+        deletes = 0;
+        epoch;
+      }
 
 let config t = t.cfg
 

@@ -39,6 +39,7 @@ module IntMap = Map.Make (Int)
 let mutations =
   [
     ("htm-skip-subscription", Htm.Testonly.skip_subscription);
+    ("htm-skip-activity-read", Htm.Testonly.skip_activity_read);
     ("masstree-widen-read-window", Euno_masstree.Masstree.Testonly.widen_read_window);
   ]
 
@@ -59,6 +60,7 @@ type config = {
   tree : Kv.kind;
   mix : string; (* "point" (scan-free) or "scan" *)
   dist : string; (* "uniform" or "zipf" *)
+  strategy : Htm.strategy; (* fallback strategy the tree's policy selects *)
   threads : int;
   ops : int; (* per thread *)
   keys : int; (* key-space size; tiny so operations genuinely race *)
@@ -98,6 +100,12 @@ let check_htm_policy =
     backoff_cap = 128;
   }
 
+(* The same tiny budgets under either fallback strategy; for three-path a
+   single unsubscribed attempt per op keeps the fast/middle/fallback
+   boundary crossings dense. *)
+let check_policy strategy =
+  { check_htm_policy with Htm.strategy; fast_path_attempts = 1 }
+
 type exec = {
   x_verdict : History.verdict;
   x_events : int;
@@ -124,7 +132,9 @@ let execute config ~policy =
   let kv =
     Machine.run_single ~seed:config.seed ~cost:Cost.unit_costs ~mem ~map ~alloc
       (fun () ->
-        Kv.build ~policy:check_htm_policy ~records config.tree ~fanout:8 ~map)
+        Kv.build
+          ~policy:(check_policy config.strategy)
+          ~records config.tree ~fanout:8 ~map)
   in
   let m =
     Machine.create ~threads:config.threads ~seed:config.seed ~cost:Cost.default
@@ -199,8 +209,11 @@ let execute config ~policy =
 (* ---------- repro descriptors ---------- *)
 
 let config_to_string c =
-  Printf.sprintf "tree=%s;mix=%s;dist=%s;threads=%d;ops=%d;keys=%d;seed=%d;mut=%s"
-    (Kv.kind_name c.tree) c.mix c.dist c.threads c.ops c.keys c.seed c.mutation
+  Printf.sprintf
+    "tree=%s;mix=%s;dist=%s;strategy=%s;threads=%d;ops=%d;keys=%d;seed=%d;mut=%s"
+    (Kv.kind_name c.tree) c.mix c.dist
+    (Htm.strategy_name c.strategy)
+    c.threads c.ops c.keys c.seed c.mutation
 
 let repro_to_string c policy =
   config_to_string c ^ ";policy=" ^ Explore.spec_to_string policy
@@ -221,11 +234,21 @@ let repro_of_string s =
     | Some v -> v
     | None -> invalid_arg ("Check_run: repro missing " ^ name)
   in
+  let strategy =
+    (* Absent in descriptors recorded before strategies existed: elision. *)
+    match List.assoc_opt "strategy" fields with
+    | None -> Htm.Elision
+    | Some name -> (
+        match Htm.strategy_of_name name with
+        | Some s -> s
+        | None -> invalid_arg ("Check_run: unknown strategy " ^ name))
+  in
   let config =
     {
       tree = kind_of_name (get "tree");
       mix = get "mix";
       dist = get "dist";
+      strategy;
       threads = int_of_string (get "threads");
       ops = int_of_string (get "ops");
       keys = int_of_string (get "keys");
@@ -388,6 +411,7 @@ let base_config tree =
     tree;
     mix = "point";
     dist = "zipf";
+    strategy = Htm.Elision;
     threads = 4;
     ops = 12;
     keys = 8;
@@ -395,36 +419,41 @@ let base_config tree =
     mutation = "none";
   }
 
-(* The clean sweep: every tree x mix x distribution, several (policy,
-   seed) schedules each, no mutations.  Any violation here is a real bug
-   in the trees (or the checker). *)
-let sweep ?(quick = false) ?(seed = 42) () =
+(* The clean sweep: every strategy x tree x mix x distribution, several
+   (policy, seed) schedules each, no mutations.  Any violation here is a
+   real bug in the trees, the fallback strategies (or the checker). *)
+let sweep ?(quick = false) ?(seed = 42) ?(strategies = Htm.all_strategies) () =
   let runs_per_cell = if quick then 4 else 12 in
   let scan_ops = 4 (* 4 threads x 4 ops stays within the 62-event bound *) in
   List.concat_map
-    (fun tree ->
+    (fun strategy ->
       List.concat_map
-        (fun (mix, ops) ->
-          List.map
-            (fun dist ->
-              hunt ~budget:runs_per_cell
-                { (base_config tree) with mix; dist; ops; seed })
-            [ "uniform"; "zipf" ])
-        [ ("point", 12); ("scan", scan_ops) ])
-    Kv.all_kinds
+        (fun tree ->
+          List.concat_map
+            (fun (mix, ops) ->
+              List.map
+                (fun dist ->
+                  hunt ~budget:runs_per_cell
+                    { (base_config tree) with mix; dist; ops; seed; strategy })
+                [ "uniform"; "zipf" ])
+            [ ("point", 12); ("scan", scan_ops) ])
+        Kv.all_kinds)
+    strategies
 
-(* Mutation campaign: each registered bug hunted on the tree it lives in.
-   The expectation is inverted — not finding the bug is the failure. *)
+(* Mutation campaign: each registered bug hunted on the tree (and under
+   the fallback strategy) it lives in.  The expectation is inverted — not
+   finding the bug is the failure. *)
 let mutation_targets =
   [
-    ("htm-skip-subscription", Kv.Htm_bptree);
-    ("masstree-widen-read-window", Kv.Masstree);
+    ("htm-skip-subscription", Kv.Htm_bptree, Htm.Elision);
+    ("htm-skip-activity-read", Kv.Htm_bptree, Htm.Three_path);
+    ("masstree-widen-read-window", Kv.Masstree, Htm.Elision);
   ]
 
 let hunt_mutations ?(budget = 64) ?(seed = 42) () =
   List.map
-    (fun (mutation, tree) ->
-      hunt ~budget { (base_config tree) with mutation; seed })
+    (fun (mutation, tree, strategy) ->
+      hunt ~budget { (base_config tree) with mutation; seed; strategy })
     mutation_targets
 
 let clean outcomes = List.for_all (fun o -> o.o_violation = None) outcomes
@@ -432,13 +461,15 @@ let clean outcomes = List.for_all (fun o -> o.o_violation = None) outcomes
 (* ---------- reporting ---------- *)
 
 let print oc outcomes =
-  Printf.fprintf oc "%-14s %-6s %-8s %-10s %5s %7s %s\n" "tree" "mix" "dist"
-    "mutation" "runs" "events" "verdict";
+  Printf.fprintf oc "%-14s %-6s %-8s %-10s %-10s %5s %7s %s\n" "tree" "mix"
+    "dist" "strategy" "mutation" "runs" "events" "verdict";
   List.iter
     (fun o ->
       let c = o.o_config in
-      Printf.fprintf oc "%-14s %-6s %-8s %-10s %5d %7d %s\n"
-        (Kv.kind_name c.tree) c.mix c.dist c.mutation o.o_runs o.o_events
+      Printf.fprintf oc "%-14s %-6s %-8s %-10s %-10s %5d %7d %s\n"
+        (Kv.kind_name c.tree) c.mix c.dist
+        (Htm.strategy_name c.strategy)
+        c.mutation o.o_runs o.o_events
         (match o.o_violation with
         | None -> "clean"
         | Some v ->
@@ -462,8 +493,11 @@ let to_records ?experiment outcomes =
     (fun i o ->
       let c = o.o_config in
       Report.check_to_json ?experiment ~run:i ~tree:(Kv.kind_name c.tree)
-        ~mix:c.mix ~dist:c.dist ~mutation:c.mutation ~threads:c.threads
-        ~seed:c.seed ~policy:o.o_policy ~runs:o.o_runs ~events:o.o_events
+        ~mix:c.mix ~dist:c.dist ~mutation:c.mutation
+        ~strategy:(Htm.strategy_name c.strategy)
+        ~capacity_model:Cost.default.Cost.capacity.Cost.cm_name
+        ~threads:c.threads ~seed:c.seed ~policy:o.o_policy ~runs:o.o_runs
+        ~events:o.o_events
         ~violation:
           (Option.map
              (fun v ->

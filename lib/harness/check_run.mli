@@ -19,6 +19,8 @@ type config = {
   tree : Kv.kind;
   mix : string;  (** ["point"] (scan-free) or ["scan"] *)
   dist : string;  (** ["uniform"] or ["zipf"] *)
+  strategy : Euno_htm.Htm.strategy;
+      (** fallback strategy the tree's HTM policy selects *)
   threads : int;
   ops : int;  (** operations per thread *)
   keys : int;  (** key-space size; tiny so operations genuinely race *)
@@ -28,7 +30,7 @@ type config = {
 
 val base_config : Kv.kind -> config
 (** The standard hunting cell: 4 threads x 12 ops over 8 keys, zipfian
-    point mix, no mutation. *)
+    point mix, elision strategy, no mutation. *)
 
 val mutation_names : string list
 (** Registered [Testonly] mutation switches, by repro-descriptor name. *)
@@ -36,6 +38,10 @@ val mutation_names : string list
 val check_htm_policy : Euno_htm.Htm.policy
 (** Tiny retry budgets so operations keep crossing the
     fast-path/fallback boundary — where the hunted bugs live. *)
+
+val check_policy : Euno_htm.Htm.strategy -> Euno_htm.Htm.policy
+(** {!check_htm_policy} under the given strategy (one unsubscribed fast
+    attempt for three-path, keeping boundary crossings dense). *)
 
 (** {1 One execution} *)
 
@@ -61,7 +67,8 @@ val repro_to_string : config -> Euno_sim.Explore.spec -> string
 
 val repro_of_string : string -> config * Euno_sim.Explore.spec
 (** Inverse of {!repro_to_string}; raises [Invalid_argument] on a
-    malformed descriptor. *)
+    malformed descriptor.  A descriptor without a [strategy=] field (one
+    recorded before strategies existed) replays under elision. *)
 
 (** {1 Counterexample shrinking} *)
 
@@ -92,15 +99,21 @@ val hunt : ?budget:int -> config -> outcome
     round-robin over a diverse policy pool; stop at the first violation
     and shrink it. *)
 
-val sweep : ?quick:bool -> ?seed:int -> unit -> outcome list
-(** The clean sweep: every tree x mix x distribution, several (policy,
-    seed) schedules each, no mutations.  Any violation is a real bug in
-    the trees (or the checker). *)
+val sweep :
+  ?quick:bool ->
+  ?seed:int ->
+  ?strategies:Euno_htm.Htm.strategy list ->
+  unit ->
+  outcome list
+(** The clean sweep: every strategy (default all) x tree x mix x
+    distribution, several (policy, seed) schedules each, no mutations.
+    Any violation is a real bug in the trees, the fallback strategies (or
+    the checker). *)
 
 val hunt_mutations : ?budget:int -> ?seed:int -> unit -> outcome list
-(** Mutation campaign: each registered bug hunted on the tree it lives
-    in.  The expectation is inverted — not finding the bug is the
-    failure. *)
+(** Mutation campaign: each registered bug hunted on the tree — and under
+    the fallback strategy — it lives in.  The expectation is inverted —
+    not finding the bug is the failure. *)
 
 val clean : outcome list -> bool
 

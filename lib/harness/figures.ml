@@ -16,6 +16,11 @@ type scale = {
   charts : bool; (* also render ASCII charts after the tables *)
   snapshot_window : int option;
       (* sample machine counters every N simulated cycles (telemetry) *)
+  strategy : Euno_htm.Htm.strategy option;
+      (* force every run's fallback strategy (None = the trees' default
+         elision policy, byte-identical to the historical runs) *)
+  capacity : Euno_sim.Cost.capacity_model option;
+      (* force the capacity/conflict model (None = the setup's default) *)
 }
 
 let default_scale =
@@ -26,6 +31,8 @@ let default_scale =
     seed = 42;
     charts = false;
     snapshot_window = None;
+    strategy = None;
+    capacity = None;
   }
 
 let quick_scale = { default_scale with key_space = 1 lsl 12; ops_per_thread = 400; max_threads = 8 }
@@ -39,13 +46,29 @@ let workload_of scale dist mix =
   { Runner.default_workload with Runner.dist; mix; key_space = scale.key_space }
 
 let setup_of scale threads =
-  {
-    Runner.default_setup with
-    Runner.threads = min threads scale.max_threads;
-    ops_per_thread = scale.ops_per_thread;
-    seed = scale.seed;
-    snapshot_window = scale.snapshot_window;
-  }
+  let setup =
+    {
+      Runner.default_setup with
+      Runner.threads = min threads scale.max_threads;
+      ops_per_thread = scale.ops_per_thread;
+      seed = scale.seed;
+      snapshot_window = scale.snapshot_window;
+    }
+  in
+  let setup =
+    match scale.strategy with
+    | None -> setup
+    | Some strategy ->
+        {
+          setup with
+          Runner.policy =
+            Some { Euno_htm.Htm.default_policy with Euno_htm.Htm.strategy };
+        }
+  in
+  match scale.capacity with
+  | None -> setup
+  | Some cm ->
+      { setup with Runner.cost = Euno_sim.Cost.with_capacity setup.Runner.cost cm }
 
 let run scale kind ~dist ~mix ~threads =
   Runner.run kind (workload_of scale dist mix) (setup_of scale threads)

@@ -11,6 +11,12 @@ type scale = {
   snapshot_window : int option;
       (** sample machine counters every N simulated cycles into each
           result's snapshot series (time-resolved telemetry) *)
+  strategy : Euno_htm.Htm.strategy option;
+      (** force every run's fallback strategy; [None] keeps the trees'
+          default (elision), byte-identical to the historical runs *)
+  capacity : Euno_sim.Cost.capacity_model option;
+      (** force the capacity/conflict model; [None] keeps the setup's
+          default *)
 }
 
 val default_scale : scale

@@ -23,7 +23,13 @@ let direction_of_metric = function
   | "sim_ops_per_wall_sec" -> Higher_is_better
   | "ns_per_call" | _ -> Lower_is_better
 
-type probe = { p_name : string; p_metric : string; p_value : float }
+type probe = {
+  p_name : string;
+  p_strategy : string;
+  p_capacity_model : string;
+  p_metric : string;
+  p_value : float;
+}
 
 type comparison = {
   c_name : string;
@@ -50,6 +56,8 @@ let probes_of_document json =
                     let p =
                       {
                         p_name = str "name";
+                        p_strategy = str "strategy";
+                        p_capacity_model = str "capacity_model";
                         p_metric = str "metric";
                         p_value = num "value";
                       }
@@ -120,6 +128,8 @@ let probe_to_json p =
       ("schema_version", Json.Int Report.schema_version);
       ("record", Json.Str "perf");
       ("name", Json.Str p.p_name);
+      ("strategy", Json.Str p.p_strategy);
+      ("capacity_model", Json.Str p.p_capacity_model);
       ("metric", Json.Str p.p_metric);
       ("value", Json.Float p.p_value);
     ]

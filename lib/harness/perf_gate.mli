@@ -12,7 +12,13 @@ val direction_of_metric : string -> direction
 (** ["ns_per_call"] (and unknown metrics) are lower-is-better;
     ["sim_ops_per_wall_sec"] is higher-is-better. *)
 
-type probe = { p_name : string; p_metric : string; p_value : float }
+type probe = {
+  p_name : string;
+  p_strategy : string;  (** fallback strategy the probe ran under *)
+  p_capacity_model : string;  (** capacity model the probe ran under *)
+  p_metric : string;
+  p_value : float;
+}
 
 type comparison = {
   c_name : string;

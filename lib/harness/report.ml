@@ -18,11 +18,14 @@ let schema_version = 1
 
 (* ---------- counter labels ---------- *)
 
-(* User-counter indices are owned by the modules that bump them. *)
-let user_counter_names = Htm.Counter.names @ Eunomia.Euno_tree.Counter.names
-
+(* User-counter indices are owned by the modules that bump them; each owner
+   claims its indices in the machine's registry at module-initialization
+   time, so the labels here can no longer drift from (or collide with) the
+   counters actually in use.  Looked up lazily: linking order already
+   guarantees owners initialize before any report is rendered, but there is
+   no reason to freeze the registry at this module's own init. *)
 let user_counter_label i =
-  match List.assoc_opt i user_counter_names with
+  match List.assoc_opt i (Machine.user_counter_names ()) with
   | Some name -> name
   | None -> Printf.sprintf "user%d" i
 
@@ -127,6 +130,8 @@ let result_to_json ?experiment ?run (r : Runner.result) =
     (context_fields ?experiment ?run ~record:"result" ()
     @ [
         ("tree", Json.Str r.Runner.r_name);
+        ("strategy", Json.Str r.r_strategy);
+        ("capacity_model", Json.Str r.r_capacity_model);
         ("threads", Json.Int r.r_threads);
         ("ops", Json.Int r.r_ops);
         ("cycles", Json.Int r.r_cycles);
@@ -174,13 +179,15 @@ let san_finding_to_json (f : Euno_san.San.finding) =
 
 (* One record per sanitized run: the verdict of the EunoSan pass
    (bin/euno_san and the euno_repro san subcommand emit these). *)
-let san_to_json ?experiment ?run ~tree ~workload ~threads ~seed
-    (s : Euno_san.San.summary) =
+let san_to_json ?experiment ?run ~tree ~workload ~strategy ~capacity_model
+    ~threads ~seed (s : Euno_san.San.summary) =
   Json.Obj
     (context_fields ?experiment ?run ~record:"san" ()
     @ [
         ("tree", Json.Str tree);
         ("workload", Json.Str workload);
+        ("strategy", Json.Str strategy);
+        ("capacity_model", Json.Str capacity_model);
         ("threads", Json.Int threads);
         ("seed", Json.Int seed);
         ("events", Json.Int s.Euno_san.San.events);
@@ -192,8 +199,8 @@ let san_to_json ?experiment ?run ~tree ~workload ~threads ~seed
    and, on a violation, the size of the counterexample before/after
    shrinking plus the one-line repro descriptor (bin/euno_check and the
    euno_repro check subcommand emit these). *)
-let check_to_json ?experiment ?run ~tree ~mix ~dist ~mutation ~threads ~seed
-    ~policy ~runs ~events ~violation () =
+let check_to_json ?experiment ?run ~tree ~mix ~dist ~mutation ~strategy
+    ~capacity_model ~threads ~seed ~policy ~runs ~events ~violation () =
   Json.Obj
     (context_fields ?experiment ?run ~record:"check" ()
     @ [
@@ -201,6 +208,8 @@ let check_to_json ?experiment ?run ~tree ~mix ~dist ~mutation ~threads ~seed
         ("mix", Json.Str mix);
         ("dist", Json.Str dist);
         ("mutation", Json.Str mutation);
+        ("strategy", Json.Str strategy);
+        ("capacity_model", Json.Str capacity_model);
         ("threads", Json.Int threads);
         ("seed", Json.Int seed);
         ("policy", Json.Str policy);
@@ -308,9 +317,28 @@ let validate_version obj =
       Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
   | _ -> Error "missing schema_version"
 
+(* Records that describe a run carry the fallback strategy and capacity
+   model it was executed under; both must be names the binaries actually
+   accept, so a sweep writing a typo'd cell fails schema check instead of
+   silently partitioning downstream plots. *)
+let require_strategy_fields obj =
+  let named field names =
+    match Json.member field obj with
+    | None -> Error (Printf.sprintf "missing field '%s'" field)
+    | Some v -> (
+        match Json.as_string v with
+        | None -> Error (Printf.sprintf "field '%s' has wrong type" field)
+        | Some s ->
+            check (List.mem s names)
+              (Printf.sprintf "field '%s' has unknown value '%s'" field s))
+  in
+  let* () = named "strategy" Htm.strategy_names in
+  named "capacity_model" Euno_sim.Cost.capacity_model_names
+
 let validate_result obj =
   let* () = validate_version obj in
   let* () = require_field obj "tree" is_str in
+  let* () = require_strategy_fields obj in
   let* () = require_field obj "threads" is_int in
   let* () = require_field obj "ops" is_int in
   let* () = require_field obj "cycles" is_int in
@@ -380,6 +408,7 @@ let validate_chaos obj =
 let validate_perf obj =
   let* () = validate_version obj in
   let* () = require_field obj "name" is_str in
+  let* () = require_strategy_fields obj in
   let* () = require_field obj "metric" is_str in
   require_field obj "value" is_num
 
@@ -389,6 +418,7 @@ let validate_san obj =
   let* () = validate_version obj in
   let* () = require_field obj "tree" is_str in
   let* () = require_field obj "workload" is_str in
+  let* () = require_strategy_fields obj in
   let* () = require_field obj "threads" is_int in
   let* () = require_field obj "seed" is_int in
   let* () = require_field obj "events" is_int in
@@ -417,6 +447,7 @@ let validate_check obj =
   let* () = require_field obj "mix" is_str in
   let* () = require_field obj "dist" is_str in
   let* () = require_field obj "mutation" is_str in
+  let* () = require_strategy_fields obj in
   let* () = require_field obj "threads" is_int in
   let* () = require_field obj "seed" is_int in
   let* () = require_field obj "policy" is_str in

@@ -13,9 +13,9 @@ val schema_version : int
 (** Version stamped on (and required of) every record.  Currently 1. *)
 
 val user_counter_label : int -> string
-(** Telemetry label for a user-counter index (union of
-    {!Euno_htm.Htm.Counter.names} and {!Eunomia.Euno_tree.Counter.names};
-    ["userN"] for unclaimed indices). *)
+(** Telemetry label for a user-counter index, from the machine's
+    counter registry ({!Euno_sim.Machine.register_user_counters});
+    ["userN"] for unclaimed indices. *)
 
 (** {1 Windowed time series} *)
 
@@ -55,6 +55,8 @@ val san_to_json :
   ?run:int ->
   tree:string ->
   workload:string ->
+  strategy:string ->
+  capacity_model:string ->
   threads:int ->
   seed:int ->
   Euno_san.San.summary ->
@@ -70,6 +72,8 @@ val check_to_json :
   mix:string ->
   dist:string ->
   mutation:string ->
+  strategy:string ->
+  capacity_model:string ->
   threads:int ->
   seed:int ->
   policy:string ->
@@ -111,9 +115,11 @@ val validate_chaos : Json.t -> (unit, string) result
 
 val validate_perf : Json.t -> (unit, string) result
 (** Contract for the ["perf"] probe records the bench driver emits and the
-    [euno_perf_check] regression gate consumes: [name], [metric] (unit and
-    better-direction, e.g. ["ns_per_call"] lower-is-better or
-    ["sim_ops_per_wall_sec"] higher-is-better) and numeric [value]. *)
+    [euno_perf_check] regression gate consumes: [name], [strategy],
+    [capacity_model], [metric] (unit and better-direction, e.g.
+    ["ns_per_call"] lower-is-better or ["sim_ops_per_wall_sec"]
+    higher-is-better) and numeric [value].  The strategy and
+    capacity-model names must be ones the binaries accept. *)
 
 val validate_san : Json.t -> (unit, string) result
 (** Contract for the ["san"] records {!san_to_json} emits. *)

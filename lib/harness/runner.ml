@@ -76,6 +76,10 @@ let default_setup =
 
 type result = {
   r_name : string;
+  r_strategy : string;
+    (* Htm.strategy_name of the fallback strategy the run's policy selects
+       (setup.policy, or the trees' default when None) *)
+  r_capacity_model : string; (* Cost.capacity.cm_name of the run's machine *)
   r_threads : int;
   r_ops : int;
   r_cycles : int;
@@ -262,6 +266,11 @@ let run kind workload setup =
   let result =
   {
     r_name = kv.Kv.name;
+    r_strategy =
+      Euno_htm.Htm.strategy_name
+        (Option.value ~default:Euno_htm.Htm.default_policy setup.policy)
+          .Euno_htm.Htm.strategy;
+    r_capacity_model = setup.cost.Cost.capacity.Cost.cm_name;
     r_threads = setup.threads;
     r_ops = ops;
     r_cycles = cycles;

@@ -49,6 +49,12 @@ val default_setup : setup
 
 type result = {
   r_name : string;
+  r_strategy : string;
+      (** {!Euno_htm.Htm.strategy_name} of the fallback strategy the run's
+          policy selects ([setup.policy], or the trees' default when
+          [None]) *)
+  r_capacity_model : string;
+      (** [Cost.capacity.cm_name] of the measurement machine *)
   r_threads : int;
   r_ops : int;
   r_cycles : int;

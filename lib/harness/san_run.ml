@@ -1,9 +1,13 @@
 module Dist = Euno_workload.Dist
 module Plan = Euno_fault.Plan
+module Cost = Euno_sim.Cost
+module Htm = Euno_htm.Htm
 
 type outcome = {
   o_tree : string;
   o_workload : string;
+  o_strategy : string;
+  o_capacity_model : string;
   o_threads : int;
   o_seed : int;
   o_summary : Euno_san.San.summary;
@@ -16,79 +20,111 @@ let coverage_mix : Euno_workload.Opgen.mix =
 
 let thetas = [ 0.2; 0.8; 0.99 ]
 
-let outcome_of ~tree ~label ~seed (r : Runner.result) =
+let outcome_of ~tree ~label ~strategy ~capacity ~seed (r : Runner.result) =
   match r.Runner.r_san with
   | Some s ->
       {
         o_tree = tree;
         o_workload = label;
+        o_strategy = Htm.strategy_name strategy;
+        o_capacity_model = capacity.Cost.cm_name;
         o_threads = r.Runner.r_threads;
         o_seed = seed;
         o_summary = s;
       }
   | None -> invalid_arg "San_run: result carries no sanitizer summary"
 
-let run ?(quick = false) ?(seed = 42) () =
+(* One campaign cell = (strategy, capacity model): the zipf ladder plus a
+   chaos run of every tree, sanitized.  [run] sweeps the requested grid;
+   the default covers every strategy under the nominal capacity model
+   (the capacity ladder is a perf question more than a protocol one, but
+   limited-read cells catch fallback-path bugs that only fire when
+   capacity aborts force operations off the fast path). *)
+let run ?(quick = false) ?(seed = 42) ?(strategies = Htm.all_strategies)
+    ?(capacities = [ Cost.nominal ]) () =
   let base = Runner.default_setup in
-  let setup =
-    {
-      base with
-      Runner.sanitize = true;
-      check_after = true;
-      seed;
-      threads = (if quick then 8 else base.Runner.threads);
-      ops_per_thread = (if quick then 300 else base.Runner.ops_per_thread);
-    }
-  in
-  let workload theta =
-    {
-      Runner.default_workload with
-      Runner.dist = Dist.Zipfian theta;
-      mix = coverage_mix;
-      key_space =
-        (if quick then 1 lsl 12 else Runner.default_workload.Runner.key_space);
-    }
-  in
   List.concat_map
-    (fun kind ->
-      let tree = Kv.kind_name kind in
-      let zipf_runs =
-        List.map (fun theta -> (theta, Runner.run kind (workload theta) setup))
-          thetas
-      in
-      (* Chaos horizon from this tree's own mid-contention run, so the
-         campaign windows line up with where the run actually spends its
-         cycles. *)
-      let horizon =
-        match zipf_runs with
-        | _ :: (_, mid) :: _ -> mid.Runner.r_cycles
-        | _ -> 200_000
-      in
-      let chaos_setup =
-        {
-          setup with
-          Runner.fault_plan =
-            Plan.campaign ~threads:setup.Runner.threads ~horizon;
-        }
-      in
-      let chaos = Runner.run kind (workload 0.8) chaos_setup in
-      List.map
-        (fun (theta, r) ->
-          outcome_of ~tree ~label:(Printf.sprintf "zipf-%.2f" theta) ~seed r)
-        zipf_runs
-      @ [ outcome_of ~tree ~label:"chaos-zipf-0.80" ~seed chaos ])
-    Kv.all_kinds
+    (fun strategy ->
+      List.concat_map
+        (fun capacity ->
+          let setup =
+            {
+              base with
+              Runner.sanitize = true;
+              check_after = true;
+              seed;
+              cost = Cost.with_capacity Cost.default capacity;
+              (* Elision cells keep each tree's own default policy (the
+                 pre-strategy behaviour); other strategies override just
+                 the strategy selector. *)
+              policy =
+                (match strategy with
+                | Htm.Elision -> None
+                | s -> Some { Htm.default_policy with Htm.strategy = s });
+              threads = (if quick then 8 else base.Runner.threads);
+              ops_per_thread =
+                (if quick then 300 else base.Runner.ops_per_thread);
+            }
+          in
+          let workload theta =
+            {
+              Runner.default_workload with
+              Runner.dist = Dist.Zipfian theta;
+              mix = coverage_mix;
+              key_space =
+                (if quick then 1 lsl 12
+                 else Runner.default_workload.Runner.key_space);
+            }
+          in
+          List.concat_map
+            (fun kind ->
+              let tree = Kv.kind_name kind in
+              let zipf_runs =
+                List.map
+                  (fun theta -> (theta, Runner.run kind (workload theta) setup))
+                  thetas
+              in
+              (* Chaos horizon from this tree's own mid-contention run, so
+                 the campaign windows line up with where the run actually
+                 spends its cycles. *)
+              let horizon =
+                match zipf_runs with
+                | _ :: (_, mid) :: _ -> mid.Runner.r_cycles
+                | _ -> 200_000
+              in
+              let chaos_setup =
+                {
+                  setup with
+                  Runner.fault_plan =
+                    Plan.campaign ~threads:setup.Runner.threads ~horizon;
+                }
+              in
+              let chaos = Runner.run kind (workload 0.8) chaos_setup in
+              List.map
+                (fun (theta, r) ->
+                  outcome_of ~tree
+                    ~label:(Printf.sprintf "zipf-%.2f" theta)
+                    ~strategy ~capacity ~seed r)
+                zipf_runs
+              @ [
+                  outcome_of ~tree ~label:"chaos-zipf-0.80" ~strategy ~capacity
+                    ~seed chaos;
+                ])
+            Kv.all_kinds)
+        capacities)
+    strategies
 
 let clean outcomes =
   List.for_all (fun o -> o.o_summary.Euno_san.San.total = 0) outcomes
 
 let print oc outcomes =
-  Printf.fprintf oc "%-14s %-16s %8s %10s %9s\n" "tree" "workload" "threads"
-    "events" "findings";
+  Printf.fprintf oc "%-14s %-16s %-10s %-12s %8s %10s %9s\n" "tree" "workload"
+    "strategy" "capacity" "threads" "events" "findings";
   List.iter
     (fun o ->
-      Printf.fprintf oc "%-14s %-16s %8d %10d %9d\n" o.o_tree o.o_workload
-        o.o_threads o.o_summary.Euno_san.San.events o.o_summary.total)
+      Printf.fprintf oc "%-14s %-16s %-10s %-12s %8d %10d %9d\n" o.o_tree
+        o.o_workload o.o_strategy o.o_capacity_model o.o_threads
+        o.o_summary.Euno_san.San.events o.o_summary.total)
     outcomes;
   List.iter
     (fun o ->
@@ -107,5 +143,7 @@ let to_records ?experiment outcomes =
   List.mapi
     (fun i o ->
       Report.san_to_json ?experiment ~run:i ~tree:o.o_tree
-        ~workload:o.o_workload ~threads:o.o_threads ~seed:o.o_seed o.o_summary)
+        ~workload:o.o_workload ~strategy:o.o_strategy
+        ~capacity_model:o.o_capacity_model ~threads:o.o_threads ~seed:o.o_seed
+        o.o_summary)
     outcomes

@@ -11,16 +11,29 @@
 type outcome = {
   o_tree : string;
   o_workload : string;  (** e.g. ["zipf-0.80"] or ["chaos-zipf-0.80"] *)
+  o_strategy : string;  (** {!Euno_htm.Htm.strategy_name} of the cell *)
+  o_capacity_model : string;  (** [Cost.capacity.cm_name] of the cell *)
   o_threads : int;
   o_seed : int;
   o_summary : Euno_san.San.summary;
 }
 
-val run : ?quick:bool -> ?seed:int -> unit -> outcome list
-(** Execute the sweep.  [quick] shrinks threads, operation count and key
+val run :
+  ?quick:bool ->
+  ?seed:int ->
+  ?strategies:Euno_htm.Htm.strategy list ->
+  ?capacities:Euno_sim.Cost.capacity_model list ->
+  unit ->
+  outcome list
+(** Execute the sweep over each (strategy x capacity-model) cell of the
+    requested grid — by default every strategy under the nominal capacity
+    model.  Elision cells keep each tree's own default policy (the
+    pre-strategy behaviour); other strategies override only the policy's
+    strategy selector.  [quick] shrinks threads, operation count and key
     space for smoke-test latitude (CI); default scale matches
-    {!Runner.default_setup}.  Outcomes appear tree-major in
-    {!Kv.all_kinds} order, thetas ascending, chaos last. *)
+    {!Runner.default_setup}.  Outcomes appear strategy-major, then
+    capacity, then tree-major in {!Kv.all_kinds} order, thetas ascending,
+    chaos last. *)
 
 val clean : outcome list -> bool
 (** No findings anywhere in the sweep. *)

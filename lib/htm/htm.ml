@@ -1,15 +1,29 @@
-(* User-level RTM interface: retry policy and lock-elision fallback.
+(* User-level RTM interface: retry policies behind pluggable fallback
+   strategies.
 
-   Mirrors the strategy the paper reuses from DBX/DrTM (Section 4.2.1):
-   each abort type has its own retry budget; when a budget is exhausted the
-   operation falls back to a global lock.  Transactions read the fallback
-   lock word right after xbegin, so a fallback holder aborts them
-   (lock elision).
+   A strategy decides what happens around the raw transactional attempt:
+   how attempts subscribe to concurrent fallback activity, when retries
+   give up, and how the software fallback serializes.  Two strategies are
+   provided:
 
-   Graceful degradation: the polite wait-for-lock spin is bounded by a
-   watchdog (a stalled fallback holder cannot hang a waiter forever — the
-   waiter falls through to the budget path and eventually serializes), the
-   fallback acquisition itself is bounded (a leaked lock surfaces as
+   - [Elision] mirrors the DBX/DrTM lock elision the paper reuses
+     (Section 4.2.1): each abort type has its own retry budget; when a
+     budget is exhausted the operation falls back to a global lock.
+     Transactions read the fallback lock word right after xbegin, so a
+     fallback holder aborts them.
+
+   - [Three_path] adapts Brown's template ("A Template for Implementing
+     Fast Lock-free Trees Using HTM"): an HTM fast path that assumes no
+     concurrent fallback (no subscription read at all), an HTM middle
+     path that subscribes to a fallback-activity counter instead of the
+     lock word, and a bounded lock-serialized software fallback that
+     announces itself on that counter and waits out in-flight fast-path
+     attempts (a grace period) before entering its critical section.
+
+   Graceful degradation (both strategies): the polite wait spin is bounded
+   by a watchdog (a stalled fallback holder cannot hang a waiter forever —
+   the waiter falls through to the budget path and eventually serializes),
+   the fallback acquisition itself is bounded (a leaked lock surfaces as
    Stuck_fallback instead of a livelock), threads that keep losing the
    fast path are detected as starving and back off with escalating jitter,
    and a convoy on the fallback lock is counted through user-counter
@@ -37,13 +51,38 @@ module Testonly = struct
      fallback holder is active nor joins its read set, so it can commit in
      the middle of the holder's critical section — the classic lost-update
      window EunoCheck must catch as a non-linearizable history. *)
+
+  let skip_activity_read = ref false
+  (* 3-path bug: skip the middle path's in-transaction read of the
+     fallback-activity counter.  The unsubscribed middle-path transaction
+     neither aborts while a software fallback is active nor is doomed when
+     one arrives — the same lost-update window as skip_subscription, in
+     the strategy whose *fast* path legitimately has no subscription. *)
 end
 
+type strategy = Elision | Three_path
+
+let strategy_name = function Elision -> "elision" | Three_path -> "three-path"
+
+let strategy_of_name = function
+  | "elision" -> Some Elision
+  | "three-path" -> Some Three_path
+  | _ -> None
+
+let all_strategies = [ Elision; Three_path ]
+let strategy_names = List.map strategy_name all_strategies
+
 type policy = {
+  strategy : strategy;
   conflict_retries : int;
   capacity_retries : int;
-  lock_busy_retries : int; (* explicit aborts: fallback lock observed held *)
+  lock_busy_retries : int;
+      (* explicit aborts: fallback lock (or fallback activity) observed *)
   other_retries : int; (* spurious / timer / alloc-fault *)
+  fast_path_attempts : int;
+      (* [Three_path] only: unsubscribed fast-path attempts before the
+         operation drops to the subscribed middle path.  Each failed fast
+         attempt still spends its abort-type budget. *)
   backoff_base : int;
   backoff_cap : int;
   wait_for_lock : bool;
@@ -57,7 +96,8 @@ type policy = {
          fallback lock before giving up and falling through to the budget
          path.  Keeps a preempted/stalled holder from hanging waiters. *)
   stuck_limit : int;
-      (* cycles the fallback path may spin acquiring the lock before the
+      (* cycles the fallback path may spin acquiring the lock (or, for
+         [Three_path], waiting out in-flight fast attempts) before the
          operation raises Stuck_fallback: past this point the lock is
          considered leaked, not merely contended *)
   starvation_threshold : int;
@@ -71,10 +111,12 @@ type policy = {
    detection is disabled so the paper's collapse shapes are preserved. *)
 let default_policy =
   {
+    strategy = Elision;
     conflict_retries = 2;
     capacity_retries = 2;
     lock_busy_retries = 24;
     other_retries = 4;
+    fast_path_attempts = 2;
     backoff_base = 16;
     backoff_cap = 1024;
     wait_for_lock = false;
@@ -86,6 +128,7 @@ let default_policy =
 (* A modern, well-behaved policy (post-lemming-fix), for ablations. *)
 let polite_policy =
   {
+    default_policy with
     conflict_retries = 16;
     capacity_retries = 2;
     lock_busy_retries = 16;
@@ -93,13 +136,17 @@ let polite_policy =
     backoff_base = 64;
     backoff_cap = 8192;
     wait_for_lock = true;
-    max_lock_wait = 50_000;
-    stuck_limit = 5_000_000;
     starvation_threshold = 3;
   }
 
-(* User-counter indices (see Machine.n_user_counters).  This module owns
-   0-2 and 8-10; Euno_tree owns 3-7. *)
+(* Brown's 3-path template with the default budgets: two unsubscribed fast
+   attempts, then the activity-subscribed middle path, then the bounded
+   software fallback. *)
+let three_path_policy = { default_policy with strategy = Three_path }
+
+(* User-counter indices (see Machine.n_user_counters), claimed through the
+   machine's registry below so a new strategy cannot silently alias an
+   index another module owns.  Euno_tree owns 3-7. *)
 module Counter = struct
   let fallbacks = 0
   let retries = 1
@@ -107,6 +154,11 @@ module Counter = struct
   let watchdog_trips = 8 (* bounded lock waits that gave up *)
   let starvation_backoffs = 9 (* escalating backoffs by starving threads *)
   let convoy_events = 10 (* fallback entries that joined a convoy *)
+  let fast_path_wins = 11 (* [Three_path] commits on the unsubscribed path *)
+  let middle_path_wins = 12 (* [Three_path] commits on the subscribed path *)
+  let grace_wait_cycles = 13
+  (* [Three_path] cycles fallback entrants spent waiting out in-flight
+     fast-path attempts before entering the critical section *)
 
   (* Telemetry labels for the indices this module owns. *)
   let names =
@@ -117,8 +169,13 @@ module Counter = struct
       (watchdog_trips, "watchdog_trips");
       (starvation_backoffs, "starvation_backoffs");
       (convoy_events, "convoy_events");
+      (fast_path_wins, "fast_path_wins");
+      (middle_path_wins, "middle_path_wins");
+      (grace_wait_cycles, "grace_wait_cycles");
     ]
 end
+
+let () = Euno_sim.Machine.register_user_counters ~owner:"htm" Counter.names
 
 (* Threads simultaneously past the fallback entry (queued or holding) that
    count as a convoy. *)
@@ -129,16 +186,41 @@ let convoy_depth = 3
    now), then a per-thread consecutive-fallback slot.  The sidecar is
    bookkeeping, not protocol data: the depth word is FAA'd outside
    transactions and the slots use untracked accesses, so none of it can
-   doom a transaction or join a read set. *)
-type lock = { word : int; aux : int }
+   doom a transaction or join a read set.
+
+   [tp] is the 3-path protocol sidecar, allocated only when the lock is
+   created for a [Three_path] policy (so elision-only worlds keep the
+   exact allocation stream the golden traces were recorded against):
+   word 0 is the fallback-activity counter the middle path subscribes to
+   and fallback entrants FAA, then one untracked in-fast-attempt flag per
+   thread.  [tp = -1] when absent. *)
+type lock = { word : int; aux : int; tp : int }
 
 let aux_words = 1 + Euno_sim.Line_table.max_threads
 
-let alloc_lock () =
-  {
-    word = Spinlock.alloc ();
-    aux = Api.alloc ~kind:Euno_mem.Linemap.Scratch ~words:aux_words;
-  }
+(* The 3-path sidecar is laid out one word per cache line: the middle path
+   reads the activity counter transactionally, so if the per-thread fast
+   flags shared its line every untracked flag write would land inside a
+   middle-path subscriber's read-set line (an atomicity-lint finding in
+   EunoSan, and a spurious doom on real RTM).  Brown's implementations pad
+   these variables apart for exactly this reason. *)
+let tp_stride = Euno_mem.Memory.line_words
+let tp_words = tp_stride * (1 + Euno_sim.Line_table.max_threads)
+let tp_flag lock tid = lock.tp + (tp_stride * (1 + tid))
+
+let alloc_lock ?(policy = default_policy) () =
+  let word = Spinlock.alloc () in
+  let aux = Api.alloc ~kind:Euno_mem.Linemap.Scratch ~words:aux_words in
+  let tp =
+    match policy.strategy with
+    | Elision -> -1
+    | Three_path ->
+        (* Lock-kind, so a conflict cascade on the activity counter
+           classifies as Subscription — it is the 3-path analogue of the
+           elision lock word, not a data conflict. *)
+        Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:tp_words
+  in
+  { word; aux; tp }
 
 let lock_word l = l.word
 
@@ -222,6 +304,20 @@ let attempt_elided ~lock f =
       end;
       f ())
 
+(* One *middle-path* attempt of the 3-path strategy: subscribe to the
+   fallback-activity counter instead of the lock word.  The transactional
+   read both aborts the attempt while a software fallback is in progress
+   and puts the activity line in the read set, so a fallback announcing
+   itself later (FAA) dooms the attempt — exactly the elision subscription
+   property, against a counter the fast path can peek without joining. *)
+let attempt_middle ~lock f =
+  attempt (fun () ->
+      if (not !Testonly.skip_activity_read) && Api.read lock.tp > 0 then begin
+        Api.xabort Abort.xabort_fallback_active;
+        raise Unreachable_after_xabort
+      end;
+      f ())
+
 type budgets = {
   mutable conflict : int;
   mutable capacity : int;
@@ -236,6 +332,8 @@ let budgets_of policy =
     lock_busy = policy.lock_busy_retries;
     other = policy.other_retries;
   }
+
+let budgets_total b = b.conflict + b.capacity + b.lock_busy + b.other
 
 (* Consume one retry from the bucket matching [code]; false when that
    bucket is exhausted and the caller must take the fallback path. *)
@@ -258,109 +356,344 @@ let spend budgets (code : Abort.code) =
   | Abort.Spurious | Abort.Timer | Abort.Alloc_fault ->
       take (fun () -> budgets.other) (fun v -> budgets.other <- v)
 
-(* Execute [f] atomically: transactionally with retries, then under the
-   fallback lock.  [f] runs either inside a transaction or while holding
-   [lock]; it must not catch Txn_abort itself.  [on_abort] runs outside the
-   transaction after every aborted attempt (used by Eunomia's per-leaf
-   contention detector). *)
-let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
-    ~lock f =
-  let budgets = budgets_of policy in
-  let backoff = Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap () in
-  (* Bounded polite wait: true when the lock came free, false when the
-     watchdog fired first (holder preempted, stalled, or leaked). *)
-  let wait_unlocked () =
-    let t0 = Api.clock () in
-    let rec spin () =
-      if not (Spinlock.is_locked lock.word) then true
-      else if Api.clock () - t0 > policy.max_lock_wait then false
-      else begin
-        Api.work 64;
-        spin ()
-      end
-    in
-    spin ()
+(* ---------- the strategy interface ---------- *)
+
+(* A fallback strategy is everything around the raw transactional attempt:
+   how attempts subscribe, how retries are budgeted, and how the software
+   fallback serializes.  [run] is the whole discipline for one operation;
+   trees call [atomic], which dispatches here on [policy.strategy], so a
+   new strategy needs no tree-code changes. *)
+module type STRATEGY = sig
+  val name : string
+
+  val needs_sidecar : bool
+  (** Whether locks driven by this strategy need the 3-path protocol
+      sidecar ([lock.tp]); {!alloc_lock} consults the policy's strategy. *)
+
+  val run :
+    policy:policy ->
+    on_abort:(Euno_sim.Abort.code -> unit) ->
+    lock:lock ->
+    (unit -> 'a) ->
+    'a
+end
+
+(* ---------- shared degradation bookkeeping ---------- *)
+
+(* Bounded polite wait on [quiet] coming true: true when it did, false
+   when the watchdog fired first (holder preempted, stalled, or leaked). *)
+let bounded_wait ~policy quiet =
+  let t0 = Api.clock () in
+  let rec spin () =
+    if quiet () then true
+    else if Api.clock () - t0 > policy.max_lock_wait then false
+    else begin
+      Api.work 64;
+      spin ()
+    end
   in
-  let starvation_slot = lock.aux + 1 + Api.tid () in
-  (* Serialize under the fallback lock, with convoy and starvation
-     accounting around the bounded acquisition. *)
-  let fallback () =
-    Api.count Counter.fallbacks 1;
-    let consecutive = Api.untracked_read starvation_slot + 1 in
-    Api.untracked_write starvation_slot consecutive;
-    let depth = Api.faa lock.aux 1 + 1 in
-    if depth >= convoy_depth then Api.count Counter.convoy_events 1;
-    (if consecutive > policy.starvation_threshold then begin
-       (* Starving: this thread keeps losing the fast path.  Escalate a
-          jittered backoff ahead of the lock so the convoy can drain and
-          other threads regain the fast path (the anti-lemming valve). *)
-       Api.count Counter.starvation_backoffs 1;
-       let over = min 10 (consecutive - policy.starvation_threshold) in
-       let d = min policy.backoff_cap (policy.backoff_base * (1 lsl over)) in
-       Api.work (d + Api.rand (d + 1))
-     end);
-    let t0 = Api.clock () in
-    let acquired =
-      Spinlock.acquire_bounded ~max_cycles:policy.stuck_limit lock.word
+  spin ()
+
+(* Convoy + starvation accounting at fallback entry.  Returns the
+   consecutive-fallback count *including* this entry; exits through
+   [fallback_abandoned] must give the entry back. *)
+let fallback_enter ~policy ~lock ~starvation_slot =
+  Api.count Counter.fallbacks 1;
+  let consecutive = Api.untracked_read starvation_slot + 1 in
+  Api.untracked_write starvation_slot consecutive;
+  let depth = Api.faa lock.aux 1 + 1 in
+  if depth >= convoy_depth then Api.count Counter.convoy_events 1;
+  if consecutive > policy.starvation_threshold then begin
+    (* Starving: this thread keeps losing the fast path.  Escalate a
+       jittered backoff ahead of the lock so the convoy can drain and
+       other threads regain the fast path (the anti-lemming valve). *)
+    Api.count Counter.starvation_backoffs 1;
+    let over = min 10 (consecutive - policy.starvation_threshold) in
+    let d = min policy.backoff_cap (policy.backoff_base * (1 lsl over)) in
+    Api.work (d + Api.rand (d + 1))
+  end;
+  consecutive
+
+(* An operation that entered the fallback but was abandoned by an exception
+   (Stuck_fallback, or a user/injected fault escaping [f]) was never served:
+   it must not count toward this thread's consecutive-fallback starvation
+   score, or a chaos run that defeats a few operations leaves the thread
+   escalating starvation backoff forever after (the slot is otherwise only
+   reset by a fast-path win). *)
+let fallback_abandoned ~starvation_slot ~consecutive =
+  Api.untracked_write starvation_slot (consecutive - 1)
+
+(* ---------- strategy 1: DBX-style lock elision ---------- *)
+
+module Elision : STRATEGY = struct
+  let name = "elision"
+  let needs_sidecar = false
+
+  (* Execute [f] atomically: elided transactional attempts with retries,
+     then under the fallback lock. *)
+  let run ~policy ~on_abort ~lock f =
+    let budgets = budgets_of policy in
+    let backoff =
+      Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap ()
     in
-    Api.count Counter.lock_wait_cycles (Api.clock () - t0);
-    if not acquired then begin
-      ignore (Api.faa lock.aux (-1));
-      raise (Stuck_fallback { lock = lock.word; waited = Api.clock () - t0 })
-    end;
-    let leave () =
-      Spinlock.release lock.word;
-      ignore (Api.faa lock.aux (-1))
+    let wait_unlocked () =
+      bounded_wait ~policy (fun () -> not (Spinlock.is_locked lock.word))
     in
-    match f () with
-    | v ->
-        leave ();
-        v
-    | exception e ->
-        leave ();
-        raise e
-  in
-  let rec go () =
-    match attempt_elided ~lock f with
-    | Ok v ->
-        (* Fast path won: the thread is not starving. *)
-        if Api.untracked_read starvation_slot <> 0 then
-          Api.untracked_write starvation_slot 0;
-        v
-    | Error code ->
-        on_abort code;
-        (* A lock-held abort under a waiting policy is not a failed attempt:
-           the thread queues outside the transaction until the holder leaves
-           and retries with its budgets intact.  Charging the lock_busy
-           bucket here would let a politely-queueing thread exhaust it and
-           grab the fallback lock itself — amplifying the very convoy
-           wait_for_lock exists to prevent.  The queueing is bounded by the
-           watchdog: when the holder outlasts max_lock_wait the wait stops
-           being free and the abort falls through to the budget path. *)
-        let queued =
-          policy.wait_for_lock && code = Abort.Explicit Abort.xabort_lock_held
-        in
-        if queued && wait_unlocked () then begin
-          Api.count Counter.retries 1;
-          go ()
-        end
-        else begin
-          if queued then Api.count Counter.watchdog_trips 1;
-          if spend budgets code then begin
+    let starvation_slot = lock.aux + 1 + Api.tid () in
+    (* Serialize under the fallback lock, with convoy and starvation
+       accounting around the bounded acquisition. *)
+    let fallback () =
+      let consecutive = fallback_enter ~policy ~lock ~starvation_slot in
+      let t0 = Api.clock () in
+      let acquired =
+        Spinlock.acquire_bounded ~max_cycles:policy.stuck_limit lock.word
+      in
+      Api.count Counter.lock_wait_cycles (Api.clock () - t0);
+      if not acquired then begin
+        ignore (Api.faa lock.aux (-1));
+        fallback_abandoned ~starvation_slot ~consecutive;
+        raise (Stuck_fallback { lock = lock.word; waited = Api.clock () - t0 })
+      end;
+      let leave () =
+        Spinlock.release lock.word;
+        ignore (Api.faa lock.aux (-1))
+      in
+      match f () with
+      | v ->
+          leave ();
+          v
+      | exception e ->
+          leave ();
+          fallback_abandoned ~starvation_slot ~consecutive;
+          raise e
+    in
+    let rec go () =
+      match attempt_elided ~lock f with
+      | Ok v ->
+          (* Fast path won: the thread is not starving. *)
+          if Api.untracked_read starvation_slot <> 0 then
+            Api.untracked_write starvation_slot 0;
+          v
+      | Error code ->
+          on_abort code;
+          (* A lock-held abort under a waiting policy is not a failed
+             attempt: the thread queues outside the transaction until the
+             holder leaves and retries with its budgets intact.  Charging
+             the lock_busy bucket here would let a politely-queueing thread
+             exhaust it and grab the fallback lock itself — amplifying the
+             very convoy wait_for_lock exists to prevent.  The queueing is
+             bounded by the watchdog: when the holder outlasts
+             max_lock_wait the wait stops being free and the abort falls
+             through to the budget path. *)
+          let queued =
+            policy.wait_for_lock && code = Abort.Explicit Abort.xabort_lock_held
+          in
+          if queued && wait_unlocked () then begin
             Api.count Counter.retries 1;
-            (match code with
-            | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
-            | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
-            | Abort.Timer | Abort.Alloc_fault ->
-                ());
-            (* Post-fix implementations spin outside the transaction while
-               the fallback lock is held; paper-era ones dive right back
-               in.  (Bounded: a watchdog trip here just means the next
-               attempt aborts lock-held and spends budget.) *)
-            if policy.wait_for_lock && not queued then ignore (wait_unlocked ());
             go ()
           end
-          else fallback ()
+          else begin
+            if queued then Api.count Counter.watchdog_trips 1;
+            if spend budgets code then begin
+              Api.count Counter.retries 1;
+              (match code with
+              | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+              | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+              | Abort.Timer | Abort.Alloc_fault ->
+                  ());
+              (* Post-fix implementations spin outside the transaction while
+                 the fallback lock is held; paper-era ones dive right back
+                 in.  (Bounded: a watchdog trip here just means the next
+                 attempt aborts lock-held and spends budget.) *)
+              if policy.wait_for_lock && not queued then ignore (wait_unlocked ());
+              go ()
+            end
+            else fallback ()
+          end
+    in
+    go ()
+end
+
+(* ---------- strategy 2: Brown's 3-path template ---------- *)
+
+module Three_path : STRATEGY = struct
+  let name = "three-path"
+  let needs_sidecar = true
+
+  (* Protocol recap.  The sidecar carries an activity counter A (word
+     [lock.tp]) and one per-thread in-fast-attempt flag (untracked).
+
+     Fast path: set own flag, peek A untracked; if A = 0, attempt the
+     transaction with NO subscription read, clear the flag when the
+     attempt finishes (commit or abort).  If A > 0, clear the flag and
+     drop to the middle path.
+
+     Middle path: attempt with an in-transaction read of A, aborting
+     explicitly when A > 0 — the elision subscription discipline against
+     A instead of the lock word.
+
+     Fallback: FAA A (dooming every middle-path subscriber), then wait
+     until every fast flag reads 0 — the grace period.  A fast attempt
+     that set its flag before our FAA is waited out here; one that sets
+     it afterwards peeks A > 0 and never starts a transaction.  Only then
+     acquire the fallback lock (serializing against other fallbacks), run
+     [f], release, FAA A back down.  Mutual exclusion between the
+     unsubscribed fast path and the fallback therefore never depends on
+     conflict detection — it is the flag/counter handshake. *)
+
+  let run ~policy ~on_abort ~lock f =
+    if lock.tp < 0 then
+      invalid_arg
+        "Htm: three-path strategy requires a lock from alloc_lock with a \
+         three-path policy";
+    let activity = lock.tp in
+    let fast_flag = tp_flag lock (Api.tid ()) in
+    let budgets = budgets_of policy in
+    let backoff =
+      Backoff.create ~base:policy.backoff_base ~cap:policy.backoff_cap ()
+    in
+    let starvation_slot = lock.aux + 1 + Api.tid () in
+    let won counter v =
+      Api.count counter 1;
+      if Api.untracked_read starvation_slot <> 0 then
+        Api.untracked_write starvation_slot 0;
+      v
+    in
+    let fallback () =
+      let consecutive = fallback_enter ~policy ~lock ~starvation_slot in
+      (* Announce before the grace wait: once A > 0 is visible no new
+         fast-path transaction starts, so every flag only needs to be
+         observed clear once. *)
+      ignore (Api.faa activity 1);
+      let abandon () =
+        ignore (Api.faa activity (-1));
+        ignore (Api.faa lock.aux (-1));
+        fallback_abandoned ~starvation_slot ~consecutive
+      in
+      let t0 = Api.clock () in
+      let rec grace tid =
+        if tid >= Euno_sim.Line_table.max_threads then true
+        else if Api.untracked_read (tp_flag lock tid) = 0 then grace (tid + 1)
+        else if Api.clock () - t0 > policy.stuck_limit then false
+        else begin
+          Api.work 64;
+          grace tid
         end
-  in
-  go ()
+      in
+      let quiesced = grace 0 in
+      Api.count Counter.grace_wait_cycles (Api.clock () - t0);
+      if not quiesced then begin
+        abandon ();
+        raise (Stuck_fallback { lock = lock.word; waited = Api.clock () - t0 })
+      end;
+      let t1 = Api.clock () in
+      let acquired =
+        Spinlock.acquire_bounded ~max_cycles:policy.stuck_limit lock.word
+      in
+      Api.count Counter.lock_wait_cycles (Api.clock () - t1);
+      if not acquired then begin
+        abandon ();
+        raise (Stuck_fallback { lock = lock.word; waited = Api.clock () - t1 })
+      end;
+      let leave () =
+        Spinlock.release lock.word;
+        ignore (Api.faa activity (-1));
+        ignore (Api.faa lock.aux (-1))
+      in
+      match f () with
+      | v ->
+          leave ();
+          v
+      | exception e ->
+          leave ();
+          fallback_abandoned ~starvation_slot ~consecutive;
+          raise e
+    in
+    let rec middle () =
+      match attempt_middle ~lock f with
+      | Ok v -> won Counter.middle_path_wins v
+      | Error code ->
+          on_abort code;
+          (* Same queueing discipline as elision, keyed on fallback
+             activity instead of the lock word. *)
+          let queued =
+            policy.wait_for_lock
+            && code = Abort.Explicit Abort.xabort_fallback_active
+          in
+          if
+            queued
+            && bounded_wait ~policy (fun () -> Api.untracked_read activity = 0)
+          then begin
+            Api.count Counter.retries 1;
+            middle ()
+          end
+          else begin
+            if queued then Api.count Counter.watchdog_trips 1;
+            if spend budgets code then begin
+              Api.count Counter.retries 1;
+              (match code with
+              | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+              | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+              | Abort.Timer | Abort.Alloc_fault ->
+                  ());
+              middle ()
+            end
+            else fallback ()
+          end
+    in
+    let rec fast attempts_left =
+      if attempts_left <= 0 then middle ()
+      else begin
+        (* Flag before peeking: a fallback that FAAs A after our peek is
+           guaranteed to see the flag during its grace wait. *)
+        Api.untracked_write fast_flag 1;
+        if Api.untracked_read activity > 0 then begin
+          Api.untracked_write fast_flag 0;
+          middle ()
+        end
+        else begin
+          let r =
+            match attempt f with
+            | r ->
+                Api.untracked_write fast_flag 0;
+                r
+            | exception e ->
+                Api.untracked_write fast_flag 0;
+                raise e
+          in
+          match r with
+          | Ok v -> won Counter.fast_path_wins v
+          | Error code ->
+              on_abort code;
+              if spend budgets code then begin
+                Api.count Counter.retries 1;
+                (match code with
+                | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+                | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+                | Abort.Timer | Abort.Alloc_fault ->
+                    ());
+                fast (attempts_left - 1)
+              end
+              else fallback ()
+        end
+      end
+    in
+    fast policy.fast_path_attempts
+end
+
+let strategy_impl = function
+  | Elision -> (module Elision : STRATEGY)
+  | Three_path -> (module Three_path : STRATEGY)
+
+let strategies =
+  List.map (fun s -> (strategy_name s, strategy_impl s)) all_strategies
+
+(* Execute [f] atomically under the policy's strategy: transactionally
+   with retries, then under the software fallback.  [f] runs either inside
+   a transaction or while the fallback serializes it; it must not catch
+   Txn_abort itself.  [on_abort] runs outside the transaction after every
+   aborted attempt (used by Eunomia's per-leaf contention detector). *)
+let atomic ?(policy = default_policy) ?(on_abort = fun (_ : Abort.code) -> ())
+    ~lock f =
+  let (module S : STRATEGY) = strategy_impl policy.strategy in
+  S.run ~policy ~on_abort ~lock f

@@ -1,32 +1,60 @@
-(** User-level RTM: retry policy and lock-elision fallback.
+(** User-level RTM: retry policies behind pluggable fallback strategies.
 
-    Reproduces the DBX/DrTM fallback strategy the paper reuses: per-abort-
-    type retry budgets, then serialization on a global fallback lock that
-    elided transactions subscribe to.
+    A {!STRATEGY} packages everything around the raw transactional attempt
+    — how attempts subscribe to concurrent fallback activity, how retries
+    are budgeted, and how the software fallback serializes.  Trees call
+    {!atomic}, which dispatches on [policy.strategy], so a new strategy
+    needs no tree-code changes.  Two strategies ship:
 
-    Hardened for graceful degradation: polite lock waits are bounded by a
-    watchdog, fallback acquisition is bounded (a leaked lock raises
-    {!Stuck_fallback} instead of hanging), starving threads escalate a
-    jittered backoff, and fallback convoys are counted in telemetry. *)
+    - {!Elision}: the DBX/DrTM lock elision the paper reuses — per-abort-
+      type retry budgets, then serialization on a global fallback lock
+      that elided transactions subscribe to.
+    - {!Three_path}: Brown's template — an unsubscribed HTM fast path, an
+      HTM middle path subscribed to a fallback-activity counter, and a
+      bounded lock-serialized software fallback that announces itself and
+      waits out in-flight fast-path attempts before entering.
+
+    Both are hardened for graceful degradation: polite waits are bounded
+    by a watchdog, fallback acquisition (and the 3-path grace wait) is
+    bounded (a leaked lock raises {!Stuck_fallback} instead of hanging),
+    starving threads escalate a jittered backoff, and fallback convoys
+    are counted in telemetry. *)
+
+type strategy = Elision | Three_path
+
+val strategy_name : strategy -> string
+(** ["elision"] / ["three-path"] — the names used by CLIs, report records
+    and the schema checker. *)
+
+val strategy_of_name : string -> strategy option
+val all_strategies : strategy list
+val strategy_names : string list
 
 type policy = {
+  strategy : strategy;
   conflict_retries : int;
   capacity_retries : int;
   lock_busy_retries : int;
   other_retries : int;
+  fast_path_attempts : int;
+      (** {!Three_path} only: unsubscribed fast-path attempts before the
+          operation drops to the subscribed middle path.  Failed fast
+          attempts still spend their abort-type budgets. *)
   backoff_base : int;
   backoff_cap : int;
   wait_for_lock : bool;
-      (** spin outside the transaction while the fallback lock is held;
-          paper-era implementations did not, which is what produces the
-          fallback death spiral under contention *)
+      (** spin outside the transaction while the fallback lock (or, for
+          {!Three_path}, fallback activity) is observed; paper-era
+          implementations did not, which is what produces the fallback
+          death spiral under contention *)
   max_lock_wait : int;
       (** watchdog bound (cycles) on a [wait_for_lock] queue: past it the
           waiter stops queueing for free and falls through to the budget
           path, so a stalled fallback holder cannot hang it forever *)
   stuck_limit : int;
-      (** bound (cycles) on acquiring the fallback lock itself; exceeded
-          means the lock is leaked, and the operation raises
+      (** bound (cycles) on acquiring the fallback lock itself — and on
+          the {!Three_path} grace wait; exceeded means the lock is leaked
+          (or a fast flag is), and the operation raises
           {!Stuck_fallback} *)
   starvation_threshold : int;
       (** consecutive fallbacks by one thread before it starts escalating
@@ -47,17 +75,28 @@ module Testonly : sig
       elided attempts, so a transaction can commit in the middle of a
       fallback holder's critical section.  EunoCheck's mutation tests
       prove this surfaces as a non-linearizable history. *)
+
+  val skip_activity_read : bool ref
+  (** 3-path bug: skip the middle path's in-transaction read of the
+      fallback-activity counter, so a middle-path transaction can commit
+      in the middle of a software fallback's critical section — the
+      3-path analogue of [skip_subscription]. *)
 end
 
 val default_policy : policy
-(** The DBX-style paper-era policy (naive lock retry, starvation
-    detection disabled so the paper's collapse shapes are preserved). *)
+(** The DBX-style paper-era policy: [Elision], naive lock retry,
+    starvation detection disabled so the paper's collapse shapes are
+    preserved. *)
 
 val polite_policy : policy
 (** A modern post-lemming-fix policy, for ablations. *)
 
-(** User-counter indices used by this module (via {!Euno_sim.Api.count}).
-    This module owns 0-2 and 8-10; [Euno_tree] owns 3-7. *)
+val three_path_policy : policy
+(** {!default_policy} with [strategy = Three_path]. *)
+
+(** User-counter indices used by this module (via {!Euno_sim.Api.count}),
+    claimed through {!Euno_sim.Machine.register_user_counters} under owner
+    ["htm"].  [Euno_tree] owns 3-7. *)
 module Counter : sig
   val fallbacks : int
   val retries : int
@@ -76,6 +115,16 @@ module Counter : sig
   (** Fallback entries that found {!convoy_depth} or more threads already
       past the fallback entry. *)
 
+  val fast_path_wins : int
+  (** {!Three_path}: commits on the unsubscribed fast path. *)
+
+  val middle_path_wins : int
+  (** {!Three_path}: commits on the activity-subscribed middle path. *)
+
+  val grace_wait_cycles : int
+  (** {!Three_path}: cycles fallback entrants spent waiting out in-flight
+      fast-path attempts before entering the critical section. *)
+
   val names : (int * string) list
   (** Telemetry labels for the user-counter indices this module owns. *)
 end
@@ -83,25 +132,39 @@ end
 val convoy_depth : int
 (** Simultaneous fallback-path threads that count as a convoy. *)
 
-type lock = { word : int; aux : int }
+type lock = { word : int; aux : int; tp : int }
 (** Fallback lock: the spinlock word plus a bookkeeping sidecar (fallback
     depth + per-thread consecutive-fallback slots) used by the convoy and
     starvation detectors.  The sidecar is accessed untracked / outside
-    transactions only, so it never dooms a transaction. *)
+    transactions only, so it never dooms a transaction.  [tp] is the
+    3-path protocol sidecar (fallback-activity counter + per-thread
+    in-fast-attempt flags), allocated only for {!Three_path} policies;
+    [-1] when absent. *)
 
-val alloc_lock : unit -> lock
+val alloc_lock : ?policy:policy -> unit -> lock
+(** Allocate the fallback lock for [policy] (default {!default_policy}).
+    Only the policy's [strategy] matters: {!Three_path} additionally
+    allocates the protocol sidecar.  Elision locks keep the historical
+    allocation stream exactly, so golden traces are unaffected. *)
 
 val lock_word : lock -> int
 (** The spinlock word, for code that drives the lock directly
     (tests, holders simulated outside {!atomic}). *)
 
+val tp_flag : lock -> int -> int
+(** [tp_flag lock tid]: address of [tid]'s in-fast-attempt flag in the
+    3-path sidecar.  Each flag (and the activity counter) lives on its own
+    cache line, so untracked flag traffic never lands inside a middle-path
+    subscriber's read-set line. *)
+
 exception Stuck_fallback of { lock : int; waited : int }
 (** The fallback path spun [policy.stuck_limit] cycles without acquiring
-    the lock: it is leaked or its holder is stalled beyond reason. *)
+    the lock (or, for {!Three_path}, without the grace period
+    quiescing): it is leaked or its holder is stalled beyond reason. *)
 
 val attempt : (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
-(** One raw transactional attempt (no lock subscription, no retry).  If
-    [f] raises a non-abort exception, the open transaction is explicitly
+(** One raw transactional attempt (no subscription, no retry).  If [f]
+    raises a non-abort exception, the open transaction is explicitly
     aborted (buffered writes rolled back) before the exception
     propagates. *)
 
@@ -109,16 +172,66 @@ val attempt_elided : lock:lock -> (unit -> 'a) -> ('a, Euno_sim.Abort.code) resu
 (** One attempt that subscribes to the fallback lock: aborts explicitly if
     the lock is held, and is doomed if a fallback holder appears later. *)
 
+val attempt_middle : lock:lock -> (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
+(** One {!Three_path} middle-path attempt: subscribes to the
+    fallback-activity counter — aborts explicitly (with
+    {!Euno_sim.Abort.xabort_fallback_active}) if a fallback is in
+    progress, and is doomed if one announces itself later.  Requires a
+    lock with the 3-path sidecar. *)
+
+type budgets = {
+  mutable conflict : int;
+  mutable capacity : int;
+  mutable lock_busy : int;
+  mutable other : int;
+}
+(** Remaining per-abort-type retries for one operation. *)
+
+val budgets_of : policy -> budgets
+val budgets_total : budgets -> int
+
+val spend : budgets -> Euno_sim.Abort.code -> bool
+(** Consume one retry from the bucket matching the code; [false] when that
+    bucket is exhausted and the caller must take the fallback path.
+    Conflicts spend [conflict]; capacity aborts spend [capacity]; explicit
+    aborts (lock-held, fallback-active, user-exception teardown) spend
+    [lock_busy]; spurious/timer/alloc-fault spend [other]. *)
+
+(** A pluggable fallback strategy: the full retry-and-serialize discipline
+    for one operation. *)
+module type STRATEGY = sig
+  val name : string
+
+  val needs_sidecar : bool
+  (** Whether locks driven by this strategy need the 3-path protocol
+      sidecar ([lock.tp]). *)
+
+  val run :
+    policy:policy ->
+    on_abort:(Euno_sim.Abort.code -> unit) ->
+    lock:lock ->
+    (unit -> 'a) ->
+    'a
+end
+
+module Elision : STRATEGY
+module Three_path : STRATEGY
+
+val strategy_impl : strategy -> (module STRATEGY)
+val strategies : (string * (module STRATEGY)) list
+(** Registry of shipped strategies, keyed by {!strategy_name}. *)
+
 val atomic :
   ?policy:policy ->
   ?on_abort:(Euno_sim.Abort.code -> unit) ->
   lock:lock ->
   (unit -> 'a) ->
   'a
-(** Execute atomically: elided transactional attempts with per-abort-type
-    budgets and backoff, then the fallback lock.  [f] may run multiple
-    times (aborted attempts have no visible effects) and must not catch
-    {!Euno_sim.Eff.Txn_abort}.  [on_abort] runs outside the transaction
-    after each aborted attempt.
-    @raise Stuck_fallback when the fallback lock cannot be acquired within
+(** Execute atomically under [policy.strategy]: transactional attempts
+    with per-abort-type budgets and backoff, then the software fallback.
+    [f] may run multiple times (aborted attempts have no visible effects)
+    and must not catch {!Euno_sim.Eff.Txn_abort}.  [on_abort] runs outside
+    the transaction after each aborted attempt.
+    @raise Stuck_fallback when the fallback lock cannot be acquired (or
+    the 3-path grace period does not quiesce) within
     [policy.stuck_limit] cycles. *)

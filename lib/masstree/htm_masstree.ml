@@ -11,10 +11,10 @@ module Htm = Euno_htm.Htm
 type t = { tree : Masstree.t; lock : Htm.lock; policy : Htm.policy }
 
 let create ?(policy = Htm.default_policy) ~fanout ~map () =
-  { tree = Masstree.create ~elide:true ~fanout ~map (); lock = Htm.alloc_lock (); policy }
+  { tree = Masstree.create ~elide:true ~fanout ~map (); lock = Htm.alloc_lock ~policy (); policy }
 
 let of_tree ?(policy = Htm.default_policy) tree =
-  { tree; lock = Htm.alloc_lock (); policy }
+  { tree; lock = Htm.alloc_lock ~policy (); policy }
 
 let tree t = t.tree
 

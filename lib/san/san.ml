@@ -116,7 +116,8 @@ type t = {
   locks : (lock_id, int array) Hashtbl.t;
   barriers : (int, int array) Hashtbl.t;
   lines : (int, int array) Hashtbl.t; (* committed-write line clocks *)
-  live : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* line -> live tids *)
+  live : (int, (int, bool) Hashtbl.t) Hashtbl.t;
+      (* line -> live tids, true when the line is in that tid's write set *)
   adj : (lock_id, lock_id list ref) Hashtbl.t; (* acquisition order *)
   edges : (lock_id * lock_id, unit) Hashtbl.t;
 }
@@ -384,32 +385,46 @@ let txn_clear t tid =
   Hashtbl.reset ts.wlines;
   ts.in_txn <- false
 
-let txn_line t tid set line =
+let txn_line t tid ~wrote set line =
   let ts = t.threads.(tid) in
   Hashtbl.replace set line ();
-  Hashtbl.replace (live_tids t line) tid ();
+  let tids = live_tids t line in
+  let wrote =
+    wrote || match Hashtbl.find_opt tids tid with Some w -> w | None -> false
+  in
+  Hashtbl.replace tids tid wrote;
   (* Eager conflict detection means a transaction touching a committed
      line really is ordered after that commit. *)
   match Hashtbl.find_opt t.lines line with
   | Some lvc -> vc_join ts.vc lvc
   | None -> ()
 
-let unsafe_access t tid clock addr what =
+(* Strong-atomicity lint.  An untracked *write* into any line of a live
+   transaction's footprint is a hazard either way: against a read set it
+   is the update the transaction will never see (and on real RTM the doom
+   conflict detection owes it), against a write set a lost update.  An
+   untracked *read* is only a hazard against a live *write* set (it can
+   observe the pre-transactional value of a line mid-rewrite); reading a
+   line other transactions merely read is benign — that read-vs-read shape
+   is exactly the 3-path fast path's unsubscribed peek of the
+   fallback-activity counter, which is correct by protocol design. *)
+let unsafe_access t tid clock addr what ~is_write =
   let line = Euno_mem.Memory.line_of_addr addr in
   match Hashtbl.find_opt t.live line with
   | None -> ()
   | Some tids ->
       Hashtbl.iter
-        (fun tid' () ->
-          if tid' <> tid then
+        (fun tid' wrote' ->
+          if tid' <> tid && (is_write || wrote') then
             report t ~kind:Atomicity
               ~subject:(Printf.sprintf "line %d" line)
               ~tid ~clock
               ~detail:
                 (Printf.sprintf
                    "untracked %s of word %d by t%d hits line %d inside \
-                    t%d's live transaction"
-                   what addr tid line tid'))
+                    t%d's live transaction %s set"
+                   what addr tid line tid'
+                   (if wrote' then "write" else "read")))
         tids
 
 (* ---------- the hook ---------- *)
@@ -441,8 +456,8 @@ let hook t (ev : Sev.event) =
   match ev.Sev.body with
   | Sev.Plain_read { addr; kind } -> plain_read t tid clock addr kind
   | Sev.Plain_write { addr; kind } -> plain_write t tid clock addr kind
-  | Sev.Txn_line_read line -> txn_line t tid ts.rlines line
-  | Sev.Txn_line_write line -> txn_line t tid ts.wlines line
+  | Sev.Txn_line_read line -> txn_line t tid ~wrote:false ts.rlines line
+  | Sev.Txn_line_write line -> txn_line t tid ~wrote:true ts.wlines line
   | Sev.Txn_begin ->
       if ts.in_txn then
         report t ~kind:Txn_unbalanced
@@ -481,8 +496,8 @@ let hook t (ev : Sev.event) =
           ~tid ~clock
           ~detail:
             (Printf.sprintf "t%d received an abort outside Htm.attempt" tid)
-  | Sev.Unsafe_read addr -> unsafe_access t tid clock addr "read"
-  | Sev.Unsafe_write addr -> unsafe_access t tid clock addr "write"
+  | Sev.Unsafe_read addr -> unsafe_access t tid clock addr "read" ~is_write:false
+  | Sev.Unsafe_write addr -> unsafe_access t tid clock addr "write" ~is_write:true
   | Sev.Alloc_done { addr; words } -> clear_range t addr words
   | Sev.Free_done { addr; words } -> clear_range t addr words
   | Sev.Op_exit ->

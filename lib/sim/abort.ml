@@ -34,6 +34,12 @@ let xabort_lock_held = 0xff
    re-raised so the machine never carries an open transaction. *)
 let xabort_user_exn = 0xfe
 
+(* imm8 used by the 3-path strategy's HTM middle path when its
+   in-transaction read of the fallback-activity counter observes a software
+   fallback in progress (the 3-path analogue of the elision lock-held
+   abort). *)
+let xabort_fallback_active = 0xfd
+
 let n_classes = 10
 
 let index = function

@@ -41,6 +41,11 @@ val xabort_user_exn : int
 (** imm8 used by {!Euno_htm} when a user exception escapes a transaction
     body and the transaction must be torn down before re-raising. *)
 
+val xabort_fallback_active : int
+(** imm8 used by the 3-path strategy's HTM middle path when its
+    in-transaction read of the fallback-activity counter observes a
+    software fallback in progress. *)
+
 val n_classes : int
 (** Number of distinct counter buckets. *)
 

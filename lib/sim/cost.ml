@@ -3,6 +3,52 @@
    lines, 32 KB L1D).  Absolute values only set the scale of reported
    throughput; the reproduced *shapes* come from the RTM conflict protocol. *)
 
+(* A named capacity/conflict model: how many lines a transaction may track
+   before a capacity abort, and at what granularity conflicts (and
+   capacity) are tracked.  Promoted to a first-class named record so the
+   harness can sweep models (and report which one a number came from) the
+   same way it sweeps fallback strategies. *)
+type capacity_model = {
+  cm_name : string;
+  rs_lines : int; (* max read-set lines before Capacity_read *)
+  ws_lines : int; (* max write-set lines before Capacity_write *)
+  granule_log2 : int;
+      (* conflict/capacity tracking granule, as a left-shift over 64-byte
+         lines: 0 = per-line (Intel RTM), 2 = 256-byte granules (false
+         sharing amplified 4x).  Coarsening affects conflict detection and
+         set-size accounting only — cycle charging and cache warmth stay
+         per-line. *)
+}
+
+(* Intel TSX-like: write set bounded by the 32 KB L1D, read set by the L2
+   bloom-filter-tracked working set, per-line conflicts. *)
+let nominal =
+  { cm_name = "nominal"; rs_lines = 4096; ws_lines = 512; granule_log2 = 0 }
+
+(* The FORTH limited-HTM configuration: an asymmetric model in which the
+   *read* set is the scarce resource (a small dedicated read-set buffer
+   instead of cache-wide tracking), so read-heavy transactions — exactly
+   the root-to-leaf traversals of a monolithic tree operation — hit
+   Capacity_read long before the write set fills. *)
+let limited_read_set =
+  { cm_name = "limited-read"; rs_lines = 64; ws_lines = 512; granule_log2 = 0 }
+
+(* Nominal capacities but 256-byte conflict granules: four adjacent lines
+   share a conflict granule, so unrelated records collide (false sharing)
+   four times as often and capacity fills in granule units. *)
+let coarse_grain =
+  { cm_name = "coarse-grain"; rs_lines = 4096; ws_lines = 512; granule_log2 = 2 }
+
+let capacity_models =
+  [
+    (nominal.cm_name, nominal);
+    (limited_read_set.cm_name, limited_read_set);
+    (coarse_grain.cm_name, coarse_grain);
+  ]
+
+let capacity_model_names = List.map fst capacity_models
+let capacity_model_of_name name = List.assoc_opt name capacity_models
+
 type t = {
   freq_ghz : float; (* converts cycles to wall-clock ops/s *)
   cache_hit : int; (* access to a line warm in the local cache *)
@@ -15,8 +61,7 @@ type t = {
   abort_penalty : int; (* pipeline flush + restart *)
   sockets : int;
   cache_entries_log2 : int; (* per-thread warmth cache, direct-mapped *)
-  rs_capacity : int; (* max read-set lines before capacity abort *)
-  ws_capacity : int; (* max write-set lines (L1-bounded, 32KB/64B) *)
+  capacity : capacity_model; (* read/write-set limits + conflict granule *)
   spurious_per_million : int; (* interrupt/GC-like aborts per tx access *)
   txn_cycle_limit : int; (* timer-interrupt abort for long transactions *)
 }
@@ -34,8 +79,7 @@ let default =
     abort_penalty = 250;
     sockets = 2;
     cache_entries_log2 = 10;
-    rs_capacity = 4096;
-    ws_capacity = 512;
+    capacity = nominal;
     spurious_per_million = 5;
     txn_cycle_limit = 500_000;
   }
@@ -56,6 +100,12 @@ let unit_costs =
     spurious_per_million = 0;
     txn_cycle_limit = max_int;
   }
+
+let with_capacity t capacity = { t with capacity }
+
+(* Legacy accessors, kept so call sites read as before the promotion. *)
+let rs_capacity t = t.capacity.rs_lines
+let ws_capacity t = t.capacity.ws_lines
 
 let cycles_to_seconds t cycles = float_of_int cycles /. (t.freq_ghz *. 1e9)
 

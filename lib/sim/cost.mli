@@ -1,9 +1,11 @@
 (** Cycle-cost model of the simulated multicore.
 
     Calibrated loosely to the paper's two-socket Xeon E5-2650 testbed.  The
-    RTM capacity limits (write set bounded by the 32 KB L1, larger read set)
-    and the spurious-abort and transaction-duration limits model the quirks
-    of real Intel TSX.
+    RTM capacity limits live in a named {!capacity_model} (write set bounded
+    by the 32 KB L1, larger read set, per-line conflicts in the nominal
+    model) so the harness can sweep models and report which one produced a
+    number; the spurious-abort and transaction-duration limits model the
+    quirks of real Intel TSX.
 
     {b Complexity:} a plain immutable record; the machine memoizes every
     field it touches per access into its own struct at creation, so the
@@ -12,6 +14,38 @@
     {b Determinism:} costs are fixed integer cycle charges; the only
     stochastic knob, [spurious_per_million], draws from the machine's
     seeded PRNG, never from host state. *)
+
+type capacity_model = {
+  cm_name : string;
+  rs_lines : int;  (** max read-set lines before a [Capacity_read] abort *)
+  ws_lines : int;  (** max write-set lines before a [Capacity_write] abort *)
+  granule_log2 : int;
+      (** conflict/capacity tracking granule as a left-shift over 64-byte
+          lines: 0 = per-line (Intel RTM), 2 = 256-byte granules.
+          Coarsening affects conflict detection and set-size accounting
+          only — cycle charging and cache warmth stay per-line, so the
+          nominal [granule_log2 = 0] model is byte-identical to the
+          pre-promotion behaviour. *)
+}
+
+val nominal : capacity_model
+(** Intel TSX-like: rs 4096 / ws 512 lines, per-line conflicts. *)
+
+val limited_read_set : capacity_model
+(** The FORTH limited-HTM configuration: asymmetric, with a small (64-line)
+    dedicated read-set buffer, so read-heavy transactions abort on
+    [Capacity_read] long before the write set fills. *)
+
+val coarse_grain : capacity_model
+(** Nominal capacities at 256-byte conflict granules: false sharing
+    amplified 4x. *)
+
+val capacity_models : (string * capacity_model) list
+(** Every named preset, keyed by [cm_name]. *)
+
+val capacity_model_names : string list
+
+val capacity_model_of_name : string -> capacity_model option
 
 type t = {
   freq_ghz : float;
@@ -25,17 +59,24 @@ type t = {
   abort_penalty : int;
   sockets : int;
   cache_entries_log2 : int;
-  rs_capacity : int;
-  ws_capacity : int;
+  capacity : capacity_model;
   spurious_per_million : int;
   txn_cycle_limit : int;
 }
 
 val default : t
-(** Calibrated model used by all benchmarks. *)
+(** Calibrated model used by all benchmarks ({!nominal} capacity). *)
 
 val unit_costs : t
 (** Unit costs, no spurious aborts: for unit tests with predictable clocks. *)
+
+val with_capacity : t -> capacity_model -> t
+
+val rs_capacity : t -> int
+(** [t.capacity.rs_lines]. *)
+
+val ws_capacity : t -> int
+(** [t.capacity.ws_lines]. *)
 
 val cycles_to_seconds : t -> int -> float
 

@@ -27,6 +27,45 @@ module Al = Euno_mem.Alloc
 
 let n_user_counters = 16
 
+(* ---------- user-counter registration ----------
+
+   The user-counter index space is shared by every module that emits
+   telemetry through Api.count.  Owners declare their indices here at
+   module-initialization time; claiming an index another owner already
+   holds is a startup failure instead of two counters silently aliasing
+   in every report.  Host-side bookkeeping only — nothing simulated. *)
+
+let user_counter_registry : (int, string * string) Hashtbl.t =
+  Hashtbl.create n_user_counters
+
+let register_user_counters ~owner names =
+  List.iter
+    (fun (idx, name) ->
+      if idx < 0 || idx >= n_user_counters then
+        invalid_arg
+          (Printf.sprintf
+             "Machine.register_user_counters: %s registers index %d outside \
+              0..%d"
+             owner idx (n_user_counters - 1));
+      match Hashtbl.find_opt user_counter_registry idx with
+      | Some (owner', name') when owner' <> owner || name' <> name ->
+          invalid_arg
+            (Printf.sprintf
+               "Machine.register_user_counters: index %d (%s, claimed by %s) \
+                collides with %s's %s"
+               idx name owner owner' name')
+      | Some _ -> () (* identical re-registration is harmless *)
+      | None -> Hashtbl.replace user_counter_registry idx (owner, name))
+    names
+
+let user_counter_names () =
+  Hashtbl.fold (fun idx (_, name) acc -> (idx, name) :: acc)
+    user_counter_registry []
+  |> List.sort compare
+
+let user_counter_owner idx =
+  Option.map fst (Hashtbl.find_opt user_counter_registry idx)
+
 type counters = {
   mutable ops : int;
   mutable commits : int;
@@ -141,6 +180,7 @@ type t = {
   c_txn_limit : int;
   c_rs_cap : int;
   c_ws_cap : int;
+  c_gran : int; (* conflict-granule shift over line ids; 0 = per-line *)
   lt : Line_table.t;
   threads : tstate array;
   sched : Sched.t;
@@ -217,8 +257,9 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     c_abort = cost.Cost.abort_penalty;
     c_spur = cost.Cost.spurious_per_million;
     c_txn_limit = cost.Cost.txn_cycle_limit;
-    c_rs_cap = cost.Cost.rs_capacity;
-    c_ws_cap = cost.Cost.ws_capacity;
+    c_rs_cap = cost.Cost.capacity.Cost.rs_lines;
+    c_ws_cap = cost.Cost.capacity.Cost.ws_lines;
+    c_gran = cost.Cost.capacity.Cost.granule_log2;
     lt = Line_table.create ();
     threads = Array.init threads mk;
     sched = Sched.create ~capacity:threads;
@@ -311,6 +352,13 @@ let[@inline] ws_capacity m t =
     | Some (_, ws) -> ws
     | None -> m.c_ws_cap
 
+(* Conflict/capacity tracking granule of a line.  Everything entering the
+   Line_table or a transaction's read/write set is granule-numbered, so a
+   non-zero [granule_log2] makes adjacent lines collide (coarse conflict
+   detection) and fill capacity in granule units.  Cycle charging, cache
+   warmth and socket ownership stay per-line. *)
+let[@inline] granule m line = line lsr m.c_gran
+
 let[@inline] socket_of_line m line =
   if line < Array.length m.owner_socket then m.owner_socket.(line) else -1
 
@@ -397,12 +445,16 @@ let doom_holder m ~attacker ~victim_tid line =
        { attacker; victim = victim_tid; line; kind; clock = a.clock });
   abort_txn m v (Abort.Conflict cls)
 
+(* The table is granule-indexed; the attacker's concrete [line] is kept for
+   kind classification and the trace (with per-line granules the two
+   coincide, and with coarse granules the victim's exact line is unknown —
+   the access that triggered the doom is the honest thing to report). *)
 let[@inline] doom_writer_of m ~attacker line =
-  let w = Line_table.writer m.lt line in
+  let w = Line_table.writer m.lt (granule m line) in
   if w >= 0 && w <> attacker then doom_holder m ~attacker ~victim_tid:w line
 
 let[@inline] doom_readers_of m ~attacker line =
-  Line_table.iter_readers_except m.lt line attacker (fun r ->
+  Line_table.iter_readers_except m.lt (granule m line) attacker (fun r ->
       doom_holder m ~attacker ~victim_tid:r line)
 
 (* ---------- transactional hazards ---------- *)
@@ -445,14 +497,15 @@ let process_read m (t : tstate) addr =
         | Some v -> v
         | None ->
             doom_writer_of m ~attacker:t.tid line;
-            if not (Line_table.is_reader m.lt line t.tid) then begin
-              Txn.note_read txn line;
+            let g = granule m line in
+            if not (Line_table.is_reader m.lt g t.tid) then begin
+              Txn.note_read txn g;
               if Txn.reads txn > rs_capacity m t then begin
                 abort_txn m t Abort.Capacity_read;
                 0
               end
               else begin
-                Line_table.add_reader m.lt line t.tid;
+                Line_table.add_reader m.lt g t.tid;
                 Mem.get m.mem addr
               end
             end
@@ -478,24 +531,25 @@ let process_write m (t : tstate) addr value =
         if m.san_active then san m t (Sev.Txn_line_write line);
         doom_writer_of m ~attacker:t.tid line;
         doom_readers_of m ~attacker:t.tid line;
-        if Line_table.writer m.lt line <> t.tid then begin
-          Txn.note_write txn line;
+        let g = granule m line in
+        if Line_table.writer m.lt g <> t.tid then begin
+          Txn.note_write txn g;
           if Txn.written txn > ws_capacity m t then
             abort_txn m t Abort.Capacity_write
           else begin
-            Line_table.set_writer m.lt line t.tid;
+            Line_table.set_writer m.lt g t.tid;
             (* A written line is implicitly monitored for reads too. *)
-            if not (Line_table.is_reader m.lt line t.tid) then begin
-              Txn.note_read txn line;
-              Line_table.add_reader m.lt line t.tid
+            if not (Line_table.is_reader m.lt g t.tid) then begin
+              Txn.note_read txn g;
+              Line_table.add_reader m.lt g t.tid
             end;
             Txn.buffer_write txn addr value
           end
         end
         else begin
-          if not (Line_table.is_reader m.lt line t.tid) then begin
-            Txn.note_read txn line;
-            Line_table.add_reader m.lt line t.tid
+          if not (Line_table.is_reader m.lt g t.tid) then begin
+            Txn.note_read txn g;
+            Line_table.add_reader m.lt g t.tid
           end;
           Txn.buffer_write txn addr value
         end
@@ -531,34 +585,35 @@ let process_cas m (t : tstate) addr expected desired =
            if success then san m t (Sev.Txn_line_write line)
          end);
         doom_writer_of m ~attacker:t.tid line;
+        let g = granule m line in
         if success then begin
           doom_readers_of m ~attacker:t.tid line;
-          if Line_table.writer m.lt line <> t.tid then begin
-            Txn.note_write txn line;
+          if Line_table.writer m.lt g <> t.tid then begin
+            Txn.note_write txn g;
             if Txn.written txn > ws_capacity m t then
               abort_txn m t Abort.Capacity_write
             else begin
-              Line_table.set_writer m.lt line t.tid;
-              if not (Line_table.is_reader m.lt line t.tid) then begin
-                Txn.note_read txn line;
-                Line_table.add_reader m.lt line t.tid
+              Line_table.set_writer m.lt g t.tid;
+              if not (Line_table.is_reader m.lt g t.tid) then begin
+                Txn.note_read txn g;
+                Line_table.add_reader m.lt g t.tid
               end;
               Txn.buffer_write txn addr desired
             end
           end
           else begin
-            if not (Line_table.is_reader m.lt line t.tid) then begin
-              Txn.note_read txn line;
-              Line_table.add_reader m.lt line t.tid
+            if not (Line_table.is_reader m.lt g t.tid) then begin
+              Txn.note_read txn g;
+              Line_table.add_reader m.lt g t.tid
             end;
             Txn.buffer_write txn addr desired
           end
         end
-        else if not (Line_table.is_reader m.lt line t.tid) then begin
-          Txn.note_read txn line;
+        else if not (Line_table.is_reader m.lt g t.tid) then begin
+          Txn.note_read txn g;
           if Txn.reads txn > rs_capacity m t then
             abort_txn m t Abort.Capacity_read
-          else Line_table.add_reader m.lt line t.tid
+          else Line_table.add_reader m.lt g t.tid
         end
       end);
   (* Preemption while holding a lock: a successful non-transactional

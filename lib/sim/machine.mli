@@ -141,6 +141,21 @@ val elapsed : t -> int
 
 val n_user_counters : int
 
+val register_user_counters : owner:string -> (int * string) list -> unit
+(** Claim user-counter indices for [owner], naming each.  The registry is
+    host-side and process-global: modules that bump counters through
+    {!Api.count} register their indices at module-initialization time, and
+    a claim that collides with a different owner's (or renames an existing
+    index) raises [Invalid_argument] — two telemetry streams can no longer
+    silently alias one counter.  Re-registering an identical claim is a
+    no-op. *)
+
+val user_counter_names : unit -> (int * string) list
+(** Every registered [(index, name)], ascending by index. *)
+
+val user_counter_owner : int -> string option
+(** The owner that registered [idx], if any. *)
+
 (** Per-thread (or aggregated) statistics of a run. *)
 type snapshot = {
   s_ops : int;  (** benchmark operations completed (Op_done) *)

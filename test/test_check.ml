@@ -218,7 +218,7 @@ let test_policies_deterministic () =
    the violation deterministically (same core twice). *)
 let test_mutations_caught () =
   let outs = Check_run.hunt_mutations ~budget:64 ~seed:42 () in
-  check_int "both registered mutations hunted" 2 (List.length outs);
+  check_int "all registered mutations hunted" 3 (List.length outs);
   List.iter
     (fun o ->
       let c = o.Check_run.o_config in
@@ -258,10 +258,13 @@ let test_unmutated_sweep_clean () =
       match o.Check_run.o_violation with
       | None -> ()
       | Some v ->
-          Alcotest.failf "clean sweep violation on %s (%s/%s):\n%s\nrepro: %s"
+          Alcotest.failf
+            "clean sweep violation on %s (%s/%s, %s):\n%s\nrepro: %s"
             (Kv.kind_name o.Check_run.o_config.Check_run.tree)
             o.Check_run.o_config.Check_run.mix
             o.Check_run.o_config.Check_run.dist
+            (Euno_htm.Htm.strategy_name
+               o.Check_run.o_config.Check_run.strategy)
             (History.to_string v.Check_run.v_core)
             v.Check_run.v_repro)
     outs

@@ -221,7 +221,13 @@ let test_txn_buffer_growth () =
 (* ---------- Perf_gate ---------- *)
 
 let probe name metric value =
-  { Gate.p_name = name; p_metric = metric; p_value = value }
+  {
+    Gate.p_name = name;
+    p_strategy = "elision";
+    p_capacity_model = "nominal";
+    p_metric = metric;
+    p_value = value;
+  }
 
 let test_gate_directions () =
   let baseline =

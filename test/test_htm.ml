@@ -391,6 +391,405 @@ let test_starvation_and_convoy_detected () =
   check_bool "convoy detected" true
     (s.Machine.s_user.(Htm.Counter.convoy_events) > 0)
 
+(* ---------- retry-budget bookkeeping (satellite: spend coverage) ---------- *)
+
+(* Every Abort.code constructor must map to exactly one bucket, and an
+   exhausted bucket must refuse (that refusal is what routes the operation
+   to the fallback).  Distinct budget values catch a constructor charged
+   to the wrong bucket. *)
+let test_spend_covers_every_abort_code () =
+  let b () =
+    Htm.budgets_of
+      {
+        Htm.default_policy with
+        Htm.conflict_retries = 1;
+        capacity_retries = 2;
+        lock_busy_retries = 3;
+        other_retries = 4;
+      }
+  in
+  let snapshot b = (b.Htm.conflict, b.Htm.capacity, b.Htm.lock_busy, b.Htm.other) in
+  let charge label code expect =
+    let budgets = b () in
+    check_bool (label ^ " spends") true (Htm.spend budgets code);
+    check_bool (label ^ " charges the right bucket") true
+      (snapshot budgets = expect)
+  in
+  charge "true conflict" (Abort.Conflict Abort.True_conflict) (0, 2, 3, 4);
+  charge "false-record conflict" (Abort.Conflict Abort.False_record) (0, 2, 3, 4);
+  charge "false-metadata conflict"
+    (Abort.Conflict Abort.False_metadata)
+    (0, 2, 3, 4);
+  charge "subscription conflict" (Abort.Conflict Abort.Subscription) (0, 2, 3, 4);
+  charge "capacity read" Abort.Capacity_read (1, 1, 3, 4);
+  charge "capacity write" Abort.Capacity_write (1, 1, 3, 4);
+  charge "explicit lock-held"
+    (Abort.Explicit Abort.xabort_lock_held)
+    (1, 2, 2, 4);
+  charge "explicit fallback-active"
+    (Abort.Explicit Abort.xabort_fallback_active)
+    (1, 2, 2, 4);
+  charge "spurious" Abort.Spurious (1, 2, 3, 3);
+  charge "timer" Abort.Timer (1, 2, 3, 3);
+  charge "alloc fault" Abort.Alloc_fault (1, 2, 3, 3);
+  (* Exhaustion: the bucket refuses without touching its neighbours. *)
+  let budgets = b () in
+  check_bool "conflict 1 spends" true
+    (Htm.spend budgets (Abort.Conflict Abort.True_conflict));
+  check_bool "conflict 2 refuses" false
+    (Htm.spend budgets (Abort.Conflict Abort.Subscription));
+  check_bool "neighbours untouched" true (snapshot budgets = (0, 2, 3, 4));
+  check_int "total sums the buckets" 9 (Htm.budgets_total budgets)
+
+(* Property (satellite): however the aborts fall, one [atomic] call makes
+   at most [1 + budgets_total] transactional attempts when no polite
+   queueing is in play — every failed attempt but the last spends a
+   bucket, and the last failure takes the fallback (which runs [f]
+   non-transactionally and is not an attempt).  Exercised under both
+   strategies with conflicts (two threads on one hot word), explicit
+   aborts (coin-flip xabort) and injected spurious faults all mixed in. *)
+let test_attempts_bounded_by_budgets =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"one atomic call never exceeds 1 + its summed budgets"
+       QCheck.(
+         pair (pair bool (int_bound 1000))
+           (quad (int_bound 3) (int_bound 3) (int_bound 3) (int_bound 3)))
+       (fun ((three_path, seed), (conflict, capacity, lock_busy, other)) ->
+         let policy =
+           {
+             Htm.default_policy with
+             Htm.strategy = (if three_path then Htm.Three_path else Htm.Elision);
+             conflict_retries = conflict;
+             capacity_retries = capacity;
+             lock_busy_retries = lock_busy;
+             other_retries = other;
+             wait_for_lock = false;
+           }
+         in
+         let limit = 1 + conflict + capacity + lock_busy + other in
+         let w = fresh_world () in
+         let hot = scratch w ~words:8 in
+         let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+         let cost = { Cost.default with Cost.spurious_per_million = 10_000 } in
+         let worst = ref 0 in
+         let (_ : Machine.t) =
+           run_threads ~threads:2 ~cost ~seed w (fun _ ->
+               for _ = 1 to 5 do
+                 let attempts = ref 0 in
+                 Htm.atomic ~policy ~lock (fun () ->
+                     if Api.xtest () then begin
+                       incr attempts;
+                       Api.work 40;
+                       if Api.rand 3 = 0 then Api.xabort 5
+                     end;
+                     Api.write hot (Api.read hot + 1));
+                 worst := max !worst !attempts
+               done)
+         in
+         if !worst > limit then
+           QCheck.Test.fail_reportf "%d attempts against a budget for %d"
+             !worst limit;
+         true))
+
+(* ---------- starvation-slot accounting on abandoned fallbacks ----------
+   (the bugfix this PR sweeps for: exception exits used to leave the
+   consecutive-fallback count inflated) *)
+
+(* A fallback abandoned by a user exception was never served, so it must
+   not advance the thread's consecutive-fallback score: the slot is only
+   otherwise reset by a fast-path win, and a chaos run that defeats a few
+   operations would leave the thread escalating starvation backoff for
+   the rest of its life. *)
+let test_abandoned_fallback_not_counted_starving () =
+  List.iter
+    (fun strategy ->
+      let w = fresh_world () in
+      let policy =
+        {
+          Htm.default_policy with
+          Htm.strategy;
+          conflict_retries = 0;
+          capacity_retries = 0;
+          lock_busy_retries = 0;
+          other_retries = 0;
+          fast_path_attempts = 1;
+        }
+      in
+      let slot_after = ref (-1) in
+      run_one w (fun () ->
+          let lock = Htm.alloc_lock ~policy () in
+          let slot = lock.Htm.aux + 1 + Api.tid () in
+          (match
+             Htm.atomic ~policy ~lock (fun () ->
+                 if Api.xtest () then Api.xabort 3 else raise Boom)
+           with
+          | () -> Alcotest.fail "exception swallowed"
+          | exception Boom -> ());
+          slot_after := Api.untracked_read slot);
+      check_int
+        (Htm.strategy_name strategy ^ ": abandoned fallback left no score")
+        0 !slot_after)
+    Htm.all_strategies
+
+(* Same accounting on the Stuck_fallback path: a leaked lock defeats the
+   operation, and the defeat must give the fallback entry back. *)
+let test_stuck_fallback_returns_starvation_entry () =
+  let w = fresh_world () in
+  let policy =
+    {
+      Htm.default_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      stuck_limit = 20_000;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ()) in
+  let slot_after = ref (-1) in
+  let depth_after = ref (-1) in
+  let (_ : Machine.t) =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then
+          (* leak the lock: acquire and never release *)
+          Spinlock.acquire (Htm.lock_word lock)
+        else begin
+          Api.work 100;
+          (match Htm.atomic ~policy ~lock (fun () -> Api.xabort 3) with
+          | () -> Alcotest.fail "leaked lock did not defeat the op"
+          | exception Htm.Stuck_fallback _ -> ());
+          slot_after := Api.untracked_read (lock.Htm.aux + 1 + Api.tid ());
+          depth_after := Api.untracked_read lock.Htm.aux
+        end)
+  in
+  check_int "no starvation score from the defeated fallback" 0 !slot_after;
+  check_int "fallback depth restored" 0 !depth_after
+
+(* ---------- the 3-path strategy ---------- *)
+
+let test_three_path_fast_commit () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock =
+    run_one w (fun () -> Htm.alloc_lock ~policy:Htm.three_path_policy ())
+  in
+  let m =
+    run_threads ~threads:1 w (fun _ ->
+        Htm.atomic ~policy:Htm.three_path_policy ~lock (fun () ->
+            Api.write a 5))
+  in
+  check_int "committed" 5 (Euno_mem.Memory.get w.mem a);
+  let s = Machine.aggregate m in
+  check_int "won on the unsubscribed fast path" 1
+    s.Machine.s_user.(Htm.Counter.fast_path_wins);
+  check_int "never reached the middle path" 0
+    s.Machine.s_user.(Htm.Counter.middle_path_wins);
+  check_int "never fell back" 0 s.Machine.s_user.(Htm.Counter.fallbacks)
+
+let test_three_path_requires_sidecar () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let lock = Htm.alloc_lock () (* elision lock: no sidecar *) in
+      match
+        Htm.atomic ~policy:Htm.three_path_policy ~lock (fun () -> ())
+      with
+      | () -> Alcotest.fail "ran without the protocol sidecar"
+      | exception Invalid_argument _ -> ())
+
+(* The middle path is the elision subscription discipline re-aimed at the
+   activity counter: explicit abort while a fallback is announced, clean
+   commit once it is not. *)
+let test_middle_path_subscribes_to_activity () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  run_one w (fun () ->
+      let lock = Htm.alloc_lock ~policy:Htm.three_path_policy () in
+      ignore (Api.faa lock.Htm.tp 1);
+      (match Htm.attempt_middle ~lock (fun () -> Api.write a 9) with
+      | Error (Abort.Explicit code) ->
+          check_int "fallback-active imm8" Abort.xabort_fallback_active code
+      | Error c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
+      | Ok () -> Alcotest.fail "entered despite announced fallback");
+      check_int "aborted attempt left nothing" 0 (Api.untracked_read a);
+      ignore (Api.faa lock.Htm.tp (-1));
+      match Htm.attempt_middle ~lock (fun () -> Api.write a 9) with
+      | Ok () -> check_int "clean commit once quiet" 9 (Api.untracked_read a)
+      | Error c -> Alcotest.failf "aborted while quiet: %s" (Abort.to_string c))
+
+(* An announced fallback must keep the unsubscribed fast path out: the
+   peek sees A > 0, the operation drops through the middle path (doomed
+   explicitly) and serializes via its own fallback, never committing a
+   fast-path transaction during the announcement. *)
+let test_three_path_fast_defers_to_announced_fallback () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let policy =
+    {
+      Htm.three_path_policy with
+      Htm.lock_busy_retries = 1;
+      wait_for_lock = false;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let m =
+    run_threads ~threads:1 w (fun _ ->
+        ignore (Api.faa lock.Htm.tp 1) (* a fallback is (forever) announced *);
+        Htm.atomic ~policy ~lock (fun () -> Api.write a 7))
+  in
+  check_int "completed via its own fallback" 7 (Euno_mem.Memory.get w.mem a);
+  let s = Machine.aggregate m in
+  check_int "fast path never won" 0 s.Machine.s_user.(Htm.Counter.fast_path_wins);
+  check_int "middle path never won" 0
+    s.Machine.s_user.(Htm.Counter.middle_path_wins);
+  check_int "one fallback" 1 s.Machine.s_user.(Htm.Counter.fallbacks)
+
+(* The grace period: a fallback entrant must wait out an in-flight
+   fast-path attempt (its flag is up) before entering the critical
+   section.  Thread 0 holds its flag up for a while; thread 1's zero-budget
+   operation falls back and must spend those cycles in the grace wait. *)
+let test_three_path_grace_waits_out_fast_flags () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let policy =
+    {
+      Htm.three_path_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      fast_path_attempts = 0;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let flag0 = Htm.tp_flag lock 0 in
+  let m =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then begin
+          (* a fast-path attempt in flight, by hand *)
+          Api.untracked_write flag0 1;
+          Api.work 10_000;
+          Api.untracked_write flag0 0
+        end
+        else begin
+          Api.work 500;
+          Htm.atomic ~policy ~lock (fun () ->
+              if Api.xtest () then Api.xabort 3 else Api.write a 7)
+        end)
+  in
+  check_int "completed after the grace period" 7 (Euno_mem.Memory.get w.mem a);
+  let s = Machine.aggregate m in
+  check_bool "grace wait spent real cycles" true
+    (s.Machine.s_user.(Htm.Counter.grace_wait_cycles) > 2_000)
+
+(* A fast flag that never comes down is a stuck protocol, not a wait:
+   the grace period is bounded by stuck_limit and the defeat restores the
+   activity counter (a later operation must find A = 0 and use the fast
+   path). *)
+let test_three_path_stuck_grace_raises_and_restores () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let policy =
+    {
+      Htm.three_path_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      fast_path_attempts = 0;
+      stuck_limit = 15_000;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let stuck = ref false in
+  let m =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then
+          (* leak a fast flag: the attempt never finishes *)
+          Api.untracked_write (Htm.tp_flag lock 0) 1
+        else begin
+          Api.work 100;
+          (match
+             Htm.atomic ~policy ~lock (fun () ->
+                 if Api.xtest () then Api.xabort 3 else Api.write a 1)
+           with
+          | () -> Alcotest.fail "stuck grace period did not raise"
+          | exception Htm.Stuck_fallback { waited; _ } ->
+              stuck := true;
+              check_bool "waited at least the stuck limit" true
+                (waited >= 15_000));
+          check_int "activity restored after the defeat" 0
+            (Api.untracked_read lock.Htm.tp);
+          (* With the activity counter restored the fast path is live
+             again — a later operation commits transactionally without
+             ever consulting the dead thread's flag. *)
+          Htm.atomic ~policy:Htm.three_path_policy ~lock (fun () ->
+              Api.write a 7)
+        end)
+  in
+  check_bool "Stuck_fallback raised" true !stuck;
+  check_int "later operation completed" 7 (Euno_mem.Memory.get w.mem a);
+  ignore m
+
+(* Contended correctness: with no conflict budget every loser is forced
+   through the middle path and the software fallback, so all three paths
+   interleave — and no update may be lost. *)
+let test_three_path_contended_correctness () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let policy =
+    { Htm.three_path_policy with Htm.conflict_retries = 0 }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let threads = 8 and iters = 40 in
+  let m =
+    run_threads ~threads ~cost:Cost.default ~seed:9 w (fun _ ->
+        for _ = 1 to iters do
+          Htm.atomic ~policy ~lock (fun () ->
+              Api.write counter (Api.read counter + 1));
+          Api.op_done ()
+        done)
+  in
+  check_int "no lost updates across the three paths"
+    (threads * iters)
+    (Euno_mem.Memory.get w.mem counter);
+  let s = Machine.aggregate m in
+  let fast = s.Machine.s_user.(Htm.Counter.fast_path_wins) in
+  let middle = s.Machine.s_user.(Htm.Counter.middle_path_wins) in
+  let fb = s.Machine.s_user.(Htm.Counter.fallbacks) in
+  check_bool "fast path used" true (fast > 0);
+  check_bool "fallback used" true (fb > 0);
+  check_int "every op won on exactly one path"
+    (threads * iters)
+    (fast + middle + fb);
+  check_int "no fallback left announced" 0
+    (Euno_mem.Memory.get w.mem lock.Htm.tp)
+
+(* ---------- user-counter registry (satellite: no silent aliasing) ---------- *)
+
+let test_counter_registry_rejects_collisions () =
+  (* Claiming an index another module owns is a startup failure... *)
+  (match
+     Machine.register_user_counters ~owner:"test-intruder"
+       [ (Htm.Counter.fallbacks, "my_shiny_counter") ]
+   with
+  | () -> Alcotest.fail "cross-owner collision accepted"
+  | exception Invalid_argument _ -> ());
+  (* ...as is reusing an owned index under a different label... *)
+  (match
+     Machine.register_user_counters ~owner:"htm"
+       [ (Htm.Counter.fallbacks, "renamed") ]
+   with
+  | () -> Alcotest.fail "same-owner relabel accepted"
+  | exception Invalid_argument _ -> ());
+  (* ...while identical re-registration (module re-init) is harmless. *)
+  Machine.register_user_counters ~owner:"htm" Htm.Counter.names;
+  (* Out-of-range indices are rejected outright. *)
+  (match Machine.register_user_counters ~owner:"oob" [ (999, "nope") ] with
+  | () -> Alcotest.fail "out-of-range index accepted"
+  | exception Invalid_argument _ -> ());
+  check_bool "htm owns its indices" true
+    (Machine.user_counter_owner Htm.Counter.fallbacks = Some "htm");
+  check_bool "labels resolve" true
+    (List.mem_assoc Htm.Counter.grace_wait_cycles (Machine.user_counter_names ()))
+
 let suite =
   [
     Alcotest.test_case "correct under spurious aborts" `Quick
@@ -420,4 +819,27 @@ let suite =
     Alcotest.test_case "stuck fallback raises" `Quick test_stuck_fallback_raises;
     Alcotest.test_case "starvation and convoy detected" `Quick
       test_starvation_and_convoy_detected;
+    Alcotest.test_case "spend covers every abort code" `Quick
+      test_spend_covers_every_abort_code;
+    test_attempts_bounded_by_budgets;
+    Alcotest.test_case "abandoned fallback not counted starving" `Quick
+      test_abandoned_fallback_not_counted_starving;
+    Alcotest.test_case "stuck fallback returns starvation entry" `Quick
+      test_stuck_fallback_returns_starvation_entry;
+    Alcotest.test_case "three-path: fast-path commit" `Quick
+      test_three_path_fast_commit;
+    Alcotest.test_case "three-path: requires sidecar" `Quick
+      test_three_path_requires_sidecar;
+    Alcotest.test_case "three-path: middle path subscribes to activity" `Quick
+      test_middle_path_subscribes_to_activity;
+    Alcotest.test_case "three-path: fast defers to announced fallback" `Quick
+      test_three_path_fast_defers_to_announced_fallback;
+    Alcotest.test_case "three-path: grace waits out fast flags" `Quick
+      test_three_path_grace_waits_out_fast_flags;
+    Alcotest.test_case "three-path: stuck grace raises and restores" `Quick
+      test_three_path_stuck_grace_raises_and_restores;
+    Alcotest.test_case "three-path: contended correctness" `Quick
+      test_three_path_contended_correctness;
+    Alcotest.test_case "counter registry rejects collisions" `Quick
+      test_counter_registry_rejects_collisions;
   ]

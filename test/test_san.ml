@@ -193,6 +193,29 @@ let test_atomicity_violation () =
   feed c 1 3 (Sev.Unsafe_write addr);
   check_bool "untracked write into live txn footprint flagged" true
     (has San.Atomicity (San.finish c));
+  (* untracked write into a live *read* set is flagged too: it is the
+     update the transaction will never observe *)
+  let c = San.create () in
+  feed c 0 1 Sev.Txn_begin;
+  feed c 0 2 (Sev.Txn_line_read line);
+  feed c 1 3 (Sev.Unsafe_write addr);
+  check_bool "untracked write into live read set flagged" true
+    (has San.Atomicity (San.finish c));
+  (* untracked read of a live write set can observe a line mid-rewrite *)
+  let c = San.create () in
+  feed c 0 1 Sev.Txn_begin;
+  feed c 0 2 (Sev.Txn_line_write line);
+  feed c 1 3 (Sev.Unsafe_read addr);
+  check_bool "untracked read of live write set flagged" true
+    (has San.Atomicity (San.finish c));
+  (* ...but an untracked read against a line other transactions merely
+     *read* is benign: that is the 3-path fast path's unsubscribed peek
+     of the fallback-activity counter, correct by protocol design *)
+  let c = San.create () in
+  feed c 0 1 Sev.Txn_begin;
+  feed c 0 2 (Sev.Txn_line_read line);
+  feed c 1 3 (Sev.Unsafe_read addr);
+  check_clean "untracked read vs read set is benign" (San.finish c);
   (* after the commit the footprint is retired *)
   let c = San.create () in
   feed c 0 1 Sev.Txn_begin;
@@ -399,7 +422,8 @@ let test_san_record_validates () =
   let s = San.finish c in
   let j =
     Report.san_to_json ~experiment:"san" ~run:0 ~tree:"Euno-B+Tree"
-      ~workload:"zipf-0.80" ~threads:4 ~seed:42 s
+      ~workload:"zipf-0.80" ~strategy:"elision" ~capacity_model:"nominal"
+      ~threads:4 ~seed:42 s
   in
   (match Report.validate_record j with
   | Ok () -> ()

@@ -207,7 +207,12 @@ let test_no_conflict_across_lines () =
 
 let test_capacity_write_abort () =
   let w = fresh_world () in
-  let cost = { Cost.unit_costs with Cost.ws_capacity = 4 } in
+  let cost =
+    {
+      Cost.unit_costs with
+      Cost.capacity = { Cost.unit_costs.Cost.capacity with Cost.ws_lines = 4 };
+    }
+  in
   let a = scratch w ~words:(8 * 16) in
   let code =
     run_one ~cost w (fun () ->
@@ -229,7 +234,12 @@ let test_capacity_write_abort () =
 
 let test_capacity_read_abort () =
   let w = fresh_world () in
-  let cost = { Cost.unit_costs with Cost.rs_capacity = 4 } in
+  let cost =
+    {
+      Cost.unit_costs with
+      Cost.capacity = { Cost.unit_costs.Cost.capacity with Cost.rs_lines = 4 };
+    }
+  in
   let a = scratch w ~words:(8 * 16) in
   let code =
     run_one ~cost w (fun () ->
@@ -247,6 +257,93 @@ let test_capacity_read_abort () =
   | Some Abort.Capacity_read -> ()
   | Some c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
   | None -> Alcotest.fail "no capacity abort"
+
+(* Conflict granularity: under the coarse-grain capacity model (256-byte
+   granules) two *different* lines inside one granule conflict — the
+   amplified false sharing the model exists to simulate — while per-line
+   tracking (granule_log2 = 0) keeps the same pair independent. *)
+let test_conflict_granularity () =
+  let run_pair cost =
+    let w = fresh_world () in
+    let block = scratch w ~words:64 (* 8 consecutive lines *) in
+    let l0 = block / 8 in
+    (* pick two distinct lines that share one 4-line granule *)
+    let i = match l0 mod 4 with 3 -> 1 | _ -> 0 in
+    let rd = block + (8 * i) and wr = block + (8 * (i + 1)) in
+    let flag = scratch w ~words:8 in
+    let aborted = ref false in
+    let (_ : Machine.t) =
+      run_threads ~threads:2 ~cost w (fun tid ->
+          if tid = 0 then
+            match
+              Api.xbegin ();
+              let (_ : int) = Api.read rd in
+              let rec wait n =
+                if n > 0 && Api.untracked_read flag = 0 then begin
+                  Api.work 10;
+                  wait (n - 1)
+                end
+              in
+              wait 10_000;
+              Api.xend ()
+            with
+            | () -> ()
+            | exception Eff.Txn_abort _ -> aborted := true
+          else begin
+            Api.work 200;
+            Api.write wr 1;
+            Api.untracked_write flag 1
+          end)
+    in
+    !aborted
+  in
+  let coarse = { Cost.unit_costs with Cost.capacity = Cost.coarse_grain } in
+  check_bool "adjacent lines collide inside a 256-byte granule" true
+    (run_pair coarse);
+  check_bool "same pair independent under per-line granules" false
+    (run_pair Cost.unit_costs)
+
+(* Capacity is accounted in granule units too: 16 consecutive lines blow
+   a 5-entry write set per-line, but fit it when four lines fold into
+   each tracked granule. *)
+let test_capacity_counts_granules () =
+  let attempt cost w a =
+    run_one ~cost w (fun () ->
+        match
+          Api.xbegin ();
+          for i = 0 to 15 do
+            Api.write (a + (i * 8)) i
+          done;
+          Api.xend ()
+        with
+        | () -> None
+        | exception Eff.Txn_abort c -> Some c)
+  in
+  let cap granule_log2 =
+    {
+      Cost.unit_costs with
+      Cost.capacity =
+        {
+          Cost.unit_costs.Cost.capacity with
+          Cost.ws_lines = 5;
+          granule_log2;
+        };
+    }
+  in
+  let w = fresh_world () in
+  let a = scratch w ~words:(8 * 16) in
+  (match attempt (cap 0) w a with
+  | Some Abort.Capacity_write -> ()
+  | Some c -> Alcotest.failf "wrong code %s" (Abort.to_string c)
+  | None -> Alcotest.fail "16 lines must blow a 5-line write set");
+  let w2 = fresh_world () in
+  let a2 = scratch w2 ~words:(8 * 16) in
+  match attempt (cap 2) w2 a2 with
+  | None ->
+      check_int "all 16 lines committed" 15
+        (Memory.get w2.mem (a2 + (15 * 8)))
+  | Some c ->
+      Alcotest.failf "coarse granules still aborted: %s" (Abort.to_string c)
 
 (* N threads, K transactional increments each, via the Htm.atomic wrapper:
    no lost updates whatever interleaving happens. *)
@@ -764,6 +861,9 @@ let suite =
       test_capacity_write_abort;
     Alcotest.test_case "capacity abort (read set)" `Quick
       test_capacity_read_abort;
+    Alcotest.test_case "conflict granularity" `Quick test_conflict_granularity;
+    Alcotest.test_case "capacity counts granules" `Quick
+      test_capacity_counts_granules;
     Alcotest.test_case "atomic counter, 8 threads" `Quick test_atomic_counter;
     Alcotest.test_case "bank transfer conservation" `Quick
       test_bank_transfer_conservation;
