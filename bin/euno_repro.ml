@@ -14,10 +14,13 @@ module Htm = Euno_htm.Htm
 module Cost = Euno_sim.Cost
 
 let experiment =
-  (* "chaos", "san" and "check" are not figures: the fault-injection
-     campaign, the sanitizer sweep and the linearizability-checking
-     campaign are handled by their own drivers below. *)
-  let names = List.map fst Figures.by_name @ [ "chaos"; "san"; "check" ] in
+  (* "chaos", "san", "check" and "crash" are not figures: the
+     fault-injection campaign, the sanitizer sweep, the
+     linearizability-checking campaign and the crash-recovery campaign
+     are handled by their own drivers below. *)
+  let names =
+    List.map fst Figures.by_name @ [ "chaos"; "san"; "check"; "crash" ]
+  in
   let doc =
     Printf.sprintf "Experiment to run: one of %s." (String.concat ", " names)
   in
@@ -114,6 +117,69 @@ let capacity =
   in
   Arg.(value & opt (some cap_conv) None & info [ "capacity" ] ~docv:"MODEL" ~doc)
 
+let mutations =
+  Arg.(
+    value & flag
+    & info [ "mutations" ]
+        ~doc:
+          "For $(b,crash): validate the recovery checker against the three \
+           seeded recovery mutants instead of running the tree campaign.  \
+           Non-zero exit unless every mutant is caught with the expected \
+           finding kind and the unmutated system is clean on the same cell.")
+
+(* Crash-recovery campaign: for each tree, calibrate a fault-free
+   horizon, kill the machine mid-run, then restore the latest
+   epoch-consistent snapshot, replay the durable log suffix and re-run
+   the lost suffix; the recovery checker validates the result.
+   Deterministic per (plan, seed).  Non-zero exit on any finding. *)
+let run_crash quick keys_log2 ops max_threads seed json mutations =
+  let module Dura_run = Euno_harness.Dura_run in
+  if mutations then begin
+    print_endline
+      "Recovery-mutation validation: skip-fallback-log, skip-lock-reset, \
+       snapshot-while-pinned";
+    let outs = Dura_run.run_mutants ~base_seed:seed () in
+    Dura_run.print_mutants outs;
+    if
+      not
+        (List.for_all
+           (fun o -> o.Dura_run.m_caught && o.Dura_run.m_clean_on_fixed)
+           outs)
+    then exit 1
+  end
+  else begin
+    let base =
+      if quick then Dura_run.quick_config else Dura_run.default_config
+    in
+    let cfg =
+      {
+        base with
+        Dura_run.seed;
+        key_space =
+          (match keys_log2 with
+          | Some k -> 1 lsl k
+          | None -> base.Dura_run.key_space);
+        ops_per_thread =
+          Option.value ops ~default:base.Dura_run.ops_per_thread;
+        threads =
+          min 20 (Option.value max_threads ~default:base.Dura_run.threads);
+      }
+    in
+    print_endline
+      "Crash campaign: epoch-consistent snapshots + committed-op log; power \
+       failure mid-run, then restore / replay / re-run and check";
+    let cells = Dura_run.run_all cfg in
+    Dura_run.print_cells cells;
+    (match json with
+    | Some path ->
+        Report.write_file path
+          (Report.document ~experiment:"crash"
+             (List.map (Dura_run.cell_to_json ~experiment:"crash") cells));
+        Printf.printf "wrote %s\n%!" path
+    | None -> ());
+    if List.exists (fun c -> c.Dura_run.d_findings <> []) cells then exit 1
+  end
+
 (* Fault-injection campaign over the four trees: calibrate, inject,
    validate, report phase throughputs and recovery time.  Deterministic
    for a fixed seed, so two runs of the same command produce identical
@@ -194,10 +260,12 @@ let run_check quick seed json strategy =
   if not (Check_run.clean outs) then exit 1
 
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
-    snapshots window strategy capacity =
+    snapshots window strategy capacity mutations =
   if name = "san" then run_san quick seed json strategy capacity
   else if name = "check" then run_check quick seed json strategy
   else if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
+  else if name = "crash" then
+    run_crash quick keys_log2 ops max_threads seed json mutations
   else begin
   (match csv with
   | Some dir ->
@@ -254,6 +322,7 @@ let cmd =
     (Cmd.info "euno_repro" ~version:"1.0.0" ~doc)
     Term.(
       const run_experiment $ experiment $ quick $ keys_log2 $ ops $ max_threads
-      $ seed $ charts $ csv $ json $ snapshots $ window $ strategy $ capacity)
+      $ seed $ charts $ csv $ json $ snapshots $ window $ strategy $ capacity
+      $ mutations)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,57 @@
+(* EunoDura: epoch-consistent snapshots for crash recovery.
+
+   A snapshot is a consistent tree image taken at a quiescent point —
+   when the global epoch advances with (almost) no slot pinned, no
+   operation is mid-flight, so a plain tree scan observes a prefix-closed
+   state.  The driver wires [Epoch.set_advance_hook] to a capture
+   function gated on the pinned count and a cadence knob; the snapshot
+   stamp records the epoch, the log position (so replay knows where to
+   resume) and the simulated clock.
+
+   Host-side pure bookkeeping: the scan cost is charged by the driver in
+   simulated cycles through the machine, not here. *)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_lsn : int; (* log position the image is consistent with *)
+  snap_clock : int;
+  snap_image : (int * int) array; (* ascending keys *)
+}
+
+type store = {
+  mutable latest : snapshot;
+  mutable taken : int; (* snapshots after the initial one *)
+}
+
+let store_create ~initial = { latest = initial; taken = 0 }
+
+let record store snap =
+  store.latest <- snap;
+  store.taken <- store.taken + 1
+
+let latest store = store.latest
+let taken store = store.taken
+
+(* Seeded recovery bugs for mutation-validating the checker.  Each ref
+   flips one guard in the driver; the recovery checker must flag the
+   resulting corruption with the right finding kind, and stay clean when
+   the refs are off.  Not reachable from any production path. *)
+module Testonly = struct
+  let skip_fallback_log = ref false
+  (* drop the log append when an op committed via the fallback path:
+     the orphaned op survives in tree state (and snapshots) but never
+     reaches the durable log → Lost_ack after a crash that discards it *)
+
+  let skip_lock_reset = ref false
+  (* skip the recovery sweep that zeroes abandoned Lock lines: replay
+     wedges on a lock whose holder died → Ineffective_recovery *)
+
+  let snapshot_while_pinned = ref false
+  (* ignore the quiescence gate on the snapshot hook: the scan can
+     interleave with in-flight mutations → torn image → Phantom *)
+
+  let reset () =
+    skip_fallback_log := false;
+    skip_lock_reset := false;
+    snapshot_while_pinned := false
+end

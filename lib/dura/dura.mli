@@ -1,0 +1,46 @@
+(** EunoDura: epoch-consistent snapshots for crash recovery.
+
+    A snapshot is a consistent tree image captured at a quiescent epoch
+    advance (no slot pinned ⇒ no operation mid-flight); its stamp ties
+    the image to a log position so replay knows where to resume.  The
+    driver in [Euno_harness.Dura_run] owns the capture hook and charges
+    the scan cost in simulated cycles; this module is pure bookkeeping.
+
+    {b Determinism:} snapshot contents are a function of the capture
+    points, which are a function of the schedule — deterministic per
+    (plan, seed). *)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_lsn : int;  (** log position the image is consistent with *)
+  snap_clock : int;
+  snap_image : (int * int) array;  (** ascending keys *)
+}
+
+type store
+
+val store_create : initial:snapshot -> store
+(** Seed the store with the post-preload image (lsn 0) so recovery always
+    has a base to restore from. *)
+
+val record : store -> snapshot -> unit
+val latest : store -> snapshot
+val taken : store -> int
+(** Snapshots recorded after the initial one. *)
+
+(** Seeded recovery bugs for mutation-validating the checker — see
+    EXPERIMENTS.md §"Crash campaign".  Off by default; never reachable
+    from a production path. *)
+module Testonly : sig
+  val skip_fallback_log : bool ref
+  (** Drop the log append for fallback-path commits → [Lost_ack]. *)
+
+  val skip_lock_reset : bool ref
+  (** Skip the abandoned-lock sweep on restart → [Ineffective_recovery]. *)
+
+  val snapshot_while_pinned : bool ref
+  (** Ignore the quiescence gate on the snapshot hook → torn image →
+      [Phantom]. *)
+
+  val reset : unit -> unit
+end

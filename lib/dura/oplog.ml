@@ -1,0 +1,78 @@
+(* Committed-op log: the write-ahead record of acknowledged mutations.
+
+   Host-side pure bookkeeping — the log itself costs nothing in simulated
+   cycles; the driver charges append/flush costs through Api.work so the
+   durability tax shows up in latency.  Entries are appended in ack order
+   and stamped with the simulated clock, so the log is a deterministic
+   function of the run.
+
+   Durability model: an entry is volatile (buffered) until a group flush
+   covers it.  A flush happens when the unflushed batch reaches
+   [group_size] entries or the oldest unflushed entry has been buffered
+   for more than [fsync_horizon] simulated cycles — so a crash loses at
+   most [group_size - 1] entries, none older than the horizon. *)
+
+type op =
+  | Put of { key : int; value : int }
+  | Delete of { key : int }
+
+type entry = { lsn : int; tid : int; clock : int; op : op }
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable n : int; (* highest lsn appended; lsns are 1-based *)
+  mutable flushed : int; (* highest durable lsn; 0 = nothing flushed *)
+  mutable oldest_unflushed_clock : int; (* min_int = no unflushed entry *)
+  mutable flushes : int;
+  group_size : int;
+  fsync_horizon : int;
+}
+
+let create ~group_size ~fsync_horizon () =
+  if group_size < 1 then invalid_arg "Oplog.create: group_size < 1";
+  if fsync_horizon < 0 then invalid_arg "Oplog.create: negative fsync_horizon";
+  {
+    entries = [];
+    n = 0;
+    flushed = 0;
+    oldest_unflushed_clock = min_int;
+    flushes = 0;
+    group_size;
+    fsync_horizon;
+  }
+
+let length t = t.n
+let flushed_lsn t = t.flushed
+let flush_count t = t.flushes
+let unflushed t = t.n - t.flushed
+
+let flush t =
+  let made_durable = t.n - t.flushed in
+  if made_durable > 0 then begin
+    t.flushed <- t.n;
+    t.oldest_unflushed_clock <- min_int;
+    t.flushes <- t.flushes + 1
+  end;
+  made_durable
+
+let append t ~tid ~clock op =
+  t.n <- t.n + 1;
+  t.entries <- { lsn = t.n; tid; clock; op } :: t.entries;
+  if t.oldest_unflushed_clock = min_int then t.oldest_unflushed_clock <- clock;
+  if
+    t.n - t.flushed >= t.group_size
+    || clock - t.oldest_unflushed_clock >= t.fsync_horizon
+  then `Flushed (flush t)
+  else `Buffered
+
+let entries t = List.rev t.entries
+
+let crash t =
+  (* Power loss: the volatile suffix is gone from the durable medium.
+     Returns the lost entries (ascending lsn) so the driver can model the
+     workload generator re-issuing them during recovery. *)
+  let lost, kept = List.partition (fun e -> e.lsn > t.flushed) t.entries in
+  t.entries <- kept;
+  t.n <- t.flushed;
+  t.oldest_unflushed_clock <- min_int;
+  List.rev lost

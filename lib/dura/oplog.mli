@@ -1,0 +1,52 @@
+(** Committed-op log: write-ahead record of acknowledged mutations with
+    group-flush batching and a bounded-loss [fsync] horizon.
+
+    {b Complexity:} O(1) append (cons + counters); {!entries} and
+    {!crash} are O(n) list walks, used off the hot path.
+
+    {b Determinism:} pure host-side bookkeeping — the log contents are a
+    function of the append sequence only; the driver charges the
+    simulated cost of appends and flushes separately. *)
+
+type op =
+  | Put of { key : int; value : int }
+  | Delete of { key : int }
+
+type entry = { lsn : int; tid : int; clock : int; op : op }
+(** [lsn]s are contiguous from 1 in acknowledgement order; [clock] is the
+    simulated instant the op was acknowledged. *)
+
+type t
+
+val create : group_size:int -> fsync_horizon:int -> unit -> t
+(** A flush covers the unflushed suffix when it reaches [group_size]
+    entries, or when the oldest unflushed entry has been buffered for
+    [fsync_horizon] simulated cycles — so a crash can lose at most
+    [group_size - 1] acknowledged entries, none older than the
+    horizon. *)
+
+val append : t -> tid:int -> clock:int -> op -> [ `Buffered | `Flushed of int ]
+(** Record one acknowledged op; [`Flushed n] when the append triggered a
+    group flush covering [n] entries (the driver charges the flush
+    cost). *)
+
+val flush : t -> int
+(** Force a flush; returns the number of entries made durable (0 if the
+    log was already clean). *)
+
+val length : t -> int
+(** Highest lsn appended = total acknowledged mutations. *)
+
+val flushed_lsn : t -> int
+(** Highest durable lsn; entries past it are the volatile suffix. *)
+
+val unflushed : t -> int
+val flush_count : t -> int
+
+val entries : t -> entry list
+(** All entries, ascending lsn. *)
+
+val crash : t -> entry list
+(** Power loss: truncate the log to its durable prefix and return the
+    lost (volatile) suffix, ascending lsn — the ops the workload
+    generator re-issues during recovery. *)

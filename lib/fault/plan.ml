@@ -33,6 +33,11 @@ type fault =
   | Alloc_pressure
     (* allocator slow path: transactional allocs abort (and roll back);
        plain allocs are spared so fallback-path updates stay intact *)
+  | Crash
+    (* whole-process death at window.from_cycle: every thread dies, held
+       locks are abandoned, and the run ends in Machine.Crashed.  Compiled
+       via [crash_point] (Machine.set_crash), not via the injector hooks;
+       the target is ignored — a process death takes all threads. *)
 
 type injection = { fault : fault; target : target; window : window }
 type t = injection list
@@ -111,6 +116,32 @@ let to_injector (plan : t) : Machine.injector =
              ~tid ~clock);
   }
 
+(* The effective crash instant, if the plan contains one.  Composition
+   rule for overlapping (or indeed any multiple) Crash windows: the LAST
+   crash wins — the machine dies once, at the greatest [from_cycle].  The
+   physical picture: each scheduled crash models the same power event
+   being re-armed; re-arming before it fires moves it, so only the latest
+   arming matters.  Earlier Crash windows contribute nothing (their
+   in-window adversity is the restart, which the recovery driver runs
+   once, from the winning point). *)
+let crash_point (plan : t) =
+  List.fold_left
+    (fun acc i ->
+      match i.fault with
+      | Crash -> (
+          match acc with
+          | None -> Some i.window.from_cycle
+          | Some c -> Some (max c i.window.from_cycle))
+      | _ -> acc)
+    None plan
+
+(* A Crash injection at [cycle]; the window's span is zero (the death is
+   an instant; the restart that follows is the recovery driver's phase,
+   not a fault window). *)
+let crash_at ~cycle =
+  { fault = Crash; target = All;
+    window = window ~from_cycle:cycle ~until_cycle:cycle }
+
 (* Earliest fault onset and latest fault end, for phase bookkeeping
    (before / under / after fault) in the chaos harness. *)
 let span (plan : t) =
@@ -132,6 +163,7 @@ let fault_name = function
   | Lock_holder_stall _ -> "lock_holder_stall"
   | Clock_skew _ -> "clock_skew"
   | Alloc_pressure -> "alloc_pressure"
+  | Crash -> "crash"
 
 let target_to_json = function
   | All -> Json.Str "all"
@@ -146,6 +178,7 @@ let fault_params = function
   | Lock_holder_stall { stall } -> [ ("stall", Json.Int stall) ]
   | Clock_skew { per_mille } -> [ ("per_mille", Json.Int per_mille) ]
   | Alloc_pressure -> []
+  | Crash -> []
 
 let injection_to_json i =
   Json.Obj
@@ -158,6 +191,65 @@ let injection_to_json i =
     @ fault_params i.fault)
 
 let to_json (plan : t) = Json.List (List.map injection_to_json plan)
+
+(* Inverse of [to_json], so plans can ride in documents (e.g. a crash
+   cell's exact plan) and be replayed later.  Strict on shape: an unknown
+   fault name or a missing parameter is an error, not a default — a plan
+   that silently degrades would replay different adversity. *)
+let injection_of_json j =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let int_field name =
+    match Option.bind (Json.member name j) Json.as_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Plan.of_json: missing int field '%s'" name)
+  in
+  let* fault_s =
+    match Option.bind (Json.member "fault" j) Json.as_string with
+    | Some s -> Ok s
+    | None -> Error "Plan.of_json: missing fault name"
+  in
+  let* fault =
+    match fault_s with
+    | "spurious_burst" ->
+        let* extra_per_million = int_field "extra_per_million" in
+        Ok (Spurious_burst { extra_per_million })
+    | "capacity_squeeze" ->
+        let* rs = int_field "rs" in
+        let* ws = int_field "ws" in
+        Ok (Capacity_squeeze { rs; ws })
+    | "preempt" -> Ok Preempt
+    | "lock_holder_stall" ->
+        let* stall = int_field "stall" in
+        Ok (Lock_holder_stall { stall })
+    | "clock_skew" ->
+        let* per_mille = int_field "per_mille" in
+        Ok (Clock_skew { per_mille })
+    | "alloc_pressure" -> Ok Alloc_pressure
+    | "crash" -> Ok Crash
+    | other -> Error (Printf.sprintf "Plan.of_json: unknown fault '%s'" other)
+  in
+  let* target =
+    match Json.member "target" j with
+    | Some (Json.Str "all") -> Ok All
+    | Some (Json.Int t) -> Ok (Thread t)
+    | _ -> Error "Plan.of_json: bad target"
+  in
+  let* from_cycle = int_field "from_cycle" in
+  let* until_cycle = int_field "until_cycle" in
+  if until_cycle < from_cycle then Error "Plan.of_json: negative window span"
+  else Ok { fault; target; window = { from_cycle; until_cycle } }
+
+let of_json = function
+  | Json.List js ->
+      List.fold_left
+        (fun acc j ->
+          match (acc, injection_of_json j) with
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e
+          | Ok is, Ok i -> Ok (i :: is))
+        (Ok []) js
+      |> Result.map List.rev
+  | _ -> Error "Plan.of_json: expected a list"
 
 (* ---------- stock plans ---------- *)
 

@@ -34,6 +34,14 @@ type fault =
           reserve pool succeeding — so plans never corrupt a half-applied
           update.  Direct injectors can still fail plain allocations with
           [Euno_mem.Alloc.Alloc_failure]. *)
+  | Crash
+      (** whole-process death at [window.from_cycle]: every thread dies at
+          once ([Euno_sim.Machine.Crashed] escapes the run), in-flight
+          transactions roll back with RTM failure atomicity, and held
+          advisory/fallback locks are abandoned in simulated memory.  Not
+          compiled into the injector hooks — the recovery driver reads the
+          plan's {!crash_point} and arms [Machine.set_crash].  The
+          [target] is ignored: a process death takes all threads. *)
 
 type injection = { fault : fault; target : target; window : window }
 
@@ -43,8 +51,22 @@ type t = injection list
 
 val window : from_cycle:int -> until_cycle:int -> window
 
+val crash_at : cycle:int -> injection
+(** A {!Crash} injection at [cycle] (zero-span window: the death is an
+    instant; the restart is the recovery driver's phase, not a fault
+    window). *)
+
 val to_injector : t -> Euno_sim.Machine.injector
-(** Compile the plan into the machine's pure fault hooks. *)
+(** Compile the plan into the machine's pure fault hooks.  {!Crash}
+    injections contribute nothing here — arm them via {!crash_point} and
+    [Euno_sim.Machine.set_crash]. *)
+
+val crash_point : t -> int option
+(** The effective crash instant, if the plan schedules one.  Multiple (in
+    particular overlapping) [Crash] windows compose as {e last crash
+    wins}: the machine dies once, at the greatest [from_cycle] — each
+    scheduled crash re-arms the same power event, so only the latest
+    arming matters. *)
 
 val span : t -> (int * int) option
 (** [(earliest onset, latest end)] over all injections; [None] for the
@@ -52,6 +74,11 @@ val span : t -> (int * int) option
 
 val fault_name : fault -> string
 val to_json : t -> Euno_stats.Json.t
+
+val of_json : Euno_stats.Json.t -> (t, string) result
+(** Inverse of {!to_json}: strict on shape (unknown fault names, missing
+    parameters and negative window spans are errors, not defaults), so a
+    plan carried in a report replays the same adversity. *)
 
 val campaign : threads:int -> horizon:int -> t
 (** The stock chaos campaign: one window per fault class spread over the

@@ -211,12 +211,19 @@ let run_plan ?(plan = []) ?sampling kind cfg =
    after the plan's fault span (a window overlapping the span counts as
    under-fault), and find the first post-fault window whose op rate is
    back to at least half the clean-phase mean: its end is the recovery
-   point.  -1 = never recovered within the run. *)
+   point.  When no such window exists the verdict is explicit —
+   [Unrecovered observed] with the observation horizon saturated to the
+   post-fault tail we actually watched — rather than a sentinel that
+   downstream arithmetic could silently average. *)
+type recovery_verdict =
+  | Recovered of int (* cycles after the last fault until rate restored *)
+  | Unrecovered of int (* post-fault cycles observed without recovery *)
+
 type phases = {
   ph_clean : int * int; (* ops, cycles *)
   ph_fault : int * int;
   ph_after : int * int;
-  ph_recovery_cycles : int;
+  ph_recovery : recovery_verdict;
 }
 
 let split_phases ~span ~work_end ~samples =
@@ -235,7 +242,7 @@ let split_phases ~span ~work_end ~samples =
   | None ->
       let all = List.fold_left add (0, 0) ws in
       { ph_clean = all; ph_fault = (0, 0); ph_after = (0, 0);
-        ph_recovery_cycles = 0 }
+        ph_recovery = Recovered 0 }
   | Some (f0, f1) ->
       let clean, fault, after =
         List.fold_left
@@ -262,10 +269,10 @@ let split_phases ~span ~work_end ~samples =
         ph_clean = clean;
         ph_fault = fault;
         ph_after = after;
-        ph_recovery_cycles =
+        ph_recovery =
           (match recovered with
-          | Some w -> w.Report.w_end - f1
-          | None -> -1);
+          | Some w -> Recovered (w.Report.w_end - f1)
+          | None -> Unrecovered (max 0 (work_end - f1)));
       }
 
 (* ---------- the campaign ---------- *)
@@ -283,7 +290,7 @@ type outcome = {
   o_mops_clean : float;
   o_mops_fault : float;
   o_mops_after : float;
-  o_recovery_cycles : int; (* -1 = not recovered within the run *)
+  o_recovery : recovery_verdict;
   o_invariant_violations : int;
   o_model_mismatches : int;
   o_checkpoints : int;
@@ -326,7 +333,7 @@ let run_campaign kind cfg =
     o_mops_clean = mops ph.ph_clean;
     o_mops_fault = mops ph.ph_fault;
     o_mops_after = mops ph.ph_after;
-    o_recovery_cycles = ph.ph_recovery_cycles;
+    o_recovery = ph.ph_recovery;
     o_invariant_violations = raw.raw_violations;
     o_model_mismatches = raw.raw_mismatches;
     o_checkpoints = raw.raw_checkpoints;
@@ -364,7 +371,15 @@ let outcome_to_json ?experiment o =
         ("mops_clean", Json.Float o.o_mops_clean);
         ("mops_fault", Json.Float o.o_mops_fault);
         ("mops_after", Json.Float o.o_mops_after);
-        ("recovery_cycles", Json.Int o.o_recovery_cycles);
+        (* recovery_cycles stays an int in both verdicts: for Unrecovered
+           it is the saturated observation horizon, and [recovered] says
+           which reading applies. *)
+        ( "recovery_cycles",
+          Json.Int
+            (match o.o_recovery with Recovered c | Unrecovered c -> c) );
+        ( "recovered",
+          Json.Bool (match o.o_recovery with Recovered _ -> true
+                                           | Unrecovered _ -> false) );
         ("invariant_violations", Json.Int o.o_invariant_violations);
         ("model_mismatches", Json.Int o.o_model_mismatches);
         ("checkpoints", Json.Int o.o_checkpoints);
@@ -396,8 +411,9 @@ let print_outcomes outs =
       Printf.printf
         "%-14s %8d %6d %8.3f %8.3f %8.3f %9s %5d %5d %5d %5d %5d\n" o.o_name
         o.o_ops o.o_failed_ops o.o_mops_clean o.o_mops_fault o.o_mops_after
-        (if o.o_recovery_cycles < 0 then "never"
-         else string_of_int o.o_recovery_cycles)
+        (match o.o_recovery with
+        | Recovered c -> string_of_int c
+        | Unrecovered _ -> "never")
         o.o_invariant_violations o.o_model_mismatches o.o_watchdog_trips
         o.o_starvation_backoffs o.o_convoy_events)
     outs;

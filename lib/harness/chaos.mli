@@ -58,6 +58,14 @@ val run_plan : ?plan:Plan.t -> ?sampling:int -> Kv.kind -> config -> raw
     cumulative counters every [sampling] cycles if given.  Used directly
     by tests for directed scenarios (e.g. lemming storms). *)
 
+(** Recovery verdict after the last fault window.  [Unrecovered n] is
+    explicit — [n] is the post-fault observation horizon we watched
+    without the op rate returning to half the clean-phase mean — so
+    downstream arithmetic can never average a sentinel. *)
+type recovery_verdict =
+  | Recovered of int  (** cycles until the op rate was restored *)
+  | Unrecovered of int  (** post-fault cycles observed without recovery *)
+
 (** One tree's campaign result. *)
 type outcome = {
   o_name : string;
@@ -74,9 +82,10 @@ type outcome = {
   o_mops_clean : float;  (** throughput before the first fault window *)
   o_mops_fault : float;  (** throughput while any fault window is active *)
   o_mops_after : float;  (** throughput after the last fault window *)
-  o_recovery_cycles : int;
+  o_recovery : recovery_verdict;
       (** cycles after the last fault until the op rate is back to at
-          least half the clean-phase mean; [-1] = never within the run *)
+          least half the clean-phase mean, or the explicit
+          [Unrecovered] horizon *)
   o_invariant_violations : int;
   o_model_mismatches : int;
   o_checkpoints : int;

@@ -29,54 +29,66 @@ type t = {
   delete : int -> bool;
   scan : from:int -> count:int -> (int * int) list;
   check : unit -> unit; (* single-threaded invariant validation *)
+  snapshot : unit -> (int * int) list; (* full image, ascending keys *)
+  restore : (int * int) list -> unit; (* reconcile tree to the image *)
 }
+
+(* All facades go through [make] so every variant gets the same derived
+   durability operations: [snapshot] is a full-range scan, [restore] a
+   reconciliation (delete what the image lacks, put what differs).  Both
+   run through the normal tree ops, so their cost is charged in simulated
+   cycles like any other traversal — a snapshot is not free. *)
+let make ~name ~get ~put ~delete ~scan ~check =
+  let snapshot () = scan ~from:0 ~count:max_int in
+  let restore image =
+    let current = snapshot () in
+    let wanted = Hashtbl.create (List.length image * 2 + 16) in
+    List.iter (fun (k, v) -> Hashtbl.replace wanted k v) image;
+    List.iter
+      (fun (k, _) -> if not (Hashtbl.mem wanted k) then ignore (delete k))
+      current;
+    let have = Hashtbl.create (List.length current * 2 + 16) in
+    List.iter (fun (k, v) -> Hashtbl.replace have k v) current;
+    List.iter
+      (fun (k, v) -> if Hashtbl.find_opt have k <> Some v then put k v)
+      image
+  in
+  { name; get; put; delete; scan; check; snapshot; restore }
 
 (* ---------- facades over concrete trees ---------- *)
 
 let of_htm_bptree name t =
-  {
-    name;
-    get = Euno_bptree.Htm_bptree.get t;
-    put = Euno_bptree.Htm_bptree.put t;
-    delete = Euno_bptree.Htm_bptree.delete t;
-    scan = (fun ~from ~count -> Euno_bptree.Htm_bptree.scan t ~from ~count);
-    check =
-      (fun () ->
-        Euno_bptree.Bptree.check_invariants (Euno_bptree.Htm_bptree.tree t));
-  }
+  make ~name
+    ~get:(Euno_bptree.Htm_bptree.get t)
+    ~put:(Euno_bptree.Htm_bptree.put t)
+    ~delete:(Euno_bptree.Htm_bptree.delete t)
+    ~scan:(fun ~from ~count -> Euno_bptree.Htm_bptree.scan t ~from ~count)
+    ~check:(fun () ->
+      Euno_bptree.Bptree.check_invariants (Euno_bptree.Htm_bptree.tree t))
 
 let of_euno name t =
-  {
-    name;
-    get = Eunomia.Euno_tree.get t;
-    put = Eunomia.Euno_tree.put t;
-    delete = Eunomia.Euno_tree.delete t;
-    scan = (fun ~from ~count -> Eunomia.Euno_tree.scan t ~from ~count);
-    check = (fun () -> Eunomia.Euno_tree.check_invariants t);
-  }
+  make ~name ~get:(Eunomia.Euno_tree.get t) ~put:(Eunomia.Euno_tree.put t)
+    ~delete:(Eunomia.Euno_tree.delete t)
+    ~scan:(fun ~from ~count -> Eunomia.Euno_tree.scan t ~from ~count)
+    ~check:(fun () -> Eunomia.Euno_tree.check_invariants t)
 
 let of_masstree name t =
-  {
-    name;
-    get = Euno_masstree.Masstree.get t;
-    put = Euno_masstree.Masstree.put t;
-    delete = Euno_masstree.Masstree.delete t;
-    scan = (fun ~from ~count -> Euno_masstree.Masstree.scan t ~from ~count);
-    check = (fun () -> Euno_masstree.Masstree.check_invariants t);
-  }
+  make ~name
+    ~get:(Euno_masstree.Masstree.get t)
+    ~put:(Euno_masstree.Masstree.put t)
+    ~delete:(Euno_masstree.Masstree.delete t)
+    ~scan:(fun ~from ~count -> Euno_masstree.Masstree.scan t ~from ~count)
+    ~check:(fun () -> Euno_masstree.Masstree.check_invariants t)
 
 let of_htm_masstree name t =
-  {
-    name;
-    get = Euno_masstree.Htm_masstree.get t;
-    put = Euno_masstree.Htm_masstree.put t;
-    delete = Euno_masstree.Htm_masstree.delete t;
-    scan = (fun ~from ~count -> Euno_masstree.Htm_masstree.scan t ~from ~count);
-    check =
-      (fun () ->
-        Euno_masstree.Masstree.check_invariants
-          (Euno_masstree.Htm_masstree.tree t));
-  }
+  make ~name
+    ~get:(Euno_masstree.Htm_masstree.get t)
+    ~put:(Euno_masstree.Htm_masstree.put t)
+    ~delete:(Euno_masstree.Htm_masstree.delete t)
+    ~scan:(fun ~from ~count -> Euno_masstree.Htm_masstree.scan t ~from ~count)
+    ~check:(fun () ->
+      Euno_masstree.Masstree.check_invariants
+        (Euno_masstree.Htm_masstree.tree t))
 
 (* Build a tree on the machine (run inside Machine.run/run_single).
    [policy] overrides the HTM retry policy; by default the baselines use
@@ -128,15 +140,10 @@ let build ?name ?policy ?records kind ~fanout ~map =
         | None -> Euno_bptree.Bptree.create ~fanout ~map ()
       in
       let t = Euno_bptree.Lock_bptree.of_tree t in
-      {
-        name;
-        get = Euno_bptree.Lock_bptree.get t;
-        put = Euno_bptree.Lock_bptree.put t;
-        delete = Euno_bptree.Lock_bptree.delete t;
-        scan =
-          (fun ~from ~count -> Euno_bptree.Lock_bptree.scan t ~from ~count);
-        check =
-          (fun () ->
-            Euno_bptree.Bptree.check_invariants
-              (Euno_bptree.Lock_bptree.tree t));
-      }
+      make ~name
+        ~get:(Euno_bptree.Lock_bptree.get t)
+        ~put:(Euno_bptree.Lock_bptree.put t)
+        ~delete:(Euno_bptree.Lock_bptree.delete t)
+        ~scan:(fun ~from ~count -> Euno_bptree.Lock_bptree.scan t ~from ~count)
+        ~check:(fun () ->
+          Euno_bptree.Bptree.check_invariants (Euno_bptree.Lock_bptree.tree t))

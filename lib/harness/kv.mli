@@ -19,6 +19,13 @@ type t = {
   delete : int -> bool;
   scan : from:int -> count:int -> (int * int) list;
   check : unit -> unit;
+  snapshot : unit -> (int * int) list;
+      (** full tree image (ascending keys), via a full-range scan: the
+          cost lands in simulated cycles like any other traversal *)
+  restore : (int * int) list -> unit;
+      (** reconcile the tree to an image: delete keys the image lacks,
+          put keys that differ — in-place recovery over surviving
+          structure, exercising the tree's own ops *)
 }
 
 val build :

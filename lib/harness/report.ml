@@ -309,6 +309,7 @@ let is_num v = Json.as_float v <> None
 let is_str v = Json.as_string v <> None
 let is_obj v = Json.as_obj v <> None
 let is_list v = Json.as_list v <> None
+let is_bool v = match v with Json.Bool _ -> true | _ -> false
 
 let validate_version obj =
   match Json.member "schema_version" obj with
@@ -395,12 +396,50 @@ let validate_chaos obj =
   let* () = require_field obj "mops_fault" is_num in
   let* () = require_field obj "mops_after" is_num in
   let* () = require_field obj "recovery_cycles" is_int in
+  let* () = require_field obj "recovered" is_bool in
   let* () = require_field obj "invariant_violations" is_int in
   let* () = require_field obj "model_mismatches" is_int in
   let* () = require_field obj "checkpoints" is_int in
   let* () = require_field obj "aborts" is_obj in
   let* () = require_field obj "degradation" is_obj in
   require_field obj "snapshots" is_list
+
+(* Recovery records are produced by the Dura_run harness (crash-recovery
+   campaigns): one record per crash cell, carrying the durability state
+   at the crash (snapshot/log positions, lost suffix), the recovery work
+   actually done (replayed / re-run / stuck ops, cycles vs. the linear
+   bound) and the checker verdict. *)
+let validate_recovery obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "seed" is_int in
+  let* () = require_field obj "horizon_cycles" is_int in
+  let* () = require_field obj "crash_cycle" is_int in
+  let* () = require_field obj "plan" is_list in
+  let* () = require_field obj "snapshots_taken" is_int in
+  let* () = require_field obj "snapshot_lsn" is_int in
+  let* () = require_field obj "log_len" is_int in
+  let* () = require_field obj "flushed_lsn" is_int in
+  let* () = require_field obj "lost_suffix" is_int in
+  let* () = require_field obj "replayed" is_int in
+  let* () = require_field obj "rerun" is_int in
+  let* () = require_field obj "stuck_recovery_ops" is_int in
+  let* () = require_field obj "recovery_cycles" is_int in
+  let* () = require_field obj "work_bound_cycles" is_int in
+  let* () = require_field obj "recovered" is_bool in
+  let* () = require_field obj "findings_total" is_int in
+  match Json.member "findings" obj with
+  | Some (Json.List fs) ->
+      List.fold_left
+        (fun acc f ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              let* () = require_field f "kind" is_str in
+              require_field f "detail" is_str)
+        (Ok ()) fs
+  | _ -> Error "missing findings list"
 
 (* Perf records feed the regression gate (bin/euno_perf_check): one probe
    per record, compared against bench/baseline.json by name.  [metric]
@@ -470,6 +509,7 @@ let validate_record obj =
   | Some (Json.Str "window") -> validate_window obj
   | Some (Json.Str "aggregate") -> validate_aggregate obj
   | Some (Json.Str "chaos") -> validate_chaos obj
+  | Some (Json.Str "recovery") -> validate_recovery obj
   | Some (Json.Str "perf") -> validate_perf obj
   | Some (Json.Str "san") -> validate_san obj
   | Some (Json.Str "check") -> validate_check obj

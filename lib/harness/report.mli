@@ -42,6 +42,16 @@ val window_to_json : window -> Json.t
 
 (** {1 Records} *)
 
+val context_fields :
+  ?experiment:string ->
+  ?run:int ->
+  record:string ->
+  unit ->
+  (string * Json.t) list
+(** The standard record header — [schema_version], the ["record"]
+    discriminator, and optional experiment/run context — for harnesses
+    that assemble their own record bodies. *)
+
 val result_to_json : ?experiment:string -> ?run:int -> Runner.result -> Json.t
 (** One ["result"] record: throughput, abort classes, wasted cycles,
     latency percentiles, memory footprint and embedded window series.
@@ -112,6 +122,12 @@ val validate_aggregate : Json.t -> (unit, string) result
 
 val validate_chaos : Json.t -> (unit, string) result
 (** Contract for the ["chaos"] records {!Chaos.outcome_to_json} emits. *)
+
+val validate_recovery : Json.t -> (unit, string) result
+(** Contract for the ["recovery"] records {!Dura_run.outcome_to_json}
+    emits: one per crash cell — durability state at the crash (snapshot /
+    log positions, lost suffix), recovery work (replayed, re-run, stuck
+    ops, cycles vs. the linear bound) and the checker's findings. *)
 
 val validate_perf : Json.t -> (unit, string) result
 (** Contract for the ["perf"] probe records the bench driver emits and the

@@ -17,6 +17,10 @@ type t = {
   mutable freed_count : int;
   advance_every : int;
   mutable pins_since_advance : int;
+  mutable hook : (epoch:int -> pinned:int -> unit) option;
+    (* observer of successful global advances; None (the default) keeps
+       the advance path exactly as before, so runs without a durability
+       layer stay byte-identical *)
 }
 
 let create ~slots ?(advance_every = 64) () =
@@ -28,12 +32,18 @@ let create ~slots ?(advance_every = 64) () =
     freed_count = 0;
     advance_every;
     pins_since_advance = 0;
+    hook = None;
   }
 
 let min_pinned t =
   Array.fold_left
     (fun acc e -> if e >= 0 && e < acc then e else acc)
     max_int t.slots
+
+let pinned_slots t =
+  Array.fold_left (fun acc e -> if e >= 0 then acc + 1 else acc) 0 t.slots
+
+let set_advance_hook t hook = t.hook <- hook
 
 let collect t =
   let horizon = min (min_pinned t) t.global in
@@ -53,8 +63,13 @@ let try_advance t =
      older epoch. *)
   if min_pinned t >= t.global then begin
     t.global <- t.global + 1;
-    collect t
+    collect t;
+    match t.hook with
+    | None -> ()
+    | Some f -> f ~epoch:t.global ~pinned:(pinned_slots t)
   end
+
+let advance t = try_advance t
 
 let pin t slot =
   t.slots.(slot) <- t.global;
@@ -71,9 +86,27 @@ let retire t reclaim =
   t.retired_count <- t.retired_count + 1
 
 let flush t =
-  Array.iteri (fun i _ -> t.slots.(i) <- -1) t.slots;
+  (* Force-clearing a live pin would let the collector free a block an
+     in-flight operation still points at — the contract ("only valid when
+     no operation is in flight") is now enforced instead of documented. *)
+  Array.iteri
+    (fun i e ->
+      if e >= 0 then
+        invalid_arg
+          (Printf.sprintf "Epoch.flush: slot %d still pinned (epoch %d)" i e))
+    t.slots;
   t.global <- t.global + 2;
   collect t
+
+let crash_reset t =
+  (* Simulated process death: the pinning threads are gone, so their pins
+     are abandoned rather than unpinned, and pending retire callbacks are
+     dropped without running — their referents belong to the dead
+     process's reclamation protocol, not the recovered one. *)
+  Array.iteri (fun i _ -> t.slots.(i) <- -1) t.slots;
+  t.pins_since_advance <- 0;
+  t.retired <- [];
+  t.retired_count <- 0
 
 let pending t = t.retired_count
 let freed t = t.freed_count

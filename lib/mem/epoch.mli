@@ -28,9 +28,35 @@ val unpin : t -> int -> unit
 val retire : t -> (unit -> unit) -> unit
 (** Schedule a reclamation callback for when the current epoch expires. *)
 
+val advance : t -> unit
+(** Explicitly attempt a global-epoch advance (the same opportunistic
+    advance {!pin} performs every [advance_every] pins).  Succeeds only
+    when no slot is pinned in an older epoch.  Used by quiesced
+    checkpoints to turn a known-quiescent instant into an epoch boundary
+    (and hence a snapshot opportunity, see {!set_advance_hook}). *)
+
+val set_advance_hook : t -> (epoch:int -> pinned:int -> unit) option -> unit
+(** Install (or remove) an observer of successful global advances:
+    [f ~epoch ~pinned] runs after the epoch has advanced to [epoch] with
+    [pinned] slots currently pinned.  [pinned <= 1] witnesses a quiescent
+    point (at most the advancing thread itself is inside an operation) —
+    the hook the durability layer snapshots from.  [None] (the default)
+    keeps the advance path exactly as before, so runs without the hook
+    are byte-identical. *)
+
+val pinned_slots : t -> int
+(** Number of slots currently pinned. *)
+
 val flush : t -> unit
 (** Force reclamation of everything retired so far.  Only valid when no
-    operation is in flight (e.g. at the end of a benchmark run). *)
+    operation is in flight (e.g. at the end of a benchmark run).
+    @raise Invalid_argument if any slot is still pinned. *)
+
+val crash_reset : t -> unit
+(** Recovery after a simulated process death: abandon every pin (the
+    pinning threads are dead) and drop pending retire callbacks without
+    running them.  Unlike {!flush} this reclaims nothing — the dead
+    process's reclamation protocol does not survive it. *)
 
 val pending : t -> int
 (** Retired blocks not yet reclaimed. *)

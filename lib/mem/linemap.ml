@@ -75,3 +75,11 @@ let kind_of_line t line =
   if line < Bytes.length t.kinds then
     of_byte (Char.code (Bytes.unsafe_get t.kinds line))
   else Unknown
+
+let iter_lines t f =
+  (* Visits tagged lines only, in ascending line order (deterministic). *)
+  for line = 0 to Bytes.length t.kinds - 1 do
+    match of_byte (Char.code (Bytes.unsafe_get t.kinds line)) with
+    | Unknown -> ()
+    | kind -> f line kind
+  done

@@ -36,3 +36,9 @@ val set_range : t -> addr:int -> words:int -> kind -> unit
 
 val kind_of_line : t -> int -> kind
 (** Kind of a line ([Unknown] if never tagged). *)
+
+val iter_lines : t -> (int -> kind -> unit) -> unit
+(** [iter_lines t f] calls [f line kind] for every tagged
+    (non-[Unknown]) line, in ascending line order.  O(highest tagged
+    line); used by crash recovery to sweep [Lock]-classified lines, not
+    by any simulator hot path. *)

@@ -208,6 +208,10 @@ type t = {
   mutable sample_window : int; (* 0 = periodic sampling disabled *)
   mutable next_sample : int; (* next window boundary, simulated cycles *)
   mutable samples : (int * snapshot) list; (* newest first *)
+  mutable crash_at : int;
+    (* simulated cycle at which the whole process dies (Crashed is raised
+       from the scheduler); max_int = never, and the check is one integer
+       compare per dispatch, so uncrashed runs are byte-identical *)
 }
 
 and snapshot = {
@@ -277,9 +281,16 @@ let create ~threads ~seed ~cost ~mem ~map ~alloc =
     sample_window = 0;
     next_sample = max_int;
     samples = [];
+    crash_at = max_int;
   }
 
 let set_tracer m tracer = m.tracer <- tracer
+
+exception Crashed of { at_cycle : int }
+
+let set_crash m ~at_cycle =
+  if at_cycle < 0 then invalid_arg "Machine.set_crash: negative cycle";
+  m.crash_at <- at_cycle
 
 let set_injector m inj =
   m.inject <- inj;
@@ -426,6 +437,33 @@ let abort_txn m (v : tstate) (code : Abort.code) =
       trace m (Trace.Aborted { tid = v.tid; clock = v.clock; code });
       if m.san_active then san m v Sev.Txn_aborted;
       v.doom <- Some code
+
+(* Simulated process death: every hardware thread dies at this instant.
+   In-flight transactions keep RTM failure atomicity — buffered writes are
+   discarded and transactional allocations rolled back, exactly as if the
+   dying core's coherence traffic had aborted them — but nothing else is
+   cleaned up: parked continuations are dropped WITHOUT being discontinued,
+   so no OCaml finalizer or exception handler runs.  Held advisory and
+   fallback locks stay written in simulated memory and half-applied plain
+   (fallback-path) updates stay torn — that abandoned state is precisely
+   what crash recovery has to cope with.  Raised from scheduler context, so
+   every thread is parked (never mid-resume) when it fires.  No abort
+   penalty is charged and no abort counter bumped: a power failure is not
+   an RTM event. *)
+let crash m ~at_cycle =
+  Array.iter
+    (fun t ->
+      (match t.txn with
+      | Some txn ->
+          release_txn m t txn;
+          rollback_allocs m txn;
+          t.txn <- None
+      | None -> ());
+      t.doom <- None;
+      t.pending_exn <- None;
+      t.status <- Done)
+    m.threads;
+  raise (Crashed { at_cycle })
 
 (* Requester-wins: the thread currently issuing the access survives; the
    transactional holder is doomed (as in TSX, where the incoming coherence
@@ -948,6 +986,9 @@ let run m bodies =
   (* Pre-step checks (sampling, injected preemption) run before every step,
      whether the thread came off the heap or straight from run-ahead. *)
   and dispatch t =
+    (* The dispatched thread is the (clock, tid) minimum, so the crash
+       fires exactly when the global minimum clock crosses [crash_at]. *)
+    if t.clock >= m.crash_at then crash m ~at_cycle:t.clock;
     if m.sample_window > 0 then sample_boundaries m t.clock;
     (* Injected preemption: the OS descheduled this thread until
        [resume_at].  A live transaction dies (context switches abort RTM
@@ -1043,6 +1084,8 @@ let run m bodies =
         done;
         if t.clock < !now then t.clock <- !now;
         now := t.clock;
+        (* Crash parity with [dispatch]. *)
+        if t.clock >= m.crash_at then crash m ~at_cycle:t.clock;
         if m.sample_window > 0 then sample_boundaries m t.clock;
         (* Injected-preemption parity with [dispatch]. *)
         let resume_at =

@@ -64,6 +64,25 @@ val set_tracer : t -> (Trace.event -> unit) option -> unit
 (** Install (or remove) a trace sink; see {!Trace}.  Tracing never affects
     simulated results. *)
 
+exception Crashed of { at_cycle : int }
+(** The whole simulated process died (see {!set_crash}).  Escapes {!run};
+    the machine's memory, line map, allocator, clocks and counters remain
+    inspectable — they model the durable / post-mortem state recovery
+    starts from. *)
+
+val set_crash : t -> at_cycle:int -> unit
+(** Arm a whole-process crash: the first time the scheduler's minimum
+    thread clock reaches [at_cycle], every thread dies at once and {!run}
+    raises {!Crashed}.  In-flight transactions are rolled back with RTM
+    failure atomicity (buffered writes discarded, transactional
+    allocations undone, no abort penalty charged), but parked thread
+    continuations are dropped without unwinding — no handler or finalizer
+    runs, so held advisory/fallback locks and half-applied plain writes
+    are abandoned in simulated memory for recovery to deal with.  The
+    default ([max_int]) never fires and costs one integer compare per
+    dispatch, so uncrashed runs are byte-identical.  Call before
+    {!run}. *)
+
 (** {2 Fault injection}
 
     Deterministic fault hooks the machine consults at well-defined points.

@@ -15,6 +15,7 @@ let () =
       ("stats", Test_stats.suite);
       ("harness", Test_harness.suite);
       ("fault", Test_fault.suite);
+      ("dura", Test_dura.suite);
       ("san", Test_san.suite);
       ("history", Test_history.suite);
       ("check", Test_check.suite);

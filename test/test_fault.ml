@@ -191,6 +191,47 @@ let test_alloc_pressure_plain_raises () =
       | exception Euno_mem.Alloc.Alloc_failure -> ()
       | _ -> Alcotest.fail "plain alloc expected Alloc_failure")
 
+(* ---------- whole-process crash ---------- *)
+
+(* The power cord: an armed crash kills every thread at once.  Committed
+   plain writes survive, a half-applied plain write pair stays torn (no
+   unwinding runs), and an in-flight transaction rolls back with RTM
+   failure atomicity — exactly the post-mortem state the recovery driver
+   starts from. *)
+let test_machine_crash_kills_all_threads () =
+  let w = fresh_world () in
+  let durable = scratch w ~words:8 in
+  let torn = scratch w ~words:8 in
+  let txn = scratch w ~words:8 in
+  let m =
+    Machine.create ~threads:2 ~seed:1 ~cost:Cost.unit_costs ~mem:w.mem
+      ~map:w.map ~alloc:w.alloc
+  in
+  Machine.set_crash m ~at_cycle:500;
+  (match
+     Machine.run m (fun tid ->
+         if tid = 0 then begin
+           Api.write durable 1111;
+           Api.write torn 7;
+           Api.work 10_000;
+           (* never reached: the crash lands mid-stall *)
+           Api.write (torn + 1) 7
+         end
+         else
+           ignore
+             (Htm.attempt (fun () ->
+                  Api.write txn 3333;
+                  Api.work 10_000)))
+   with
+  | () -> Alcotest.fail "run survived an armed crash"
+  | exception Machine.Crashed { at_cycle } ->
+      check_bool "died once the armed instant was reached" true
+        (at_cycle >= 500));
+  check_int "committed plain write survives" 1111 (Memory.get w.mem durable);
+  check_int "plain write pair left torn" 7 (Memory.get w.mem torn);
+  check_int "second half never applied" 0 (Memory.get w.mem (torn + 1));
+  check_int "in-flight transaction rolled back" 0 (Memory.get w.mem txn)
+
 (* ---------- plan compilation ---------- *)
 
 let test_plan_compiles_windows_and_targets () =
@@ -227,6 +268,120 @@ let test_plan_compiles_windows_and_targets () =
           };
         ])
        .Machine.inj_alloc_fail ~tid:0 ~clock:10 ~in_txn:false)
+
+let test_plan_json_roundtrip () =
+  let plan =
+    [
+      {
+        Plan.fault = Plan.Spurious_burst { extra_per_million = 7 };
+        target = Plan.Thread 3;
+        window = Plan.window ~from_cycle:10 ~until_cycle:20;
+      };
+      {
+        Plan.fault = Plan.Capacity_squeeze { rs = 4; ws = 2 };
+        target = Plan.All;
+        window = Plan.window ~from_cycle:0 ~until_cycle:5;
+      };
+      {
+        Plan.fault = Plan.Preempt;
+        target = Plan.Thread 0;
+        window = Plan.window ~from_cycle:1 ~until_cycle:2;
+      };
+      {
+        Plan.fault = Plan.Lock_holder_stall { stall = 99 };
+        target = Plan.All;
+        window = Plan.window ~from_cycle:5 ~until_cycle:6;
+      };
+      {
+        Plan.fault = Plan.Clock_skew { per_mille = 250 };
+        target = Plan.Thread 1;
+        window = Plan.window ~from_cycle:7 ~until_cycle:9;
+      };
+      {
+        Plan.fault = Plan.Alloc_pressure;
+        target = Plan.All;
+        window = Plan.window ~from_cycle:3 ~until_cycle:4;
+      };
+      Plan.crash_at ~cycle:123;
+    ]
+  in
+  (match Plan.of_json (Plan.to_json plan) with
+  | Ok p -> check_bool "every fault class round-trips" true (p = plan)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* and strictness: a degraded plan must not silently replay different
+     adversity *)
+  (match Plan.of_json (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a non-list plan");
+  let inj fields = Json.List [ Json.Obj fields ] in
+  (match
+     Plan.of_json
+       (inj
+          [
+            ("fault", Json.Str "warp_core_breach");
+            ("target", Json.Str "all");
+            ("from_cycle", Json.Int 0);
+            ("until_cycle", Json.Int 1);
+          ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown fault");
+  (match
+     Plan.of_json
+       (inj
+          [
+            ("fault", Json.Str "clock_skew");
+            ("target", Json.Int 1);
+            ("from_cycle", Json.Int 0);
+            ("until_cycle", Json.Int 1);
+          ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a clock_skew without per_mille");
+  match
+    Plan.of_json
+      (inj
+         [
+           ("fault", Json.Str "crash");
+           ("target", Json.Str "all");
+           ("from_cycle", Json.Int 9);
+           ("until_cycle", Json.Int 3);
+         ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a negative window span"
+
+(* Overlapping Crash windows compose as last-crash-wins: each scheduled
+   crash re-arms the same power event, so the machine dies once, at the
+   greatest onset — wherever it sits in the plan list. *)
+let test_crash_composition_last_wins () =
+  check_bool "crash-free plan has no crash point" true
+    (Plan.crash_point (Plan.campaign ~threads:4 ~horizon:100_000) = None);
+  let overlapping =
+    [
+      {
+        Plan.fault = Plan.Crash;
+        target = Plan.All;
+        window = Plan.window ~from_cycle:2_000 ~until_cycle:9_000;
+      };
+      Plan.crash_at ~cycle:5_000;
+      {
+        Plan.fault = Plan.Crash;
+        target = Plan.Thread 3 (* ignored: a process death takes all *);
+        window = Plan.window ~from_cycle:3_500 ~until_cycle:3_500;
+      };
+    ]
+  in
+  check_bool "last crash wins across overlapping windows" true
+    (Plan.crash_point overlapping = Some 5_000);
+  check_bool "the instant wins, not the list position" true
+    (Plan.crash_point (List.rev overlapping) = Some 5_000);
+  (* Crash is armed via crash_point, never via the injector hooks *)
+  let inj = Plan.to_injector overlapping in
+  check_int "no spurious hook from a crash" 0
+    (inj.Machine.inj_spurious ~tid:0 ~clock:5_000);
+  check_int "no preempt hook from a crash" 0
+    (inj.Machine.inj_preempt ~tid:0 ~clock:5_000)
 
 (* ---------- chaos harness ---------- *)
 
@@ -392,8 +547,14 @@ let suite =
       test_alloc_pressure_txn;
     Alcotest.test_case "alloc pressure raises on plain allocs" `Quick
       test_alloc_pressure_plain_raises;
+    Alcotest.test_case "crash kills all threads, txns roll back" `Quick
+      test_machine_crash_kills_all_threads;
     Alcotest.test_case "plans compile windows and targets" `Quick
       test_plan_compiles_windows_and_targets;
+    Alcotest.test_case "plan JSON round-trips strictly" `Quick
+      test_plan_json_roundtrip;
+    Alcotest.test_case "overlapping crashes: last crash wins" `Quick
+      test_crash_composition_last_wins;
     Alcotest.test_case "chaos run is deterministic" `Quick
       test_chaos_deterministic;
     Alcotest.test_case "chaos record validates" `Quick test_chaos_record_schema;

@@ -84,6 +84,78 @@ let test_epoch_advances () =
   done;
   check_bool "global epoch advanced" true (Epoch.global_epoch e > g0)
 
+(* Directed regression: flush while an operation is in flight used to
+   silently run retire callbacks under a live pin — a use-after-free in
+   the real scheme.  It must refuse instead. *)
+let test_epoch_flush_raises_when_pinned () =
+  let e = Epoch.create ~slots:2 () in
+  Epoch.pin e 0;
+  Epoch.retire e (fun () -> ());
+  (match Epoch.flush e with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "flush ran under a live pin");
+  check_int "retired work survives the refused flush" 1 (Epoch.pending e);
+  Epoch.unpin e 0;
+  Epoch.flush e;
+  check_int "flush drains once quiescent" 0 (Epoch.pending e)
+
+let test_epoch_advance_hook_observes_quiescence () =
+  let e = Epoch.create ~slots:2 ~advance_every:max_int () in
+  let seen = ref [] in
+  Epoch.set_advance_hook e
+    (Some (fun ~epoch ~pinned -> seen := (epoch, pinned) :: !seen));
+  (* Both slots pinned at the current epoch: the advance succeeds but the
+     hook witnesses two pins — not a quiescent point, so the durability
+     layer must not snapshot here. *)
+  Epoch.pin e 1;
+  Epoch.pin e 0;
+  Epoch.advance e;
+  (match !seen with
+  | [ (g, p) ] ->
+      check_int "busy advance epoch" (Epoch.global_epoch e) g;
+      check_int "bystander pin visible to the hook" 2 p
+  | l -> Alcotest.failf "busy advance fired the hook %d times" (List.length l));
+  (* A slot left behind in the old epoch blocks the advance entirely: no
+     advance, no hook. *)
+  seen := [];
+  Epoch.unpin e 0;
+  Epoch.pin e 0;
+  (* slot 0 at the new epoch, slot 1 one behind *)
+  Epoch.advance e;
+  check_bool "blocked advance stays silent" true (!seen = []);
+  (* Alone, the advancing slot itself is the only pin: pinned <= 1
+     witnesses quiescence, the gate snapshots are taken behind. *)
+  Epoch.unpin e 1;
+  Epoch.advance e;
+  (match !seen with
+  | [ (_, p) ] -> check_bool "quiescent advance has at most one pin" true (p <= 1)
+  | l ->
+      Alcotest.failf "quiescent advance fired the hook %d times" (List.length l));
+  (* Removing the hook restores the plain advance path. *)
+  seen := [];
+  Epoch.set_advance_hook e None;
+  Epoch.unpin e 0;
+  Epoch.advance e;
+  check_bool "removed hook stays silent" true (!seen = [])
+
+let test_epoch_crash_reset_abandons_state () =
+  let e = Epoch.create ~slots:2 ~advance_every:1 () in
+  let ran = ref 0 in
+  Epoch.pin e 0;
+  Epoch.retire e (fun () -> incr ran);
+  Epoch.retire e (fun () -> incr ran);
+  (* The pinning thread is dead; its pin and its retirements go with it. *)
+  Epoch.crash_reset e;
+  check_int "pins abandoned" 0 (Epoch.pinned_slots e);
+  check_int "retire callbacks dropped, not run" 0 !ran;
+  check_int "nothing pending after reset" 0 (Epoch.pending e);
+  (* The epoch is usable again: recovery re-enters it single-threaded. *)
+  Epoch.pin e 0;
+  Epoch.retire e (fun () -> incr ran);
+  Epoch.unpin e 0;
+  Epoch.flush e;
+  check_int "post-recovery retirement reclaims" 1 !ran
+
 let prop_memory_model =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:100 ~name:"memory matches a Hashtbl model"
@@ -130,6 +202,12 @@ let suite =
     Alcotest.test_case "epoch defers until quiescent" `Quick
       test_epoch_defers_until_quiescent;
     Alcotest.test_case "epoch advances" `Quick test_epoch_advances;
+    Alcotest.test_case "epoch flush refuses under a live pin" `Quick
+      test_epoch_flush_raises_when_pinned;
+    Alcotest.test_case "epoch advance hook observes quiescence" `Quick
+      test_epoch_advance_hook_observes_quiescence;
+    Alcotest.test_case "epoch crash reset abandons state" `Quick
+      test_epoch_crash_reset_abandons_state;
     prop_memory_model;
     prop_alloc_no_overlap;
   ]
