@@ -302,7 +302,18 @@ let run_experiment name quick keys_log2 ops max_threads seed charts csv json
   let f = List.assoc name Figures.by_name in
   f scale;
   if telemetry then begin
-    Report.flush_collected ~experiment:name ?json ?snapshots ();
+    (* strategy-sweep's own per-cell "sweep" records are the document the
+       campaign is about; the generic per-run "result" records would bury
+       them, so the sweep document replaces them (snapshots still flow). *)
+    if name = "strategy-sweep" then begin
+      Report.flush_collected ~experiment:name ?snapshots ();
+      match json with
+      | Some path ->
+          Report.write_file path
+            (Report.document ~experiment:name (Figures.sweep_records ()))
+      | None -> ()
+    end
+    else Report.flush_collected ~experiment:name ?json ?snapshots ();
     Report.stop_collecting ();
     (match json with
     | Some path -> Printf.printf "wrote %s\n%!" path

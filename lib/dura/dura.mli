@@ -6,6 +6,10 @@
     driver in [Euno_harness.Dura_run] owns the capture hook and charges
     the scan cost in simulated cycles; this module is pure bookkeeping.
 
+    {b Complexity:} [record]/[latest]/[taken] are O(1) (the store keeps
+    only the newest snapshot plus a count); capturing the image itself is
+    O(live keys), charged by the driver at the capture point.
+
     {b Determinism:} snapshot contents are a function of the capture
     points, which are a function of the schedule — deterministic per
     (plan, seed). *)

@@ -5,7 +5,16 @@
     Because the compiled hooks are pure functions of [(tid, clock)], a
     fixed plan provokes identical adversity on every run with the same
     seed.  See DESIGN.md §"Fault model" for each fault's hardware
-    analogue. *)
+    analogue.
+
+    {b Complexity:} compilation is O(1) (the injector closes over the
+    plan); each compiled hook folds over the plan's injections, so every
+    query costs O(|plan|) — plans are a handful of injections, never a
+    per-op data structure.
+
+    {b Determinism:} the compiled hooks are pure functions of
+    [(tid, clock)]; no host state, no hidden randomness — the machine's
+    seeded PRNG decides whether a [Spurious_burst] probability fires. *)
 
 type target =
   | All

@@ -40,6 +40,7 @@ let mutations =
   [
     ("htm-skip-subscription", Htm.Testonly.skip_subscription);
     ("htm-skip-activity-read", Htm.Testonly.skip_activity_read);
+    ("htm-lf-skip-announce", Htm.Testonly.lf_skip_announce);
     ("masstree-widen-read-window", Euno_masstree.Masstree.Testonly.widen_read_window);
   ]
 
@@ -447,6 +448,7 @@ let mutation_targets =
   [
     ("htm-skip-subscription", Kv.Htm_bptree, Htm.Elision);
     ("htm-skip-activity-read", Kv.Htm_bptree, Htm.Three_path);
+    ("htm-lf-skip-announce", Kv.Htm_bptree, Htm.Lockfree);
     ("masstree-widen-read-window", Kv.Masstree, Htm.Elision);
   ]
 

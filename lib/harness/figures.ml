@@ -677,6 +677,117 @@ let methodology scale =
     [ 0.8; 0.9; 0.99 ];
   emit t
 
+(* ---------- strategy-sweep: {strategy} x {capacity} campaign ---------- *)
+
+(* The Figure 1/8/10 cells re-run as the full {elision, three-path,
+   lockfree} x {nominal, limited-read, coarse-grain} matrix.  The tables
+   come out as GitHub markdown (they are comparison artifacts for
+   EXPERIMENTS.md, not paper-figure reproductions) and every cell also
+   lands in [sweep_acc] as a schema-validated "sweep" record, which
+   euno_repro flushes into the --json document. *)
+
+let sweep_acc : Report.Json.t list ref = ref []
+let sweep_records () = List.rev !sweep_acc
+
+let sweep_combos =
+  List.concat_map
+    (fun s -> List.map (fun (_, cm) -> (s, cm)) Euno_sim.Cost.capacity_models)
+    Euno_htm.Htm.all_strategies
+
+let combo_label (s, cm) =
+  Printf.sprintf "%s/%s" (Euno_htm.Htm.strategy_name s) cm.Euno_sim.Cost.cm_name
+
+(* Reduced cell sets: enough thetas/threads for the collapse shape to
+   move, small enough that 9 combos per cell stay tractable. *)
+let sweep_fig1_thetas = [ 0.0; 0.6; 0.9; 0.99 ]
+let sweep_fig8_thetas = [ 0.2; 0.9 ]
+let sweep_fig10_thetas = [ 0.2; 0.9 ]
+let sweep_fig10_kinds = [ Kv.Htm_bptree; Kv.Euno Config.full ]
+let sweep_fig10_threads scale =
+  List.filter (fun t -> t <= scale.max_threads) [ 1; 4; 16 ]
+
+let markdown_table ~title ~headers rows =
+  Printf.printf "\n### %s\n\n" title;
+  Printf.printf "| %s |\n" (String.concat " | " headers);
+  Printf.printf "|%s|\n" (String.concat "|" (List.map (fun _ -> " --- ") headers));
+  List.iter
+    (fun row -> Printf.printf "| %s |\n" (String.concat " | " row))
+    rows
+
+let sweep_cell scale ~figure ~kind ~theta ~threads (s, cm) =
+  let scale = { scale with strategy = Some s; capacity = Some cm } in
+  let r =
+    run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default ~threads
+  in
+  sweep_acc := Report.sweep_to_json ~figure ~theta r :: !sweep_acc;
+  r
+
+let strategy_sweep scale =
+  sweep_acc := [];
+  let headers = "cell" :: List.map combo_label sweep_combos in
+  let mops rs = List.map (fun r -> Table.cell_f r.Runner.r_mops) rs in
+  (* Figure 1 cells: the HTM-B+Tree contention storm at 16 threads.  Two
+     tables, because the strategies differ most in *how* they spend the
+     storm: throughput, then fallback entries per op. *)
+  let fig1_rows =
+    List.map
+      (fun theta ->
+        ( theta_label theta,
+          List.map
+            (sweep_cell scale ~figure:"fig1" ~kind:Kv.Htm_bptree ~theta
+               ~threads:16)
+            sweep_combos ))
+      sweep_fig1_thetas
+  in
+  markdown_table
+    ~title:"Strategy sweep, Figure 1 cells: HTM-B+Tree Mops/s (16 threads)"
+    ~headers
+    (List.map (fun (label, rs) -> label :: mops rs) fig1_rows);
+  markdown_table
+    ~title:"Strategy sweep, Figure 1 cells: fallbacks/op (16 threads)"
+    ~headers
+    (List.map
+       (fun (label, rs) ->
+         label
+         :: List.map (fun r -> Table.cell_f r.Runner.r_fallbacks_per_op) rs)
+       fig1_rows);
+  (* Figure 8 cells: all four trees at low and high contention. *)
+  let fig8_rows =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun theta ->
+            ( Printf.sprintf "%s %s" (Kv.kind_name kind) (theta_label theta),
+              List.map
+                (sweep_cell scale ~figure:"fig8" ~kind ~theta ~threads:16)
+                sweep_combos ))
+          sweep_fig8_thetas)
+      Kv.all_kinds
+  in
+  markdown_table
+    ~title:"Strategy sweep, Figure 8 cells: Mops/s (16 threads)" ~headers
+    (List.map (fun (label, rs) -> label :: mops rs) fig8_rows);
+  (* Figure 10 cells: scalability of the two B+Trees whose fallback
+     discipline the strategies actually change. *)
+  let fig10_rows =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun theta ->
+            List.map
+              (fun threads ->
+                ( Printf.sprintf "%s %s t=%d" (Kv.kind_name kind)
+                    (theta_label theta) threads,
+                  List.map
+                    (sweep_cell scale ~figure:"fig10" ~kind ~theta ~threads)
+                    sweep_combos ))
+              (sweep_fig10_threads scale))
+          sweep_fig10_thetas)
+      sweep_fig10_kinds
+  in
+  markdown_table ~title:"Strategy sweep, Figure 10 cells: Mops/s" ~headers
+    (List.map (fun (label, rs) -> label :: mops rs) fig10_rows)
+
 (* ---------- everything ---------- *)
 
 let all scale =
@@ -733,5 +844,6 @@ let by_name =
     ("variance", variance);
     ("adjacency", adjacency);
     ("methodology", methodology);
+    ("strategy-sweep", strategy_sweep);
     ("all", all);
   ]

@@ -65,6 +65,21 @@ val methodology : scale -> unit
 (** Extension: the paper's Figure 2 estimation methodology (per-thread key
     partitions) cross-validated against exact abort attribution. *)
 
+val strategy_sweep : scale -> unit
+(** The strategy contention campaign: the Figure 1/8/10 cells re-run as
+    the full [{elision, three-path, lockfree}] x [{nominal, limited-read,
+    coarse-grain}] matrix, rendered as per-figure markdown comparison
+    tables (Mops/s, plus fallbacks/op for the Figure 1 storm).  Every cell
+    also lands in {!sweep_records} as a schema-validated ["sweep"] record.
+    Cells: Figure 1 = HTM-B+Tree at 16 threads over 4 thetas; Figure 8 =
+    all four trees at 16 threads over 2 thetas; Figure 10 = the two
+    B+Trees over 2 thetas x the [{1, 4, 16}] thread points that fit
+    [scale.max_threads]. *)
+
+val sweep_records : unit -> Report.Json.t list
+(** The ["sweep"] records of the last {!strategy_sweep} run (emission
+    order); cleared at the start of each run. *)
+
 val all : scale -> unit
 
 val by_name : (string * (scale -> unit)) list

@@ -149,6 +149,10 @@ let result_to_json ?experiment ?run (r : Runner.result) =
         ("watchdog_trips_per_op", Json.Float r.r_watchdog_trips_per_op);
         ("starvation_backoffs_per_op", Json.Float r.r_starvation_backoffs_per_op);
         ("convoy_events_per_op", Json.Float r.r_convoy_events_per_op);
+        ("fast_path_wins_per_op", Json.Float r.r_fast_path_wins_per_op);
+        ("middle_path_wins_per_op", Json.Float r.r_middle_path_wins_per_op);
+        ("software_path_wins_per_op", Json.Float r.r_software_path_wins_per_op);
+        ("helped_ops_per_op", Json.Float r.r_helped_ops_per_op);
         ("instr_per_op", Json.Float r.r_instr_per_op);
         ("lat_p50", Json.Int r.r_lat_p50);
         ("lat_p99", Json.Int r.r_lat_p99);
@@ -231,6 +235,34 @@ let check_to_json ?experiment ?run ~tree ~mix ~dist ~mutation ~strategy
                 ("repro", Json.Str repro);
               ] );
         ])
+
+(* One record per strategy-sweep campaign cell: a figure cell (figure,
+   tree, theta, threads) crossed with the {strategy} x {capacity model}
+   matrix, flattened to the metrics the per-figure comparison tables and
+   EXPERIMENTS.md's collapse-shape analysis read (Figures.strategy_sweep
+   emits these through euno_repro's --json sink). *)
+let sweep_to_json ?experiment ?run ~figure ~theta (r : Runner.result) =
+  Json.Obj
+    (context_fields ?experiment ?run ~record:"sweep" ()
+    @ [
+        ("figure", Json.Str figure);
+        ("tree", Json.Str r.Runner.r_name);
+        ("strategy", Json.Str r.r_strategy);
+        ("capacity_model", Json.Str r.r_capacity_model);
+        ("threads", Json.Int r.r_threads);
+        ("theta", Json.Float theta);
+        ("ops", Json.Int r.r_ops);
+        ("mops", Json.Float r.r_mops);
+        ("aborts_per_op", Json.Float r.r_aborts_per_op);
+        ("commits_per_op", Json.Float r.r_commits_per_op);
+        ("wasted_pct", Json.Float r.r_wasted_pct);
+        ("fallbacks_per_op", Json.Float r.r_fallbacks_per_op);
+        ("lock_wait_pct", Json.Float r.r_lock_wait_pct);
+        ("fast_path_wins_per_op", Json.Float r.r_fast_path_wins_per_op);
+        ("middle_path_wins_per_op", Json.Float r.r_middle_path_wins_per_op);
+        ("software_path_wins_per_op", Json.Float r.r_software_path_wins_per_op);
+        ("helped_ops_per_op", Json.Float r.r_helped_ops_per_op);
+      ])
 
 let aggregate_to_json ?experiment (a : Runner.aggregate) =
   Json.Obj
@@ -350,6 +382,10 @@ let validate_result obj =
   let* () = require_field obj "watchdog_trips_per_op" is_num in
   let* () = require_field obj "starvation_backoffs_per_op" is_num in
   let* () = require_field obj "convoy_events_per_op" is_num in
+  let* () = require_field obj "fast_path_wins_per_op" is_num in
+  let* () = require_field obj "middle_path_wins_per_op" is_num in
+  let* () = require_field obj "software_path_wins_per_op" is_num in
+  let* () = require_field obj "helped_ops_per_op" is_num in
   let* () = require_field obj "lat_p50" is_int in
   let* () = require_field obj "lat_p99" is_int in
   let* () = require_field obj "mem" is_obj in
@@ -503,6 +539,28 @@ let validate_check obj =
       require_field v "repro" is_str
   | _ -> Error "missing violation object"
 
+(* Sweep records carry one strategy x capacity-model campaign cell: the
+   figure cell coordinates plus the flattened throughput/abort/path-win
+   metrics (Figures.strategy_sweep emits them via sweep_to_json). *)
+let validate_sweep obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "figure" is_str in
+  let* () = require_field obj "tree" is_str in
+  let* () = require_strategy_fields obj in
+  let* () = require_field obj "threads" is_int in
+  let* () = require_field obj "theta" is_num in
+  let* () = require_field obj "ops" is_int in
+  let* () = require_field obj "mops" is_num in
+  let* () = require_field obj "aborts_per_op" is_num in
+  let* () = require_field obj "commits_per_op" is_num in
+  let* () = require_field obj "wasted_pct" is_num in
+  let* () = require_field obj "fallbacks_per_op" is_num in
+  let* () = require_field obj "lock_wait_pct" is_num in
+  let* () = require_field obj "fast_path_wins_per_op" is_num in
+  let* () = require_field obj "middle_path_wins_per_op" is_num in
+  let* () = require_field obj "software_path_wins_per_op" is_num in
+  require_field obj "helped_ops_per_op" is_num
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
@@ -513,6 +571,7 @@ let validate_record obj =
   | Some (Json.Str "perf") -> validate_perf obj
   | Some (Json.Str "san") -> validate_san obj
   | Some (Json.Str "check") -> validate_check obj
+  | Some (Json.Str "sweep") -> validate_sweep obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

@@ -98,6 +98,19 @@ val check_to_json :
     sizes (preemptions fired, preemptions after shrinking, core events)
     plus the one-line repro descriptor. *)
 
+val sweep_to_json :
+  ?experiment:string ->
+  ?run:int ->
+  figure:string ->
+  theta:float ->
+  Runner.result ->
+  Json.t
+(** One ["sweep"] record: a strategy-campaign cell — the figure cell it
+    belongs to ([figure], tree, [theta], threads), the strategy and
+    capacity model it ran under, and the flattened metrics the per-figure
+    comparison tables read (throughput, aborts, fallbacks, lock wait,
+    per-path commit and helping rates). *)
+
 val snapshot_lines : ?experiment:string -> ?run:int -> Runner.result -> Json.t list
 (** One self-describing ["window"] record per sampling window (for JSONL
     export); empty when the run had no [snapshot_window]. *)
@@ -142,6 +155,11 @@ val validate_san : Json.t -> (unit, string) result
 
 val validate_check : Json.t -> (unit, string) result
 (** Contract for the ["check"] records {!check_to_json} emits. *)
+
+val validate_sweep : Json.t -> (unit, string) result
+(** Contract for the ["sweep"] records {!sweep_to_json} emits: figure cell
+    coordinates, a strategy/capacity-model pair the binaries accept, and
+    the flattened metric set. *)
 
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)

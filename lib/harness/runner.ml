@@ -95,6 +95,10 @@ type result = {
   r_watchdog_trips_per_op : float; (* polite waits cut short by the watchdog *)
   r_starvation_backoffs_per_op : float;
   r_convoy_events_per_op : float; (* fallback entries at convoy depth *)
+  r_fast_path_wins_per_op : float; (* template strategies: unsubscribed commits *)
+  r_middle_path_wins_per_op : float; (* template strategies: subscribed commits *)
+  r_software_path_wins_per_op : float; (* lockfree: descriptor-served ops *)
+  r_helped_ops_per_op : float; (* lockfree: descriptors applied for others *)
   r_instr_per_op : float; (* interpreted accesses: instruction proxy *)
   r_lat_p50 : int; (* per-op latency percentiles, simulated cycles *)
   r_lat_p99 : int;
@@ -306,6 +310,17 @@ let run kind workload setup =
     r_convoy_events_per_op =
       float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.convoy_events)
       /. fops;
+    r_fast_path_wins_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.fast_path_wins)
+      /. fops;
+    r_middle_path_wins_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.middle_path_wins)
+      /. fops;
+    r_software_path_wins_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.software_path_wins)
+      /. fops;
+    r_helped_ops_per_op =
+      float_of_int s.Machine.s_user.(Euno_htm.Htm.Counter.helped_ops) /. fops;
     r_instr_per_op = float_of_int s.Machine.s_accesses /. fops;
     r_lat_p50 = fst lat;
     r_lat_p99 = snd lat;

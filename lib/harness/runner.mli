@@ -75,6 +75,18 @@ type result = {
       (** escalating backoffs taken after consecutive fallbacks *)
   r_convoy_events_per_op : float;
       (** fallback entries that found a convoy already queued *)
+  r_fast_path_wins_per_op : float;
+      (** {!Euno_htm.Htm.Three_path}/{!Euno_htm.Htm.Lockfree}: commits on
+          the unsubscribed fast path; 0 under elision *)
+  r_middle_path_wins_per_op : float;
+      (** template strategies: commits on the activity-subscribed middle
+          path *)
+  r_software_path_wins_per_op : float;
+      (** {!Euno_htm.Htm.Lockfree}: operations served through a published
+          descriptor (own combining tenure or helped) *)
+  r_helped_ops_per_op : float;
+      (** {!Euno_htm.Htm.Lockfree}: descriptors a combiner applied on
+          behalf of other threads *)
   r_instr_per_op : float;
   r_lat_p50 : int;
       (** median per-operation latency in simulated cycles *)

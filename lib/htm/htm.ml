@@ -3,8 +3,8 @@
 
    A strategy decides what happens around the raw transactional attempt:
    how attempts subscribe to concurrent fallback activity, when retries
-   give up, and how the software fallback serializes.  Two strategies are
-   provided:
+   give up, and how the software fallback serializes.  Three strategies
+   are provided:
 
    - [Elision] mirrors the DBX/DrTM lock elision the paper reuses
      (Section 4.2.1): each abort type has its own retry budget; when a
@@ -20,7 +20,19 @@
      announces itself on that counter and waits out in-flight fast-path
      attempts (a grace period) before entering its critical section.
 
-   Graceful degradation (both strategies): the polite wait spin is bounded
+   - [Lockfree] is Brown's full template: the same fast/middle discipline,
+     but the software path makes progress without queueing on a global
+     fallback lock.  An operation that exhausts its budgets publishes a
+     per-op descriptor in the padded sidecar, announces itself on the
+     activity counter (dooming middle-path subscribers and fencing off new
+     fast-path attempts), and is then served by whichever thread currently
+     holds the combiner claim — its own claim if it wins the single
+     try-acquire, or another thread's tenure that applies every pending
+     descriptor (helping).  A helped operation completes without its
+     thread ever touching the fallback lock, which is the progress
+     property the serialized fallbacks lack.
+
+   Graceful degradation (all strategies): the polite wait spin is bounded
    by a watchdog (a stalled fallback holder cannot hang a waiter forever —
    the waiter falls through to the budget path and eventually serializes),
    the fallback acquisition itself is bounded (a leaked lock surfaces as
@@ -58,18 +70,30 @@ module Testonly = struct
      neither aborts while a software fallback is active nor is doomed when
      one arrives — the same lost-update window as skip_subscription, in
      the strategy whose *fast* path legitimately has no subscription. *)
+
+  let lf_skip_announce = ref false
+  (* Lockfree bug: skip the software path's announcement FAA on the
+     activity counter (and its matching decrement).  An unannounced
+     software op neither dooms middle-path subscribers nor fences off new
+     fast-path transactions, so the combiner's plain application can
+     overlap an unsubscribed commit — the lost-doom torn commit EunoCheck
+     must catch as a non-linearizable history. *)
 end
 
-type strategy = Elision | Three_path
+type strategy = Elision | Three_path | Lockfree
 
-let strategy_name = function Elision -> "elision" | Three_path -> "three-path"
+let strategy_name = function
+  | Elision -> "elision"
+  | Three_path -> "three-path"
+  | Lockfree -> "lockfree"
 
 let strategy_of_name = function
   | "elision" -> Some Elision
   | "three-path" -> Some Three_path
+  | "lockfree" -> Some Lockfree
   | _ -> None
 
-let all_strategies = [ Elision; Three_path ]
+let all_strategies = [ Elision; Three_path; Lockfree ]
 let strategy_names = List.map strategy_name all_strategies
 
 type policy = {
@@ -144,6 +168,11 @@ let polite_policy =
    software fallback. *)
 let three_path_policy = { default_policy with strategy = Three_path }
 
+(* Brown's full template with the lock-free software fallback: same
+   fast/middle budgets, but exhausted operations publish descriptors and
+   are served by the current combiner instead of queueing on the lock. *)
+let lockfree_policy = { default_policy with strategy = Lockfree }
+
 (* User-counter indices (see Machine.n_user_counters), claimed through the
    machine's registry below so a new strategy cannot silently alias an
    index another module owns.  Euno_tree owns 3-7. *)
@@ -157,8 +186,17 @@ module Counter = struct
   let fast_path_wins = 11 (* [Three_path] commits on the unsubscribed path *)
   let middle_path_wins = 12 (* [Three_path] commits on the subscribed path *)
   let grace_wait_cycles = 13
-  (* [Three_path] cycles fallback entrants spent waiting out in-flight
-     fast-path attempts before entering the critical section *)
+  (* [Three_path]/[Lockfree] cycles fallback entrants (combiner tenures)
+     spent waiting out in-flight fast-path attempts before entering the
+     critical section *)
+
+  let software_path_wins = 14
+  (* [Lockfree] operations served through a published descriptor — by the
+     thread's own combining tenure or by another thread's (helped) *)
+
+  let helped_ops = 15
+  (* [Lockfree] descriptors a combiner applied on behalf of *other*
+     threads during its tenure *)
 
   (* Telemetry labels for the indices this module owns. *)
   let names =
@@ -172,6 +210,8 @@ module Counter = struct
       (fast_path_wins, "fast_path_wins");
       (middle_path_wins, "middle_path_wins");
       (grace_wait_cycles, "grace_wait_cycles");
+      (software_path_wins, "software_path_wins");
+      (helped_ops, "helped_ops");
     ]
 end
 
@@ -188,12 +228,13 @@ let convoy_depth = 3
    transactions and the slots use untracked accesses, so none of it can
    doom a transaction or join a read set.
 
-   [tp] is the 3-path protocol sidecar, allocated only when the lock is
-   created for a [Three_path] policy (so elision-only worlds keep the
-   exact allocation stream the golden traces were recorded against):
-   word 0 is the fallback-activity counter the middle path subscribes to
-   and fallback entrants FAA, then one untracked in-fast-attempt flag per
-   thread.  [tp = -1] when absent. *)
+   [tp] is the template protocol sidecar, allocated only when the lock is
+   created for a [Three_path] or [Lockfree] policy (so elision-only worlds
+   keep the exact allocation stream the golden traces were recorded
+   against): word 0 is the fallback-activity counter the middle path
+   subscribes to and fallback entrants FAA, then one untracked
+   in-fast-attempt flag per thread, then — [Lockfree] only — one
+   descriptor-status word per thread.  [tp = -1] when absent. *)
 type lock = { word : int; aux : int; tp : int }
 
 let aux_words = 1 + Euno_sim.Line_table.max_threads
@@ -208,6 +249,36 @@ let tp_stride = Euno_mem.Memory.line_words
 let tp_words = tp_stride * (1 + Euno_sim.Line_table.max_threads)
 let tp_flag lock tid = lock.tp + (tp_stride * (1 + tid))
 
+(* The lockfree sidecar extends the 3-path layout with one padded
+   descriptor-status word per thread (empty / pending / taken / done),
+   after the activity counter and the fast flags.  Status transitions
+   cross threads, so they use CAS (publish and retire are owner-only plain
+   writes); polling spins use untracked reads, like the grace wait. *)
+let lf_empty = 0
+let lf_pending = 1
+let lf_taken = 2
+let lf_done = 3
+let lf_tp_words = tp_stride * (1 + (2 * Euno_sim.Line_table.max_threads))
+
+let lf_desc lock tid =
+  lock.tp + (tp_stride * (1 + Euno_sim.Line_table.max_threads + tid))
+
+(* Host-side descriptor bodies: the status word lives in simulated memory,
+   but the operation closure and its result cannot, so they ride in a
+   per-lock table keyed by the sidecar base address.  [alloc_lock]
+   (re)installs the entry, so a sidecar address recycled by a later
+   simulated world never leaks stale descriptors; the table itself holds
+   no simulated state, so determinism is untouched.  Results are
+   monomorphised through [Obj] — sound because only the owning thread ever
+   reads its own slot's result, with the type the closure it published
+   produced. *)
+type lf_cell = {
+  mutable lf_fn : (unit -> Obj.t) option;
+  mutable lf_res : (Obj.t, exn) result;
+}
+
+let lf_tables : (int, lf_cell array) Hashtbl.t = Hashtbl.create 7
+
 let alloc_lock ?(policy = default_policy) () =
   let word = Spinlock.alloc () in
   let aux = Api.alloc ~kind:Euno_mem.Linemap.Scratch ~words:aux_words in
@@ -218,7 +289,17 @@ let alloc_lock ?(policy = default_policy) () =
         (* Lock-kind, so a conflict cascade on the activity counter
            classifies as Subscription — it is the 3-path analogue of the
            elision lock word, not a data conflict. *)
-        Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:tp_words
+        let tp = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:tp_words in
+        (* A recycled address must not alias an earlier world's lockfree
+           descriptor table: this sidecar has no descriptor stripe. *)
+        Hashtbl.remove lf_tables tp;
+        tp
+    | Lockfree ->
+        let tp = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:lf_tp_words in
+        Hashtbl.replace lf_tables tp
+          (Array.init Euno_sim.Line_table.max_threads (fun _ ->
+               { lf_fn = None; lf_res = Error Not_found }));
+        tp
   in
   { word; aux; tp }
 
@@ -514,38 +595,32 @@ module Elision : STRATEGY = struct
     go ()
 end
 
-(* ---------- strategy 2: Brown's 3-path template ---------- *)
+(* ---------- the shared fast/middle template (Brown) ---------- *)
 
-module Three_path : STRATEGY = struct
-  let name = "three-path"
-  let needs_sidecar = true
+(* Protocol recap, shared by [Three_path] and [Lockfree].  The sidecar
+   carries an activity counter A (word [lock.tp]) and one per-thread
+   in-fast-attempt flag (untracked).
 
-  (* Protocol recap.  The sidecar carries an activity counter A (word
-     [lock.tp]) and one per-thread in-fast-attempt flag (untracked).
+   Fast path: set own flag, peek A untracked; if A = 0, attempt the
+   transaction with NO subscription read, clear the flag when the
+   attempt finishes (commit or abort).  If A > 0, clear the flag and
+   drop to the middle path.
 
-     Fast path: set own flag, peek A untracked; if A = 0, attempt the
-     transaction with NO subscription read, clear the flag when the
-     attempt finishes (commit or abort).  If A > 0, clear the flag and
-     drop to the middle path.
+   Middle path: attempt with an in-transaction read of A, aborting
+   explicitly when A > 0 — the elision subscription discipline against
+   A instead of the lock word.
 
-     Middle path: attempt with an in-transaction read of A, aborting
-     explicitly when A > 0 — the elision subscription discipline against
-     A instead of the lock word.
-
-     Fallback: FAA A (dooming every middle-path subscriber), then wait
-     until every fast flag reads 0 — the grace period.  A fast attempt
-     that set its flag before our FAA is waited out here; one that sets
-     it afterwards peeks A > 0 and never starts a transaction.  Only then
-     acquire the fallback lock (serializing against other fallbacks), run
-     [f], release, FAA A back down.  Mutual exclusion between the
-     unsubscribed fast path and the fallback therefore never depends on
-     conflict detection — it is the flag/counter handshake. *)
-
-  let run ~policy ~on_abort ~lock f =
-    if lock.tp < 0 then
-      invalid_arg
-        "Htm: three-path strategy requires a lock from alloc_lock with a \
-         three-path policy";
+   Software path ([software], the strategy-specific part): announce on A
+   (dooming every middle-path subscriber), then wait until every fast
+   flag reads 0 — the grace period.  A fast attempt that set its flag
+   before the FAA is waited out; one that sets it afterwards peeks A > 0
+   and never starts a transaction.  Only then run [f] plainly —
+   serialized on the fallback lock ([Three_path]) or applied by the
+   current combiner tenure ([Lockfree]) — and FAA A back down.  Mutual
+   exclusion between the unsubscribed fast path and the software path
+   therefore never depends on conflict detection — it is the flag/counter
+   handshake. *)
+let template_run ~policy ~on_abort ~lock ~software f =
     let activity = lock.tp in
     let fast_flag = tp_flag lock (Api.tid ()) in
     let budgets = budgets_of policy in
@@ -559,7 +634,93 @@ module Three_path : STRATEGY = struct
         Api.untracked_write starvation_slot 0;
       v
     in
-    let fallback () =
+    let rec middle () =
+      match attempt_middle ~lock f with
+      | Ok v -> won Counter.middle_path_wins v
+      | Error code ->
+          on_abort code;
+          (* Same queueing discipline as elision, keyed on fallback
+             activity instead of the lock word. *)
+          let queued =
+            policy.wait_for_lock
+            && code = Abort.Explicit Abort.xabort_fallback_active
+          in
+          if
+            queued
+            && bounded_wait ~policy (fun () -> Api.untracked_read activity = 0)
+          then begin
+            Api.count Counter.retries 1;
+            middle ()
+          end
+          else begin
+            if queued then Api.count Counter.watchdog_trips 1;
+            if spend budgets code then begin
+              Api.count Counter.retries 1;
+              (match code with
+              | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+              | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+              | Abort.Timer | Abort.Alloc_fault ->
+                  ());
+              middle ()
+            end
+            else software ()
+          end
+    in
+    let rec fast attempts_left =
+      if attempts_left <= 0 then middle ()
+      else begin
+        (* Flag before peeking: a fallback that FAAs A after our peek is
+           guaranteed to see the flag during its grace wait. *)
+        Api.untracked_write fast_flag 1;
+        if Api.untracked_read activity > 0 then begin
+          Api.untracked_write fast_flag 0;
+          middle ()
+        end
+        else begin
+          let r =
+            match attempt f with
+            | r ->
+                Api.untracked_write fast_flag 0;
+                r
+            | exception e ->
+                Api.untracked_write fast_flag 0;
+                raise e
+          in
+          match r with
+          | Ok v -> won Counter.fast_path_wins v
+          | Error code ->
+              on_abort code;
+              if spend budgets code then begin
+                Api.count Counter.retries 1;
+                (match code with
+                | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
+                | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
+                | Abort.Timer | Abort.Alloc_fault ->
+                    ());
+                fast (attempts_left - 1)
+              end
+              else software ()
+        end
+      end
+    in
+    fast policy.fast_path_attempts
+
+(* ---------- strategy 2: Brown's 3-path template ---------- *)
+
+module Three_path : STRATEGY = struct
+  let name = "three-path"
+  let needs_sidecar = true
+
+  (* The template with a lock-serialized software path: announce, grace
+     wait, then a bounded acquisition of the fallback lock. *)
+  let run ~policy ~on_abort ~lock f =
+    if lock.tp < 0 then
+      invalid_arg
+        "Htm: three-path strategy requires a lock from alloc_lock with a \
+         three-path policy";
+    let software () =
+      let activity = lock.tp in
+      let starvation_slot = lock.aux + 1 + Api.tid () in
       let consecutive = fallback_enter ~policy ~lock ~starvation_slot in
       (* Announce before the grace wait: once A > 0 is visible no new
          fast-path transaction starts, so every flag only needs to be
@@ -609,81 +770,171 @@ module Three_path : STRATEGY = struct
           fallback_abandoned ~starvation_slot ~consecutive;
           raise e
     in
-    let rec middle () =
-      match attempt_middle ~lock f with
-      | Ok v -> won Counter.middle_path_wins v
-      | Error code ->
-          on_abort code;
-          (* Same queueing discipline as elision, keyed on fallback
-             activity instead of the lock word. *)
-          let queued =
-            policy.wait_for_lock
-            && code = Abort.Explicit Abort.xabort_fallback_active
-          in
-          if
-            queued
-            && bounded_wait ~policy (fun () -> Api.untracked_read activity = 0)
-          then begin
-            Api.count Counter.retries 1;
-            middle ()
-          end
-          else begin
-            if queued then Api.count Counter.watchdog_trips 1;
-            if spend budgets code then begin
-              Api.count Counter.retries 1;
-              (match code with
-              | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
-              | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
-              | Abort.Timer | Abort.Alloc_fault ->
-                  ());
-              middle ()
-            end
-            else fallback ()
-          end
+    template_run ~policy ~on_abort ~lock ~software f
+end
+
+(* ---------- strategy 3: Brown's full template, lock-free software
+   fallback (descriptor publication + combining/helping) ---------- *)
+
+module Lockfree : STRATEGY = struct
+  let name = "lockfree"
+  let needs_sidecar = true
+
+  (* Software-path protocol.  A thread whose budgets run out:
+
+     1. publishes: stores its operation closure in the host-side cell and
+        plain-writes its status word empty→pending (owner-only
+        transition);
+     2. announces: FAA on the activity counter — middle-path subscribers
+        are doomed, new fast attempts fenced off (the [Testonly.
+        lf_skip_announce] mutation deletes exactly this edge);
+     3. serves: polls its own status; when the single [try_acquire] on
+        the fallback word wins, it becomes the combiner — one grace wait
+        over the fast flags, then every pending descriptor is claimed
+        (CAS pending→taken), applied plainly, and marked done.  A thread
+        that loses the try_acquire just keeps polling: the current
+        combiner applies its descriptor for it (helping), and the op
+        completes without this thread ever touching the lock.
+
+     The combiner's own announcement spans its whole tenure (it retires
+     it only after taking its result, post-release), so activity ≥ 1
+     covers every plain application, and each tenure begins with a grace
+     wait — no unsubscribed fast transaction ever overlaps one.
+
+     Abandonment (watchdog past [stuck_limit]) must leave no droppable
+     op behind: withdrawing CASes pending→empty; if that fails a combiner
+     already owns the descriptor and its effects will land, so the thread
+     waits for done and returns normally instead of raising. *)
+
+  let run ~policy ~on_abort ~lock f =
+    let cells =
+      match
+        if lock.tp < 0 then None else Hashtbl.find_opt lf_tables lock.tp
+      with
+      | Some cells -> cells
+      | None ->
+          invalid_arg
+            "Htm: lockfree strategy requires a lock from alloc_lock with a \
+             lockfree policy"
     in
-    let rec fast attempts_left =
-      if attempts_left <= 0 then middle ()
-      else begin
-        (* Flag before peeking: a fallback that FAAs A after our peek is
-           guaranteed to see the flag during its grace wait. *)
-        Api.untracked_write fast_flag 1;
-        if Api.untracked_read activity > 0 then begin
-          Api.untracked_write fast_flag 0;
-          middle ()
+    let software () =
+      let tid = Api.tid () in
+      let activity = lock.tp in
+      let starvation_slot = lock.aux + 1 + tid in
+      let desc = lf_desc lock tid in
+      let cell = cells.(tid) in
+      let consecutive = fallback_enter ~policy ~lock ~starvation_slot in
+      cell.lf_fn <- Some (fun () -> Obj.repr (f ()));
+      Api.write desc lf_pending;
+      if not !Testonly.lf_skip_announce then ignore (Api.faa activity 1);
+      let t0 = Api.clock () in
+      (* Status is done: take the result, retire slot + announcement. *)
+      let finish () =
+        let r = cell.lf_res in
+        cell.lf_fn <- None;
+        cell.lf_res <- Error Not_found;
+        Api.write desc lf_empty;
+        if not !Testonly.lf_skip_announce then ignore (Api.faa activity (-1));
+        ignore (Api.faa lock.aux (-1));
+        match r with
+        | Ok v ->
+            Api.count Counter.software_path_wins 1;
+            Obj.obj v
+        | Error e ->
+            (* The op ran but raised (injected fault / user exception):
+               like its siblings, it was not served — give the starvation
+               entry back before propagating. *)
+            fallback_abandoned ~starvation_slot ~consecutive;
+            raise e
+      in
+      let withdraw waited =
+        if Api.cas desc ~expected:lf_pending ~desired:lf_empty then begin
+          cell.lf_fn <- None;
+          if not !Testonly.lf_skip_announce then
+            ignore (Api.faa activity (-1));
+          ignore (Api.faa lock.aux (-1));
+          fallback_abandoned ~starvation_slot ~consecutive;
+          raise (Stuck_fallback { lock = lock.word; waited })
         end
         else begin
-          let r =
-            match attempt f with
-            | r ->
-                Api.untracked_write fast_flag 0;
-                r
-            | exception e ->
-                Api.untracked_write fast_flag 0;
-                raise e
-          in
-          match r with
-          | Ok v -> won Counter.fast_path_wins v
-          | Error code ->
-              on_abort code;
-              if spend budgets code then begin
-                Api.count Counter.retries 1;
-                (match code with
-                | Abort.Conflict _ | Abort.Explicit _ -> Backoff.once backoff
-                | Abort.Capacity_read | Abort.Capacity_write | Abort.Spurious
-                | Abort.Timer | Abort.Alloc_fault ->
-                    ());
-                fast (attempts_left - 1)
-              end
-              else fallback ()
+          (* A combiner claimed the descriptor between the timeout and the
+             CAS: the op's effects will land, so abandoning now would
+             drop a served op.  Application is plain and bounded — wait
+             for done and return normally. *)
+          while Api.untracked_read desc <> lf_done do
+            Api.work 64
+          done;
+          finish ()
         end
-      end
+      in
+      (* We hold the combiner claim (lock.word). *)
+      let combine () =
+        if Api.untracked_read desc = lf_done then begin
+          (* The previous tenure served us between our poll and our
+             claim; nothing left to combine for. *)
+          Spinlock.release lock.word;
+          finish ()
+        end
+        else begin
+          let tg = Api.clock () in
+          let rec grace t =
+            if t >= Euno_sim.Line_table.max_threads then true
+            else if Api.untracked_read (tp_flag lock t) = 0 then grace (t + 1)
+            else if Api.clock () - tg > policy.stuck_limit then false
+            else begin
+              Api.work 64;
+              grace t
+            end
+          in
+          let quiesced = grace 0 in
+          Api.count Counter.grace_wait_cycles (Api.clock () - tg);
+          if not quiesced then begin
+            Spinlock.release lock.word;
+            withdraw (Api.clock () - t0)
+          end
+          else begin
+            (* Between claim and release no other combiner runs and
+               every status is empty, pending or done — [lf_taken] is
+               tenure-local.  Our own descriptor was pending (checked
+               above), so it is done when the loop finishes. *)
+            for u = 0 to Euno_sim.Line_table.max_threads - 1 do
+              let du = lf_desc lock u in
+              if
+                Api.untracked_read du = lf_pending
+                && Api.cas du ~expected:lf_pending ~desired:lf_taken
+              then begin
+                let cu = cells.(u) in
+                (match (Option.get cu.lf_fn) () with
+                | v -> cu.lf_res <- Ok v
+                | exception e -> cu.lf_res <- Error e);
+                Api.write du lf_done;
+                if u <> tid then Api.count Counter.helped_ops 1
+              end
+            done;
+            Spinlock.release lock.word;
+            finish ()
+          end
+        end
+      in
+      let rec serve () =
+        if Api.untracked_read desc = lf_done then finish ()
+        else if Spinlock.try_acquire lock.word then combine ()
+        else if Api.clock () - t0 > policy.stuck_limit then
+          withdraw (Api.clock () - t0)
+        else begin
+          Api.work 64;
+          serve ()
+        end
+      in
+      serve ()
     in
-    fast policy.fast_path_attempts
+    template_run ~policy ~on_abort ~lock ~software f
 end
 
 let strategy_impl = function
   | Elision -> (module Elision : STRATEGY)
   | Three_path -> (module Three_path : STRATEGY)
+  | Lockfree -> (module Lockfree : STRATEGY)
 
 let strategies =
   List.map (fun s -> (strategy_name s, strategy_impl s)) all_strategies

@@ -4,7 +4,7 @@
     — how attempts subscribe to concurrent fallback activity, how retries
     are budgeted, and how the software fallback serializes.  Trees call
     {!atomic}, which dispatches on [policy.strategy], so a new strategy
-    needs no tree-code changes.  Two strategies ship:
+    needs no tree-code changes.  Three strategies ship:
 
     - {!Elision}: the DBX/DrTM lock elision the paper reuses — per-abort-
       type retry budgets, then serialization on a global fallback lock
@@ -13,18 +13,23 @@
       HTM middle path subscribed to a fallback-activity counter, and a
       bounded lock-serialized software fallback that announces itself and
       waits out in-flight fast-path attempts before entering.
+    - {!Lockfree}: Brown's full template — the same fast/middle
+      discipline, but the software path publishes a per-op descriptor and
+      is served by the current combiner tenure (helping), so a helped
+      operation completes without its thread ever touching the fallback
+      lock.
 
-    Both are hardened for graceful degradation: polite waits are bounded
+    All are hardened for graceful degradation: polite waits are bounded
     by a watchdog, fallback acquisition (and the 3-path grace wait) is
     bounded (a leaked lock raises {!Stuck_fallback} instead of hanging),
     starving threads escalate a jittered backoff, and fallback convoys
     are counted in telemetry. *)
 
-type strategy = Elision | Three_path
+type strategy = Elision | Three_path | Lockfree
 
 val strategy_name : strategy -> string
-(** ["elision"] / ["three-path"] — the names used by CLIs, report records
-    and the schema checker. *)
+(** ["elision"] / ["three-path"] / ["lockfree"] — the names used by CLIs,
+    report records and the schema checker. *)
 
 val strategy_of_name : string -> strategy option
 val all_strategies : strategy list
@@ -37,9 +42,9 @@ type policy = {
   lock_busy_retries : int;
   other_retries : int;
   fast_path_attempts : int;
-      (** {!Three_path} only: unsubscribed fast-path attempts before the
-          operation drops to the subscribed middle path.  Failed fast
-          attempts still spend their abort-type budgets. *)
+      (** {!Three_path}/{!Lockfree}: unsubscribed fast-path attempts
+          before the operation drops to the subscribed middle path.
+          Failed fast attempts still spend their abort-type budgets. *)
   backoff_base : int;
   backoff_cap : int;
   wait_for_lock : bool;
@@ -81,6 +86,14 @@ module Testonly : sig
       fallback-activity counter, so a middle-path transaction can commit
       in the middle of a software fallback's critical section — the
       3-path analogue of [skip_subscription]. *)
+
+  val lf_skip_announce : bool ref
+  (** {!Lockfree} bug: skip the software path's announcement FAA on the
+      activity counter (and the matching decrement).  An unannounced
+      descriptor neither dooms middle-path subscribers nor fences off new
+      fast-path transactions, so a combiner's plain application can
+      overlap an unsubscribed commit — a lost-doom torn commit EunoCheck
+      must surface as a non-linearizable history. *)
 end
 
 val default_policy : policy
@@ -93,6 +106,9 @@ val polite_policy : policy
 
 val three_path_policy : policy
 (** {!default_policy} with [strategy = Three_path]. *)
+
+val lockfree_policy : policy
+(** {!default_policy} with [strategy = Lockfree]. *)
 
 (** User-counter indices used by this module (via {!Euno_sim.Api.count}),
     claimed through {!Euno_sim.Machine.register_user_counters} under owner
@@ -116,14 +132,24 @@ module Counter : sig
       past the fallback entry. *)
 
   val fast_path_wins : int
-  (** {!Three_path}: commits on the unsubscribed fast path. *)
+  (** {!Three_path}/{!Lockfree}: commits on the unsubscribed fast path. *)
 
   val middle_path_wins : int
-  (** {!Three_path}: commits on the activity-subscribed middle path. *)
+  (** {!Three_path}/{!Lockfree}: commits on the activity-subscribed middle
+      path. *)
 
   val grace_wait_cycles : int
-  (** {!Three_path}: cycles fallback entrants spent waiting out in-flight
-      fast-path attempts before entering the critical section. *)
+  (** {!Three_path}/{!Lockfree}: cycles fallback entrants (combiner
+      tenures) spent waiting out in-flight fast-path attempts before
+      entering the critical section. *)
+
+  val software_path_wins : int
+  (** {!Lockfree}: operations served through a published descriptor — by
+      the thread's own combining tenure or helped by another's. *)
+
+  val helped_ops : int
+  (** {!Lockfree}: descriptors a combiner applied on behalf of {e other}
+      threads during its tenure. *)
 
   val names : (int * string) list
   (** Telemetry labels for the user-counter indices this module owns. *)
@@ -137,14 +163,17 @@ type lock = { word : int; aux : int; tp : int }
     depth + per-thread consecutive-fallback slots) used by the convoy and
     starvation detectors.  The sidecar is accessed untracked / outside
     transactions only, so it never dooms a transaction.  [tp] is the
-    3-path protocol sidecar (fallback-activity counter + per-thread
-    in-fast-attempt flags), allocated only for {!Three_path} policies;
-    [-1] when absent. *)
+    template protocol sidecar (fallback-activity counter + per-thread
+    in-fast-attempt flags + — {!Lockfree} only — per-thread
+    descriptor-status words), allocated only for {!Three_path} and
+    {!Lockfree} policies; [-1] when absent. *)
 
 val alloc_lock : ?policy:policy -> unit -> lock
 (** Allocate the fallback lock for [policy] (default {!default_policy}).
     Only the policy's [strategy] matters: {!Three_path} additionally
-    allocates the protocol sidecar.  Elision locks keep the historical
+    allocates the protocol sidecar, and {!Lockfree} the wider sidecar
+    (descriptor-status stripe) plus the host-side descriptor table the
+    combiner reads closures from.  Elision locks keep the historical
     allocation stream exactly, so golden traces are unaffected. *)
 
 val lock_word : lock -> int
@@ -153,14 +182,23 @@ val lock_word : lock -> int
 
 val tp_flag : lock -> int -> int
 (** [tp_flag lock tid]: address of [tid]'s in-fast-attempt flag in the
-    3-path sidecar.  Each flag (and the activity counter) lives on its own
-    cache line, so untracked flag traffic never lands inside a middle-path
-    subscriber's read-set line. *)
+    template sidecar.  Each flag (and the activity counter) lives on its
+    own cache line, so untracked flag traffic never lands inside a
+    middle-path subscriber's read-set line. *)
+
+val lf_desc : lock -> int -> int
+(** [lf_desc lock tid]: address of [tid]'s descriptor-status word in the
+    {!Lockfree} sidecar (0 empty, 1 pending, 2 taken by a combiner,
+    3 done) — padded one word per line like the fast flags.  Only
+    meaningful for locks allocated under a {!Lockfree} policy. *)
 
 exception Stuck_fallback of { lock : int; waited : int }
 (** The fallback path spun [policy.stuck_limit] cycles without acquiring
-    the lock (or, for {!Three_path}, without the grace period
-    quiescing): it is leaked or its holder is stalled beyond reason. *)
+    the lock (or, for the template strategies, without the grace period
+    quiescing / without its descriptor being served): it is leaked or its
+    holder is stalled beyond reason.  {!Lockfree} raises this only after
+    withdrawing its still-pending descriptor — an operation a combiner
+    already claimed is waited out and returns normally instead. *)
 
 val attempt : (unit -> 'a) -> ('a, Euno_sim.Abort.code) result
 (** One raw transactional attempt (no subscription, no retry).  If [f]
@@ -216,6 +254,7 @@ end
 
 module Elision : STRATEGY
 module Three_path : STRATEGY
+module Lockfree : STRATEGY
 
 val strategy_impl : strategy -> (module STRATEGY)
 val strategies : (string * (module STRATEGY)) list

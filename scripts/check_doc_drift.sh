@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Doc-drift gate: the README's command listings must cover what the
+# binaries actually accept.  For every CLI this dumps the real --help
+# output and fails if it advertises a flag (or, for euno_repro, an
+# experiment name) that README.md never mentions — so a new subcommand
+# or flag cannot land without its documentation.
+#
+# Run from the repo root after `dune build @all`:
+#   scripts/check_doc_drift.sh
+set -u
+cd "$(dirname "$0")/.."
+
+BIN=_build/default/bin
+fail=0
+
+mention() {
+  # Word-ish match: '--json' must not be satisfied by '--jsonl'.
+  grep -Eq -- "$1([^a-z-]|\$)" README.md
+}
+
+check_flags() {
+  local name="$1"
+  shift
+  local help flag
+  help="$("$@" 2>/dev/null)"
+  if [ -z "$help" ]; then
+    echo "doc drift: could not get help output from $name" >&2
+    fail=1
+    return
+  fi
+  for flag in $(printf '%s\n' "$help" | grep -oE -- '--[a-z][a-z-]*' | sort -u); do
+    case "$flag" in
+    --help | --version) continue ;;
+    esac
+    if ! mention "$flag"; then
+      echo "doc drift: $name accepts '$flag' but README.md does not document it" >&2
+      fail=1
+    fi
+  done
+}
+
+check_flags euno_repro "$BIN/euno_repro.exe" --help=plain
+check_flags euno_san "$BIN/euno_san.exe" --help
+check_flags euno_check "$BIN/euno_check.exe" --help
+check_flags euno_schema_check "$BIN/euno_schema_check.exe" --help
+check_flags euno_perf_check "$BIN/euno_perf_check.exe" --help
+
+# Every experiment euno_repro's EXPERIMENT enum accepts must appear in the
+# README synopsis.  The enum is printed by the invalid-value error, one
+# quoted name each.
+experiments="$("$BIN/euno_repro.exe" __nosuch__ 2>&1 | grep -oE "'[a-z0-9-]+'" | tr -d "'" | sort -u)"
+if [ -z "$experiments" ]; then
+  echo "doc drift: could not extract euno_repro's experiment list" >&2
+  fail=1
+fi
+for exp in $experiments; do
+  case "$exp" in
+  __nosuch__) continue ;;
+  esac
+  if ! grep -Eq "(^|[^a-z0-9-])$exp([^a-z0-9-]|\$)" README.md; then
+    echo "doc drift: euno_repro experiment '$exp' is not documented in README.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-drift gate FAILED: update README.md's command listings" >&2
+  exit 1
+fi
+echo "doc-drift gate passed: README.md covers every CLI flag and experiment"

@@ -218,7 +218,7 @@ let test_policies_deterministic () =
    the violation deterministically (same core twice). *)
 let test_mutations_caught () =
   let outs = Check_run.hunt_mutations ~budget:64 ~seed:42 () in
-  check_int "all registered mutations hunted" 3 (List.length outs);
+  check_int "all registered mutations hunted" 4 (List.length outs);
   List.iter
     (fun o ->
       let c = o.Check_run.o_config in

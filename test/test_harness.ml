@@ -339,6 +339,72 @@ let test_validation_rejects_wrong_version () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "accepted future schema version"
 
+(* ---------- strategy-sweep campaign records ---------- *)
+
+module Figures = Euno_harness.Figures
+
+(* The strategy-sweep campaign must emit the complete {strategy} x
+   {capacity model} matrix over its Figure 1/8/10 cells — every record
+   schema-valid, and the whole record set byte-identical across a double
+   run (the campaign is a simulation, so reruns are free of noise). *)
+let test_strategy_sweep_records_complete_and_deterministic () =
+  let scale =
+    {
+      Figures.quick_scale with
+      Figures.key_space = 1 lsl 10;
+      ops_per_thread = 100;
+      max_threads = 4;
+    }
+  in
+  let capture () =
+    Figures.strategy_sweep scale;
+    Figures.sweep_records ()
+  in
+  let records = capture () in
+  let strategies = Euno_htm.Htm.strategy_names in
+  let capacities = Euno_sim.Cost.capacity_model_names in
+  (* fig1: 4 thetas; fig8: all kinds x 2 thetas; fig10: 2 trees x
+     2 thetas x the {1, 4, 16} thread points <= max_threads (here 2) *)
+  let cells = 4 + (2 * List.length Kv.all_kinds) + (2 * 2 * 2) in
+  check_int "full matrix of records"
+    (List.length strategies * List.length capacities * cells)
+    (List.length records);
+  let field name r =
+    match Option.bind (Json.member name r) Json.as_string with
+    | Some s -> s
+    | None -> Alcotest.failf "record missing '%s'" name
+  in
+  List.iter
+    (fun r ->
+      match Report.validate_record r with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sweep record schema: %s" e)
+    records;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun cm ->
+          check_int
+            (Printf.sprintf "cells for %s/%s" s cm)
+            cells
+            (List.length
+               (List.filter
+                  (fun r ->
+                    field "strategy" r = s && field "capacity_model" r = cm)
+                  records)))
+        capacities)
+    strategies;
+  List.iter
+    (fun (figure, expect) ->
+      check_int
+        (figure ^ " cell count")
+        (expect * List.length strategies * List.length capacities)
+        (List.length (List.filter (fun r -> field "figure" r = figure) records)))
+    [ ("fig1", 4); ("fig8", 2 * List.length Kv.all_kinds); ("fig10", 8) ];
+  let again = capture () in
+  check_bool "deterministic across double run" true
+    (List.map Json.to_string records = List.map Json.to_string again)
+
 let suite =
   [
     Alcotest.test_case "stress marathon (all trees)" `Slow
@@ -378,4 +444,6 @@ let suite =
       test_collector_observes_every_run;
     Alcotest.test_case "schema version enforced" `Quick
       test_validation_rejects_wrong_version;
+    Alcotest.test_case "strategy-sweep records complete + deterministic" `Slow
+      test_strategy_sweep_records_complete_and_deterministic;
   ]

@@ -762,6 +762,205 @@ let test_three_path_contended_correctness () =
   check_int "no fallback left announced" 0
     (Euno_mem.Memory.get w.mem lock.Htm.tp)
 
+(* ---------- the lockfree strategy ---------- *)
+
+let test_lockfree_fast_commit () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let lock =
+    run_one w (fun () -> Htm.alloc_lock ~policy:Htm.lockfree_policy ())
+  in
+  let m =
+    run_threads ~threads:1 w (fun _ ->
+        Htm.atomic ~policy:Htm.lockfree_policy ~lock (fun () -> Api.write a 5))
+  in
+  check_int "committed" 5 (Euno_mem.Memory.get w.mem a);
+  let s = Machine.aggregate m in
+  check_int "won on the unsubscribed fast path" 1
+    s.Machine.s_user.(Htm.Counter.fast_path_wins);
+  check_int "never published a descriptor" 0
+    s.Machine.s_user.(Htm.Counter.software_path_wins);
+  check_int "never fell back" 0 s.Machine.s_user.(Htm.Counter.fallbacks)
+
+(* The descriptor table is part of the lockfree sidecar: neither an
+   elision lock nor a three-path lock (whose sidecar has no descriptor
+   stripe) may be driven by the lockfree strategy. *)
+let test_lockfree_requires_descriptor_sidecar () =
+  let w = fresh_world () in
+  run_one w (fun () ->
+      let elision_lock = Htm.alloc_lock () in
+      (match
+         Htm.atomic ~policy:Htm.lockfree_policy ~lock:elision_lock (fun () ->
+             ())
+       with
+      | () -> Alcotest.fail "ran without any sidecar"
+      | exception Invalid_argument _ -> ());
+      let tp_lock = Htm.alloc_lock ~policy:Htm.three_path_policy () in
+      match Htm.atomic ~policy:Htm.lockfree_policy ~lock:tp_lock (fun () -> ())
+      with
+      | () -> Alcotest.fail "ran on a sidecar with no descriptor stripe"
+      | exception Invalid_argument _ -> ())
+
+(* An announced software op keeps the unsubscribed fast path out, exactly
+   as in three-path; the operation is served through its own descriptor
+   and combiner tenure, and retires its announcement afterwards. *)
+let test_lockfree_fast_defers_to_announced_software_op () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let policy =
+    {
+      Htm.lockfree_policy with
+      Htm.lock_busy_retries = 1;
+      wait_for_lock = false;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let m =
+    run_threads ~threads:1 w (fun _ ->
+        ignore (Api.faa lock.Htm.tp 1) (* a software op is (forever) announced *);
+        Htm.atomic ~policy ~lock (fun () -> Api.write a 7);
+        check_int "own announcement retired" 1 (Api.untracked_read lock.Htm.tp);
+        check_int "descriptor slot empty again" 0
+          (Api.untracked_read (Htm.lf_desc lock (Api.tid ()))))
+  in
+  check_int "completed via its descriptor" 7 (Euno_mem.Memory.get w.mem a);
+  let s = Machine.aggregate m in
+  check_int "fast path never won" 0 s.Machine.s_user.(Htm.Counter.fast_path_wins);
+  check_int "middle path never won" 0
+    s.Machine.s_user.(Htm.Counter.middle_path_wins);
+  check_int "served on the software path" 1
+    s.Machine.s_user.(Htm.Counter.software_path_wins)
+
+(* Helping: while thread 0's combiner tenure is busy applying its own slow
+   operation, thread 1 publishes a descriptor and never wins the combiner
+   claim — the op must complete anyway, applied by thread 0's tenure,
+   without thread 1 ever touching the fallback lock. *)
+let test_lockfree_combiner_helps_published_op () =
+  let w = fresh_world () in
+  let a = scratch w ~words:8 in
+  let b = scratch w ~words:8 in
+  let policy =
+    {
+      Htm.lockfree_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      fast_path_attempts = 0;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let m =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then
+          Htm.atomic ~policy ~lock (fun () ->
+              if Api.xtest () then Api.xabort 3
+              else begin
+                (* a slow plain application: thread 1 publishes while this
+                   tenure is still inside its scan *)
+                Api.work 30_000;
+                Api.write a 1
+              end)
+        else begin
+          Api.work 2_000;
+          Htm.atomic ~policy ~lock (fun () ->
+              if Api.xtest () then Api.xabort 3 else Api.write b 2)
+        end)
+  in
+  check_int "combiner's own op applied" 1 (Euno_mem.Memory.get w.mem a);
+  check_int "helped op applied" 2 (Euno_mem.Memory.get w.mem b);
+  let s = Machine.aggregate m in
+  check_int "both ops served on the software path" 2
+    s.Machine.s_user.(Htm.Counter.software_path_wins);
+  check_int "thread 1's descriptor was applied by thread 0's tenure" 1
+    s.Machine.s_user.(Htm.Counter.helped_ops);
+  check_int "no announcement left" 0 (Euno_mem.Memory.get w.mem lock.Htm.tp)
+
+(* A leaked combiner claim defeats a waiter whose descriptor was never
+   taken: the withdrawal must restore the announcement, the fallback
+   depth, the starvation slot and the descriptor word — and raise. *)
+let test_lockfree_stuck_withdraws_and_restores () =
+  let w = fresh_world () in
+  let policy =
+    {
+      Htm.lockfree_policy with
+      Htm.conflict_retries = 0;
+      lock_busy_retries = 0;
+      other_retries = 0;
+      fast_path_attempts = 1;
+      stuck_limit = 20_000;
+    }
+  in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let stuck = ref false in
+  let (_ : Machine.t) =
+    run_threads w ~threads:2 (fun tid ->
+        if tid = 0 then
+          (* leak the combiner claim: acquire and never release *)
+          Spinlock.acquire (Htm.lock_word lock)
+        else begin
+          Api.work 100;
+          (match
+             Htm.atomic ~policy ~lock (fun () ->
+                 if Api.xtest () then Api.xabort 3 else Api.write lock.Htm.aux 0)
+           with
+          | () -> Alcotest.fail "leaked combiner claim did not defeat the op"
+          | exception Htm.Stuck_fallback { waited; _ } ->
+              stuck := true;
+              check_bool "waited at least the stuck limit" true
+                (waited >= 20_000));
+          check_int "descriptor withdrawn" 0
+            (Api.untracked_read (Htm.lf_desc lock (Api.tid ())));
+          check_int "announcement retired" 0 (Api.untracked_read lock.Htm.tp);
+          check_int "fallback depth restored" 0
+            (Api.untracked_read lock.Htm.aux);
+          check_int "no starvation score from the defeat" 0
+            (Api.untracked_read (lock.Htm.aux + 1 + Api.tid ()))
+        end)
+  in
+  check_bool "Stuck_fallback raised" true !stuck
+
+(* Contended correctness: with no conflict budget every loser publishes a
+   descriptor, so fast commits, middle commits, combining tenures and
+   helped ops all interleave — and no update may be lost, and the
+   protocol must come fully to rest (no announcement, no descriptor). *)
+let test_lockfree_contended_correctness () =
+  let w = fresh_world () in
+  let counter = scratch w ~words:8 in
+  let policy = { Htm.lockfree_policy with Htm.conflict_retries = 0 } in
+  let lock = run_one w (fun () -> Htm.alloc_lock ~policy ()) in
+  let threads = 8 and iters = 40 in
+  let m =
+    run_threads ~threads ~cost:Cost.default ~seed:9 w (fun _ ->
+        for _ = 1 to iters do
+          Htm.atomic ~policy ~lock (fun () ->
+              Api.write counter (Api.read counter + 1));
+          Api.op_done ()
+        done)
+  in
+  check_int "no lost updates across the three paths"
+    (threads * iters)
+    (Euno_mem.Memory.get w.mem counter);
+  let s = Machine.aggregate m in
+  let fast = s.Machine.s_user.(Htm.Counter.fast_path_wins) in
+  let middle = s.Machine.s_user.(Htm.Counter.middle_path_wins) in
+  let soft = s.Machine.s_user.(Htm.Counter.software_path_wins) in
+  check_bool "fast path used" true (fast > 0);
+  check_bool "software path used" true (soft > 0);
+  check_bool "helping happened" true
+    (s.Machine.s_user.(Htm.Counter.helped_ops) > 0);
+  check_int "every op won on exactly one path"
+    (threads * iters)
+    (fast + middle + soft);
+  check_int "every software entry was served" soft
+    s.Machine.s_user.(Htm.Counter.fallbacks);
+  check_int "no announcement left" 0 (Euno_mem.Memory.get w.mem lock.Htm.tp);
+  for tid = 0 to threads - 1 do
+    check_int "descriptor slot at rest" 0
+      (Euno_mem.Memory.get w.mem (Htm.lf_desc lock tid))
+  done;
+  check_int "no one queued on the fallback lock" 0
+    s.Machine.s_user.(Htm.Counter.lock_wait_cycles)
+
 (* ---------- user-counter registry (satellite: no silent aliasing) ---------- *)
 
 let test_counter_registry_rejects_collisions () =
@@ -840,6 +1039,18 @@ let suite =
       test_three_path_stuck_grace_raises_and_restores;
     Alcotest.test_case "three-path: contended correctness" `Quick
       test_three_path_contended_correctness;
+    Alcotest.test_case "lockfree: fast-path commit" `Quick
+      test_lockfree_fast_commit;
+    Alcotest.test_case "lockfree: requires descriptor sidecar" `Quick
+      test_lockfree_requires_descriptor_sidecar;
+    Alcotest.test_case "lockfree: fast defers to announced software op" `Quick
+      test_lockfree_fast_defers_to_announced_software_op;
+    Alcotest.test_case "lockfree: combiner helps published op" `Quick
+      test_lockfree_combiner_helps_published_op;
+    Alcotest.test_case "lockfree: stuck withdraws and restores" `Quick
+      test_lockfree_stuck_withdraws_and_restores;
+    Alcotest.test_case "lockfree: contended correctness" `Quick
+      test_lockfree_contended_correctness;
     Alcotest.test_case "counter registry rejects collisions" `Quick
       test_counter_registry_rejects_collisions;
   ]
