@@ -561,6 +561,43 @@ let validate_sweep obj =
   let* () = require_field obj "software_path_wins_per_op" is_num in
   require_field obj "helped_ops_per_op" is_num
 
+(* Lint records carry one EunoLint finding (bin/euno_lint --json): the
+   source coordinate, the rule-id (closed vocabulary — drift between the
+   engine and the schema is itself a schema error), and whether a
+   reasoned allow-directive muted it. *)
+let lint_to_json ?experiment ~file ~line ~col ~rule ~msg ?reason () =
+  Json.Obj
+    (context_fields ?experiment ~record:"lint" ()
+    @ [
+        ("file", Json.Str file);
+        ("line", Json.Int line);
+        ("col", Json.Int col);
+        ("rule", Json.Str rule);
+        ("msg", Json.Str msg);
+        ("suppressed", Json.Bool (reason <> None));
+      ]
+    @ match reason with Some r -> [ ("reason", Json.Str r) ] | None -> [])
+
+let validate_lint obj =
+  let* () = validate_version obj in
+  let* () = require_field obj "file" is_str in
+  let* () = require_field obj "line" is_int in
+  let* () = require_field obj "col" is_int in
+  let* () = require_field obj "rule" is_str in
+  let* () = require_field obj "msg" is_str in
+  let* () = require_field obj "suppressed" is_bool in
+  let rule =
+    match Json.member "rule" obj with Some (Json.Str r) -> r | _ -> ""
+  in
+  if not (List.mem rule Eunolint.Lint.rule_names) then
+    Error (Printf.sprintf "unknown lint rule '%s'" rule)
+  else
+    match (Json.member "suppressed" obj, Json.member "reason" obj) with
+    | Some (Json.Bool true), _ -> require_field obj "reason" is_str
+    | Some (Json.Bool false), Some _ ->
+        Error "reason present on an unsuppressed lint finding"
+    | _ -> Ok ()
+
 let validate_record obj =
   match Json.member "record" obj with
   | Some (Json.Str "result") -> validate_result obj
@@ -572,6 +609,7 @@ let validate_record obj =
   | Some (Json.Str "san") -> validate_san obj
   | Some (Json.Str "check") -> validate_check obj
   | Some (Json.Str "sweep") -> validate_sweep obj
+  | Some (Json.Str "lint") -> validate_lint obj
   | Some (Json.Str "micro") ->
       let* () = require_field obj "name" is_str in
       require_field obj "ns_per_call" is_num

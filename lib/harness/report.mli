@@ -111,6 +111,22 @@ val sweep_to_json :
     comparison tables read (throughput, aborts, fallbacks, lock wait,
     per-path commit and helping rates). *)
 
+val lint_to_json :
+  ?experiment:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  msg:string ->
+  ?reason:string ->
+  unit ->
+  Json.t
+(** One ["lint"] record: an EunoLint finding — source coordinate
+    (file/line/col), the rule-id, the message, and [suppressed]/[reason]
+    when a reasoned allow-directive muted it ([bin/euno_lint --json]
+    emits both active and suppressed findings so the CI artifact is the
+    complete audit). *)
+
 val snapshot_lines : ?experiment:string -> ?run:int -> Runner.result -> Json.t list
 (** One self-describing ["window"] record per sampling window (for JSONL
     export); empty when the run had no [snapshot_window]. *)
@@ -160,6 +176,11 @@ val validate_sweep : Json.t -> (unit, string) result
 (** Contract for the ["sweep"] records {!sweep_to_json} emits: figure cell
     coordinates, a strategy/capacity-model pair the binaries accept, and
     the flattened metric set. *)
+
+val validate_lint : Json.t -> (unit, string) result
+(** Contract for the ["lint"] records {!lint_to_json} emits: the rule-id
+    must be in {!Eunolint.Lint.rule_names}, and [reason] must be
+    present exactly when [suppressed] is true. *)
 
 val validate_record : Json.t -> (unit, string) result
 (** Dispatch on the ["record"] discriminator. *)

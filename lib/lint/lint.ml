@@ -1,0 +1,156 @@
+type suppressed = { s_finding : Rules.finding; s_reason : string }
+
+type outcome = {
+  findings : Rules.finding list;
+  suppressed : suppressed list;
+  files_scanned : int;
+}
+
+let rule_names = Rules.rule_names
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let expand_paths paths =
+  let exception Missing of string in
+  let rec add path acc =
+    if not (Sys.file_exists path) then raise (Missing path)
+    else if Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             let sub = Filename.concat path entry in
+             if Sys.is_directory sub then
+               if List.mem entry skip_dirs then acc else add sub acc
+             else if Filename.check_suffix entry ".ml" then sub :: acc
+             else acc)
+           acc
+    else path :: acc
+  in
+  match List.fold_left (fun acc p -> add p acc) [] paths with
+  | files -> Ok (List.sort_uniq String.compare files)
+  | exception Missing p -> Error (Printf.sprintf "no such file or directory: %s" p)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Location.input_name := path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+            Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error (Printf.sprintf "%s: parse error: %s" path msg)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression application                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A well-formed allow cancels findings of its rule on the directive's
+   own line or the line directly below it. *)
+let matching_allow allows (f : Rules.finding) =
+  List.find_opt
+    (fun (a : Suppress.allow) ->
+      a.al_rule = f.rule && (a.al_line = f.line || a.al_line = f.line - 1))
+    allows
+
+let compare_findings (a : Rules.finding) (b : Rules.finding) =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let run_files sources =
+  let exception Parse_error of string in
+  match
+    List.map
+      (fun (path, source) ->
+        match parse_source ~path source with
+        | Ok ast ->
+            let sup = Suppress.scan ~known_rules:Rules.rule_names source in
+            ( {
+                Rules.fu_path = path;
+                fu_ast = ast;
+                fu_sim_pragma = sup.Suppress.sim_pragma;
+              },
+              sup )
+        | Error e -> raise (Parse_error e))
+      sources
+  with
+  | exception Parse_error e -> Error e
+  | units ->
+      let raw = Rules.run (List.map fst units) in
+      (* malformed directives are findings of the engine's own rule *)
+      let raw =
+        List.fold_left
+          (fun acc (fu, sup) ->
+            List.fold_left
+              (fun acc (line, msg) ->
+                {
+                  Rules.file = fu.Rules.fu_path;
+                  line;
+                  col = 0;
+                  rule = "suppression";
+                  msg;
+                }
+                :: acc)
+              acc sup.Suppress.malformed)
+          raw units
+      in
+      let allows_of =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (fu, sup) ->
+            Hashtbl.replace tbl fu.Rules.fu_path sup.Suppress.allows)
+          units;
+        fun file ->
+          match Hashtbl.find_opt tbl file with Some l -> l | None -> []
+      in
+      let active, muted =
+        List.partition_map
+          (fun (f : Rules.finding) ->
+            match matching_allow (allows_of f.file) f with
+            | Some a -> Either.Right { s_finding = f; s_reason = a.al_reason }
+            | None -> Either.Left f)
+          raw
+      in
+      Ok
+        {
+          findings = List.sort compare_findings active;
+          suppressed =
+            List.sort
+              (fun a b -> compare_findings a.s_finding b.s_finding)
+              muted;
+          files_scanned = List.length units;
+        }
+
+let run_paths paths =
+  match expand_paths paths with
+  | Error _ as e -> e
+  | Ok files ->
+      let read path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      run_files (List.map (fun p -> (p, read p)) files)

@@ -1,0 +1,103 @@
+type allow = { al_line : int; al_rule : string; al_reason : string }
+
+type info = {
+  sim_pragma : bool;
+  allows : allow list;
+  malformed : (int * string) list;
+}
+
+(* The comment opener is part of the marker: a string literal that
+   happens to contain the directive keyword is not a directive.  Built
+   from parts so this very literal does not match itself. *)
+let marker = "(* " ^ "euno-lint:"
+
+(* First occurrence of [needle] in [hay] at or after [from]. *)
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let lines_of src =
+  (* Keep empty trailing lines: directive line numbers must match what
+     the parser reports for the code around them. *)
+  String.split_on_char '\n' src
+
+(* The directive body: text between "euno-lint:" and the closing "*)",
+   or to end of line if the comment closes on a later line (multi-line
+   directives are not supported; everything after the first line is
+   ignored, which at worst makes a directive malformed — never silently
+   effective). *)
+let body_of line at =
+  let start = at + String.length marker in
+  let stop =
+    match find_sub line "*)" start with
+    | Some j -> j
+    | None -> String.length line
+  in
+  String.trim (String.sub line start (stop - start))
+
+let parse_allow ~known_rules lineno body =
+  (* body is everything after "allow", e.g. "lock-paths: held region
+     cannot raise".  The first ':' splits rule from reason. *)
+  match String.index_opt body ':' with
+  | None ->
+      Error
+        ( lineno,
+          Printf.sprintf
+            "suppression is missing a reason: write 'allow <rule>: <reason>' \
+             (got 'allow %s')"
+            body )
+  | Some colon ->
+      let rule = String.trim (String.sub body 0 colon) in
+      let reason =
+        String.trim
+          (String.sub body (colon + 1) (String.length body - colon - 1))
+      in
+      if not (List.mem rule known_rules) then
+        Error
+          ( lineno,
+            Printf.sprintf
+              "suppression names unknown rule '%s' (known: %s)" rule
+              (String.concat ", " known_rules) )
+      else if reason = "" then
+        Error
+          ( lineno,
+            Printf.sprintf
+              "suppression for rule '%s' has an empty reason: a reason is \
+               required" rule )
+      else Ok { al_line = lineno; al_rule = rule; al_reason = reason }
+
+let scan ~known_rules src =
+  let sim = ref false and allows = ref [] and bad = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_sub line marker 0 with
+      | None -> ()
+      | Some at -> (
+          let body = body_of line at in
+          if body = "scope sim" then sim := true
+          else if String.length body >= 6 && String.sub body 0 6 = "allow " then
+            let rest = String.trim (String.sub body 6 (String.length body - 6)) in
+            match parse_allow ~known_rules lineno rest with
+            | Ok a -> allows := a :: !allows
+            | Error e -> bad := e :: !bad
+          else if body = "allow" then
+            bad :=
+              ( lineno,
+                "suppression is missing a rule and reason: write 'allow \
+                 <rule>: <reason>'" )
+              :: !bad
+          else
+            bad :=
+              ( lineno,
+                Printf.sprintf
+                  "unknown euno-lint directive '%s' (expected 'allow <rule>: \
+                   <reason>' or 'scope sim')" body )
+              :: !bad))
+    (lines_of src);
+  { sim_pragma = !sim; allows = List.rev !allows; malformed = List.rev !bad }

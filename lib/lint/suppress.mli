@@ -1,0 +1,37 @@
+(** Suppression and scope pragmas for EunoLint.
+
+    Directives live in ordinary comments and are parsed textually (the
+    compiler's parser drops comments, so the engine re-scans the raw
+    source).  Two forms are recognised, each on a single line:
+
+    - [(* euno-lint: allow <rule>: <reason> *)] — suppress findings of
+      [<rule>] on the same line or the line directly below.  The reason
+      is mandatory: a reason-free [allow] suppresses nothing and is
+      itself reported under the [suppression] rule-id.
+    - [(* euno-lint: scope sim *)] — opt the file into the sim-reachable
+      scope, so path-scoped rules (determinism, lock-paths,
+      san-release-order, counter-ownership) apply regardless of where
+      the file lives.  Used by the fixture corpus under
+      [test/lint_fixtures/].
+
+    {b Complexity} O(bytes) single pass over the source.
+    {b Determinism} pure function of the source text. *)
+
+type allow = {
+  al_line : int;  (** 1-based line the directive appears on *)
+  al_rule : string;
+  al_reason : string;  (** non-empty by construction *)
+}
+
+type info = {
+  sim_pragma : bool;  (** [scope sim] present anywhere in the file *)
+  allows : allow list;  (** well-formed suppressions, in line order *)
+  malformed : (int * string) list;
+      (** (line, message) for reason-free / unknown-rule / unparseable
+          directives; each becomes a [suppression] finding *)
+}
+
+val scan : known_rules:string list -> string -> info
+(** [scan ~known_rules source] extracts every [euno-lint:] directive.
+    [known_rules] is the rule-id vocabulary; an [allow] naming anything
+    else is malformed (typos must not silently suppress nothing). *)

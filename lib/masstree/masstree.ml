@@ -306,6 +306,7 @@ let rec insert_up t node sep right =
       if Spinlock.is_locked t.root_lock then
         Api.xabort Abort.xabort_lock_held
     end
+    (* euno-lint: allow lock-paths: root-growth lock: Index.grow_root is raise-free under the plan fault model (plain allocations are spared) and both value branches release below *)
     else Spinlock.acquire t.root_lock;
     if Api.read (L.parent node) = null then begin
       let newroot = Index.grow_root t.idx node sep right in
@@ -325,6 +326,7 @@ let rec insert_up t node sep right =
     end
   end
   else begin
+    (* euno-lint: allow lock-paths: hand-over-hand parent lock: the region is raise-free under the plan fault model and every value branch unlocks; EunoSan covers the discipline dynamically *)
     lock_node t parent;
     if not (contains t parent node) then begin
       (* The parent split and [node] moved; chase the fresh pointer. *)
@@ -401,6 +403,7 @@ let put t key value =
        to the race detector. *)
     if !Sev.enabled then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
+    (* euno-lint: allow lock-paths: put holds the leaf lock across the split path, whose raise-free contract comes from the fault model sparing plain allocations (plan.mli); a handler could not undo a half-linked split anyway *)
     lock_node t leaf;
     if !Sev.enabled then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;
@@ -443,6 +446,7 @@ let delete t key =
   let rec attempt () =
     if !Sev.enabled then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
+    (* euno-lint: allow lock-paths: delete holds the leaf lock across in-node edits only: plan-based faults spare plain allocations (plan.mli), so the region cannot raise; EunoSan checks the release dynamically *)
     lock_node t leaf;
     if !Sev.enabled then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;

@@ -3,7 +3,9 @@
 # binaries actually accept.  For every CLI this dumps the real --help
 # output and fails if it advertises a flag (or, for euno_repro, an
 # experiment name) that README.md never mentions — so a new subcommand
-# or flag cannot land without its documentation.
+# or flag cannot land without its documentation.  It also diffs the
+# lib/ and docs/ directory listings against docs/ARCHITECTURE.md's
+# module index, so a new library or doc cannot land unindexed.
 #
 # Run from the repo root after `dune build @all`:
 #   scripts/check_doc_drift.sh
@@ -44,6 +46,7 @@ check_flags euno_san "$BIN/euno_san.exe" --help
 check_flags euno_check "$BIN/euno_check.exe" --help
 check_flags euno_schema_check "$BIN/euno_schema_check.exe" --help
 check_flags euno_perf_check "$BIN/euno_perf_check.exe" --help
+check_flags euno_lint "$BIN/euno_lint.exe" --help
 
 # Every experiment euno_repro's EXPERIMENT enum accepts must appear in the
 # README synopsis.  The enum is printed by the invalid-value error, one
@@ -63,8 +66,30 @@ for exp in $experiments; do
   fi
 done
 
+# Module-index drift: docs/ARCHITECTURE.md carries a per-library module
+# index ('### lib/<name> — ...' sections).  A new lib/ directory must get
+# its section, and every docs/*.md file must be reachable from the
+# architecture overview, or the doc tree silently forks from the code.
+for dir in lib/*/; do
+  name="$(basename "$dir")"
+  if ! grep -Eq "^### lib/$name( |$)" docs/ARCHITECTURE.md; then
+    echo "doc drift: lib/$name has no '### lib/$name' section in docs/ARCHITECTURE.md" >&2
+    fail=1
+  fi
+done
+for doc in docs/*.md; do
+  base="$(basename "$doc")"
+  case "$base" in
+  ARCHITECTURE.md) continue ;;
+  esac
+  if ! grep -q "$base" docs/ARCHITECTURE.md; then
+    echo "doc drift: $doc is never referenced from docs/ARCHITECTURE.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "doc-drift gate FAILED: update README.md's command listings" >&2
   exit 1
 fi
-echo "doc-drift gate passed: README.md covers every CLI flag and experiment"
+echo "doc-drift gate passed: README.md, ARCHITECTURE.md module index, and docs/ are in sync"

@@ -1,0 +1,29 @@
+(* euno-lint: scope sim *)
+(* Negative control: disciplined code in every rule's scope must lint
+   clean.  Expected: no findings. *)
+
+module Counter = struct
+  let local_hits = 5
+end
+
+let () = Machine.register_user_counters ~owner:"fixture" [ (5, "local_hits") ]
+
+(* Lock held across a risky body, released on the value path and in the
+   handler — the with_lock discipline. *)
+let guarded lock body =
+  Spinlock.acquire lock;
+  match body () with
+  | v ->
+      Spinlock.release lock;
+      v
+  | exception e ->
+      Spinlock.release lock;
+      raise e
+
+(* Release announced before the unlocking store. *)
+let release addr =
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
+  Api.write addr 0
+
+let bump () = Api.count Counter.local_hits 1
+let deterministic_sort l = List.sort compare l

@@ -1,0 +1,12 @@
+(* euno-lint: scope sim *)
+(* Seeded violations: counter-registry ownership.  [Api.count 3 1] bumps
+   euno_tree's consistency_retries slot by literal index from a module
+   that does not own it, and the local Counter module pins an index
+   without ever registering.  Expected: 2 x counter-ownership. *)
+
+module Counter = struct
+  let stolen = 4
+end
+
+let bump_foreign () = Api.count 3 1
+let bump_local () = Api.count Counter.stolen 1

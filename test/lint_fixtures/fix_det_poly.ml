@@ -1,0 +1,15 @@
+(* euno-lint: scope sim *)
+(* Seeded violations: polymorphic operations over mutable structures,
+   plus Obj.magic.  Expected: 4 x determinism. *)
+
+type slot = { tag : int; cells : int array }
+
+let same_state a b = a.cells = b.cells
+let ordered a b = compare a.cells b.cells <= 0
+let bucket s = Hashtbl.hash (Array.copy s.cells)
+let reinterpret (x : int) : bool = Obj.magic x
+
+(* Negative controls: scalar compares and reads through mutable state
+   are fine and must NOT be flagged. *)
+let same_tag a b = a.tag = b.tag
+let nth_equal s i v = s.cells.(i) = v

@@ -1,0 +1,7 @@
+(* euno-lint: scope sim *)
+(* Seeded violations: ambient nondeterminism sources.  Expected:
+   3 x determinism (Sys.time, Unix.gettimeofday, Random.int). *)
+
+let wall_seed () = int_of_float (Sys.time () *. 1e6)
+let os_clock () = Unix.gettimeofday ()
+let jitter n = Random.int n

@@ -1,0 +1,15 @@
+(* euno-lint: scope sim *)
+(* Seeded violation: an unconditional acquire whose value paths do not
+   all release — the else branch returns while still holding the lock.
+   The body is raise-free (Api primitives only), so this is exactly the
+   branch-shaped leak, not the exception-shaped one.
+   Expected: 1 x lock-paths (value-path). *)
+
+let checked_store lock addr v =
+  Spinlock.acquire lock;
+  if Api.read addr = 0 then begin
+    Api.write addr v;
+    Spinlock.release lock;
+    true
+  end
+  else false

@@ -1,0 +1,12 @@
+(* euno-lint: scope sim *)
+(* Re-creation of the PR 2 lock-leak: the tree op acquires the fallback
+   lock, runs a body that can raise (Htm.atomic aborting via an
+   exception), and releases only on the normal path — no handler, so an
+   exception leaks the lock and every later op convoys behind it.
+   Expected: 1 x lock-paths (exception-path). *)
+
+let run_op_pr2_shape lock body =
+  Spinlock.acquire lock;
+  let r = body () in
+  Spinlock.release lock;
+  r

@@ -1,0 +1,15 @@
+(* euno-lint: scope sim *)
+(* Re-creation of the PR 4 release-ordering bug: the unlocking store
+   lands before the sanitizer's Release note, so another thread can
+   acquire, announce, and race ahead of the announcement — EunoSan then
+   sees acquire-before-release and reports a false (or misses a real)
+   discipline violation.  Expected: 1 x san-release-order. *)
+
+let release_pr4_shape addr =
+  Api.write addr 0;
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr))
+
+(* Negative control: the correct order must NOT be flagged. *)
+let release_correct addr =
+  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
+  Api.write addr 0

@@ -1,0 +1,20 @@
+(* Seeded violation: a record kind constructed with no dispatch arm in
+   validate_record (both construction shapes: the ~record label and the
+   literal ("record", Json.Str ...) pair).  The stub validate_record
+   below only knows "result", so the two "zap" constructions drift.
+   Expected: 2 x schema-drift.  No scope pragma needed: schema-drift is
+   corpus-global. *)
+
+let validate_record obj =
+  match Json.member "record" obj with
+  | Some (Json.Str "result") -> Ok ()
+  | Some (Json.Str "zing") -> Ok ()
+  | _ -> Error "unknown record"
+
+let good_record () = context_fields ~record:"result" ()
+let drifting_record () = context_fields ~record:"zap" ()
+
+let also_drifting () =
+  Json.Obj [ ("record", Json.Str "zap"); ("value", Json.Int 1) ]
+
+let fine_inline () = Json.Obj [ ("record", Json.Str "zing") ]

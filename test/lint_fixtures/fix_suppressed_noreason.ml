@@ -1,0 +1,11 @@
+(* euno-lint: scope sim *)
+(* A reason-free allow suppresses nothing and is itself a finding, and
+   an allow naming an unknown rule must not silently match nothing.
+   Expected: 2 x suppression + 1 x determinism (the Sys.time below
+   stays active). *)
+
+(* euno-lint: allow determinism *)
+let wall () = Sys.time ()
+
+(* euno-lint: allow determinsm: typo in the rule name *)
+let noop () = ()

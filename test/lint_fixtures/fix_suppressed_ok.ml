@@ -1,0 +1,6 @@
+(* euno-lint: scope sim *)
+(* A real violation muted by a well-formed, reasoned allow directive.
+   Expected: 0 active findings, 1 suppressed (determinism). *)
+
+(* euno-lint: allow determinism: fixture exercises reasoned suppression *)
+let wall () = Sys.time ()

@@ -21,4 +21,5 @@ let () =
       ("check", Test_check.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
+      ("lint", Test_lint.suite);
     ]
