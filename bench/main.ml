@@ -248,16 +248,59 @@ let run_perf () =
   print_newline ();
   default_grid @ sweep_grid
 
+(* Campaign-runner probe: end-to-end host cost of a campaign cell (world
+   build, preload, run, merge) through the Pool executor's sequential
+   path, over a fixed 9-cell grid.  Guards the pool plumbing and the
+   domain-local state conversions (Sev, counters, collectors) against
+   host-side regressions that the per-op probes amortize away.  Fixed
+   scale, independent of --quick, like the other perf probes. *)
+let run_campaign_probe () =
+  let cells =
+    List.concat_map
+      (fun (_, kind) -> List.map (fun theta -> (kind, theta)) perf_thetas)
+      perf_trees
+  in
+  let workload theta =
+    {
+      Euno_harness.Runner.default_workload with
+      dist = Euno_workload.Dist.Zipfian theta;
+      key_space = 4_096;
+    }
+  in
+  let setup =
+    {
+      Euno_harness.Runner.default_setup with
+      threads = 4;
+      ops_per_thread = 1_000;
+      seed = 7;
+      check_after = false;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let rs =
+    Euno_harness.Pool.map ~domains:1
+      (fun (kind, theta) ->
+        (Euno_harness.Runner.run kind (workload theta) setup)
+          .Euno_harness.Runner.r_ops)
+      cells
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore (List.fold_left ( + ) 0 rs);
+  let v = float_of_int (List.length cells) /. dt in
+  let name = "campaign:quick-grid" in
+  Printf.printf "  %-44s %12.2f cells/s\n\n%!" name v;
+  (name, "elision", "nominal", v)
+
 (* ---------- figure reproduction ---------- *)
 
-let run_figures scale =
+let run_figures ?domains scale =
   print_endline "== Paper reproduction: every figure of the evaluation ==";
   Printf.printf
     "(key space %d, %d ops/thread, up to %d simulated threads, seed %d)\n\n%!"
     scale.Euno_harness.Figures.key_space
     scale.Euno_harness.Figures.ops_per_thread
     scale.Euno_harness.Figures.max_threads scale.Euno_harness.Figures.seed;
-  Euno_harness.Figures.all scale
+  Euno_harness.Figures.all ?domains scale
 
 (* ---------- machine-readable output ---------- *)
 
@@ -287,14 +330,37 @@ let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let micro_only = Array.exists (( = ) "--micro-only") Sys.argv in
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
-  let json_path =
+  let flag_value name =
     let rec find i =
       if i + 1 >= Array.length Sys.argv then None
-      else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+      else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
       else find (i + 1)
     in
-    Option.value (find 1) ~default:"BENCH_results.json"
+    find 1
   in
+  let json_path =
+    Option.value (flag_value "--json") ~default:"BENCH_results.json"
+  in
+  (* Parallelizes the deterministic figures phase only; the wall-clock
+     micro/perf probes always run sequentially on the main domain. *)
+  let domains =
+    match flag_value "--domains" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some d when d >= 1 -> Some d
+        | _ ->
+            prerr_endline "bench: --domains must be a positive integer";
+            exit 2)
+  in
+  (* Surface a malformed EUNO_DOMAINS as a usage error up front, not an
+     uncaught exception from inside the figures phase. *)
+  (if domains = None then
+     match Euno_harness.Pool.default_domains () with
+     | _ -> ()
+     | exception Invalid_argument msg ->
+         prerr_endline ("bench: " ^ msg);
+         exit 2);
   let scale =
     if quick then Euno_harness.Figures.quick_scale
     else Euno_harness.Figures.default_scale
@@ -304,6 +370,10 @@ let () =
     if figures_only then []
     else
       List.map (perf_record ~metric:"sim_ops_per_wall_sec") (run_perf ())
+      @ [
+          perf_record ~metric:"campaign_cells_per_wall_sec"
+            (run_campaign_probe ());
+        ]
       @ List.filter_map
           (fun (n, ns) ->
             if List.mem n perf_micro_names then
@@ -314,7 +384,7 @@ let () =
           micro
   in
   Report.start_collecting ();
-  if not micro_only then run_figures scale;
+  if not micro_only then run_figures ?domains scale;
   let records =
     List.map micro_record micro
     @ perf

@@ -38,11 +38,11 @@ let run_repro descriptor =
         x.Check_run.x_events;
       exit 1
 
-let run_mutations ~budget ~seed ~json =
+let run_mutations ~budget ~seed ~json ~domains =
   print_endline
     "EunoCheck mutation campaign: every seeded Testonly bug must surface \
      as a non-linearizable history";
-  let outs = Check_run.hunt_mutations ~budget ~seed () in
+  let outs = Check_run.hunt_mutations ~budget ~seed ?domains () in
   Check_run.print stdout outs;
   Option.iter (fun p -> write_json p outs) json;
   let missed =
@@ -55,11 +55,11 @@ let run_mutations ~budget ~seed ~json =
     missed;
   exit (if missed = [] then 0 else 1)
 
-let run_sweep ~quick ~seed ~json ~strategies =
+let run_sweep ~quick ~seed ~json ~strategies ~domains =
   print_endline
     "EunoCheck sweep: adversarial schedule exploration + linearizability \
      checking over all trees";
-  let outs = Check_run.sweep ~quick ~seed ?strategies () in
+  let outs = Check_run.sweep ~quick ~seed ?strategies ?domains () in
   Check_run.print stdout outs;
   Option.iter (fun p -> write_json p outs) json;
   exit (if Check_run.clean outs then 0 else 1)
@@ -72,13 +72,21 @@ let () =
   let json = ref None in
   let repro = ref None in
   let strategies = ref None in
+  let domains = ref None in
   let usage =
     "euno_check [--quick] [--mutations] [--budget N] [--seed N] [--json \
-     PATH] [--repro DESCRIPTOR] [--strategy NAME]"
+     PATH] [--repro DESCRIPTOR] [--strategy NAME] [--domains N]"
   in
   Arg.parse
     [
       ("--quick", Arg.Set quick, " Smoke-test scale (CI).");
+      ( "--domains",
+        Arg.Int
+          (fun d ->
+            if d < 1 then raise (Arg.Bad "--domains must be at least 1");
+            domains := Some d),
+        "N Fan sweep/hunt cells across N worker domains (byte-identical \
+         output; default EUNO_DOMAINS, else 1)." );
       ( "--mutations",
         Arg.Set mutations,
         " Hunt the seeded Testonly bugs instead of sweeping clean trees." );
@@ -113,10 +121,20 @@ let () =
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
+  (* Surface a malformed EUNO_DOMAINS as a usage error up front, not an
+     uncaught exception from inside the sweep. *)
+  (if !domains = None then
+     match Euno_harness.Pool.default_domains () with
+     | _ -> ()
+     | exception Invalid_argument msg ->
+         prerr_endline ("euno_check: " ^ msg);
+         exit 2);
   match !repro with
   | Some descriptor -> run_repro descriptor
   | None ->
-      if !mutations then run_mutations ~budget:!budget ~seed:!seed ~json:!json
+      if !mutations then
+        run_mutations ~budget:!budget ~seed:!seed ~json:!json
+          ~domains:!domains
       else
         run_sweep ~quick:!quick ~seed:!seed ~json:!json
-          ~strategies:!strategies
+          ~strategies:!strategies ~domains:!domains

@@ -117,6 +117,17 @@ let capacity =
   in
   Arg.(value & opt (some cap_conv) None & info [ "capacity" ] ~docv:"MODEL" ~doc)
 
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Fan independent campaign cells across $(docv) worker domains.  \
+           Output is byte-identical to the sequential run at any value.  \
+           Default: the EUNO_DOMAINS environment variable, else 1 \
+           (sequential).")
+
 let mutations =
   Arg.(
     value & flag
@@ -132,7 +143,7 @@ let mutations =
    epoch-consistent snapshot, replay the durable log suffix and re-run
    the lost suffix; the recovery checker validates the result.
    Deterministic per (plan, seed).  Non-zero exit on any finding. *)
-let run_crash quick keys_log2 ops max_threads seed json mutations =
+let run_crash quick keys_log2 ops max_threads seed json mutations domains =
   let module Dura_run = Euno_harness.Dura_run in
   if mutations then begin
     print_endline
@@ -168,7 +179,7 @@ let run_crash quick keys_log2 ops max_threads seed json mutations =
     print_endline
       "Crash campaign: epoch-consistent snapshots + committed-op log; power \
        failure mid-run, then restore / replay / re-run and check";
-    let cells = Dura_run.run_all cfg in
+    let cells = Dura_run.run_all ~domains cfg in
     Dura_run.print_cells cells;
     (match json with
     | Some path ->
@@ -184,7 +195,7 @@ let run_crash quick keys_log2 ops max_threads seed json mutations =
    validate, report phase throughputs and recovery time.  Deterministic
    for a fixed seed, so two runs of the same command produce identical
    JSON. *)
-let run_chaos quick keys_log2 ops max_threads seed json =
+let run_chaos quick keys_log2 ops max_threads seed json domains =
   let module Chaos = Euno_harness.Chaos in
   let base = if quick then Chaos.quick_config else Chaos.default_config in
   let cfg =
@@ -202,7 +213,7 @@ let run_chaos quick keys_log2 ops max_threads seed json =
   print_endline
     "Chaos campaign: spurious storm, capacity squeeze, preemption, \
      lock-holder stall, clock skew, alloc pressure";
-  let outs = Chaos.run_all cfg in
+  let outs = Chaos.run_all ~domains cfg in
   Chaos.print_outcomes outs;
   match json with
   | Some path ->
@@ -214,7 +225,7 @@ let run_chaos quick keys_log2 ops max_threads seed json =
 
 (* EunoSan lint sweep: every tree under zipf 0.2/0.8/0.99 plus the chaos
    campaign, sanitizer armed.  Non-zero exit when anything is flagged. *)
-let run_san quick seed json strategy capacity =
+let run_san quick seed json strategy capacity domains =
   let module San_run = Euno_harness.San_run in
   print_endline
     "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
@@ -223,7 +234,7 @@ let run_san quick seed json strategy capacity =
     San_run.run ~quick ~seed
       ?strategies:(Option.map (fun s -> [ s ]) strategy)
       ?capacities:(Option.map (fun c -> [ c ]) capacity)
-      ()
+      ~domains ()
   in
   San_run.print stdout outs;
   (match json with
@@ -239,7 +250,7 @@ let run_san quick seed json strategy capacity =
    checking over every tree.  Non-zero exit on any non-linearizable
    history — which here would be a real tree (or checker) bug, since the
    Testonly mutations stay off. *)
-let run_check quick seed json strategy =
+let run_check quick seed json strategy domains =
   let module Check_run = Euno_harness.Check_run in
   print_endline
     "EunoCheck sweep: adversarial schedule exploration + linearizability \
@@ -247,7 +258,7 @@ let run_check quick seed json strategy =
   let outs =
     Check_run.sweep ~quick ~seed
       ?strategies:(Option.map (fun s -> [ s ]) strategy)
-      ()
+      ~domains ()
   in
   Check_run.print stdout outs;
   (match json with
@@ -260,12 +271,29 @@ let run_check quick seed json strategy =
   if not (Check_run.clean outs) then exit 1
 
 let run_experiment name quick keys_log2 ops max_threads seed charts csv json
-    snapshots window strategy capacity mutations =
-  if name = "san" then run_san quick seed json strategy capacity
-  else if name = "check" then run_check quick seed json strategy
-  else if name = "chaos" then run_chaos quick keys_log2 ops max_threads seed json
+    snapshots window strategy capacity mutations domains =
+  (* Explicit --domains wins over the EUNO_DOMAINS environment knob. *)
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then begin
+          prerr_endline "euno_repro: --domains must be at least 1";
+          exit 2
+        end;
+        d
+    | None -> (
+        match Euno_harness.Pool.default_domains () with
+        | d -> d
+        | exception Invalid_argument msg ->
+            prerr_endline ("euno_repro: " ^ msg);
+            exit 2)
+  in
+  if name = "san" then run_san quick seed json strategy capacity domains
+  else if name = "check" then run_check quick seed json strategy domains
+  else if name = "chaos" then
+    run_chaos quick keys_log2 ops max_threads seed json domains
   else if name = "crash" then
-    run_crash quick keys_log2 ops max_threads seed json mutations
+    run_crash quick keys_log2 ops max_threads seed json mutations domains
   else begin
   (match csv with
   | Some dir ->
@@ -300,7 +328,7 @@ let run_experiment name quick keys_log2 ops max_threads seed charts csv json
   in
   if telemetry then Report.start_collecting ();
   let f = List.assoc name Figures.by_name in
-  f scale;
+  f ~domains scale;
   if telemetry then begin
     (* strategy-sweep's own per-cell "sweep" records are the document the
        campaign is about; the generic per-run "result" records would bury
@@ -334,6 +362,6 @@ let cmd =
     Term.(
       const run_experiment $ experiment $ quick $ keys_log2 $ ops $ max_threads
       $ seed $ charts $ csv $ json $ snapshots $ window $ strategy $ capacity
-      $ mutations)
+      $ mutations $ domains)
 
 let () = exit (Cmd.eval cmd)

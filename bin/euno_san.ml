@@ -19,14 +19,22 @@ let () =
   let json = ref None in
   let strategies = ref Htm.all_strategies in
   let capacities = ref [ Cost.nominal ] in
+  let domains = ref None in
   let usage =
     "euno_san [--quick] [--seed N] [--json PATH] [--strategy NAME] \
-     [--capacity NAME]"
+     [--capacity NAME] [--domains N]"
   in
   Arg.parse
     [
       ("--quick", Arg.Set quick, " Smoke-test scale (CI).");
       ("--seed", Arg.Set_int seed, "N Simulation seed (default 42).");
+      ( "--domains",
+        Arg.Int
+          (fun d ->
+            if d < 1 then raise (Arg.Bad "--domains must be at least 1");
+            domains := Some d),
+        "N Fan sweep cells across N worker domains (byte-identical output; \
+         default EUNO_DOMAINS, else 1)." );
       ( "--json",
         Arg.String (fun p -> json := Some p),
         "PATH Write schema-versioned san records to PATH." );
@@ -64,12 +72,20 @@ let () =
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
+  (* Surface a malformed EUNO_DOMAINS as a usage error up front, not an
+     uncaught exception from inside the sweep. *)
+  (if !domains = None then
+     match Euno_harness.Pool.default_domains () with
+     | _ -> ()
+     | exception Invalid_argument msg ->
+         prerr_endline ("euno_san: " ^ msg);
+         exit 2);
   print_endline
     "EunoSan sweep: race / lockset / atomicity / txn-hygiene lint over all \
      trees";
   let outs =
     San_run.run ~quick:!quick ~seed:!seed ~strategies:!strategies
-      ~capacities:!capacities ()
+      ~capacities:!capacities ?domains:!domains ()
   in
   San_run.print stdout outs;
   (match !json with

@@ -85,12 +85,12 @@ let lock_slot t slot =
     end
   in
   loop ();
-  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Slot, slot_lock_id t slot))
+  if Sev.armed () then Api.san_note (Sev.Acquire (Sev.Slot, slot_lock_id t slot))
 
 let unlock_slot t slot =
   (* Announce before the bit clears: once it does, the next holder's
      acquire note may precede ours in the event stream. *)
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Slot, slot_lock_id t slot));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Slot, slot_lock_id t slot));
   clear_bit (t.base + off_locks) (1 lsl slot)
 
 (* ---------- mark bits ---------- *)

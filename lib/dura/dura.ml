@@ -37,21 +37,23 @@ let taken store = store.taken
    resulting corruption with the right finding kind, and stay clean when
    the refs are off.  Not reachable from any production path. *)
 module Testonly = struct
-  let skip_fallback_log = ref false
+  (* Domain-local: a mutant armed by one pool worker's crash cell must
+     not corrupt recovery in cells on other domains. *)
+  let skip_fallback_log = Euno_sim.Domain_ref.create (fun () -> false)
   (* drop the log append when an op committed via the fallback path:
      the orphaned op survives in tree state (and snapshots) but never
      reaches the durable log → Lost_ack after a crash that discards it *)
 
-  let skip_lock_reset = ref false
+  let skip_lock_reset = Euno_sim.Domain_ref.create (fun () -> false)
   (* skip the recovery sweep that zeroes abandoned Lock lines: replay
      wedges on a lock whose holder died → Ineffective_recovery *)
 
-  let snapshot_while_pinned = ref false
+  let snapshot_while_pinned = Euno_sim.Domain_ref.create (fun () -> false)
   (* ignore the quiescence gate on the snapshot hook: the scan can
      interleave with in-flight mutations → torn image → Phantom *)
 
   let reset () =
-    skip_fallback_log := false;
-    skip_lock_reset := false;
-    snapshot_while_pinned := false
+    Euno_sim.Domain_ref.set skip_fallback_log false;
+    Euno_sim.Domain_ref.set skip_lock_reset false;
+    Euno_sim.Domain_ref.set snapshot_while_pinned false
 end

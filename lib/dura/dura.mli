@@ -36,13 +36,13 @@ val taken : store -> int
     EXPERIMENTS.md §"Crash campaign".  Off by default; never reachable
     from a production path. *)
 module Testonly : sig
-  val skip_fallback_log : bool ref
+  val skip_fallback_log : bool Euno_sim.Domain_ref.t
   (** Drop the log append for fallback-path commits → [Lost_ack]. *)
 
-  val skip_lock_reset : bool ref
+  val skip_lock_reset : bool Euno_sim.Domain_ref.t
   (** Skip the abandoned-lock sweep on restart → [Ineffective_recovery]. *)
 
-  val snapshot_while_pinned : bool ref
+  val snapshot_while_pinned : bool Euno_sim.Domain_ref.t
   (** Ignore the quiescence gate on the snapshot hook → torn image →
       [Phantom]. *)
 

@@ -46,7 +46,8 @@ module Linemap = Euno_mem.Linemap
    the sanitizer test suite can prove it detects them.  Never set outside
    test code. *)
 module Testonly = struct
-  let leak_locks_on_exn = ref false
+  (* Domain-local: armed per pool worker, never bleeds across cells. *)
+  let leak_locks_on_exn = Euno_sim.Domain_ref.create (fun () -> false)
   (* PR 2 bug: when an exception escapes the lower region, skip the
      exception-path release of the advisory split lock and CCM slot bit. *)
 end
@@ -406,7 +407,7 @@ let run_op t req key =
                (Stuck_fallback, injected allocation failure) must not leak
                its advisory locks — a leaked split lock or CCM slot bit
                would hang every later operation that needs it. *)
-            if not !Testonly.leak_locks_on_exn then begin
+            if not (Euno_sim.Domain_ref.get Testonly.leak_locks_on_exn) then begin
               if lock_held then Spinlock.release (Leaf.split_lock_addr leaf);
               unlock ()
             end;

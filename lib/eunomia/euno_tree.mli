@@ -16,7 +16,7 @@ type t
     the sanitizer suite can prove it detects them.  Never set these
     outside test code. *)
 module Testonly : sig
-  val leak_locks_on_exn : bool ref
+  val leak_locks_on_exn : bool Euno_sim.Domain_ref.t
   (** PR 2 bug: skip the exception-path release of the advisory split
       lock and CCM slot bit when an exception escapes the lower region. *)
 end

@@ -345,7 +345,11 @@ let run_campaign kind cfg =
     o_snapshots = raw.raw_samples;
   }
 
-let run_all cfg = List.map (fun kind -> run_campaign kind cfg) Kv.all_kinds
+(* One pool cell per tree: calibration and the chaos run both live in
+   the cell, so cells stay independent and the merge keeps Kv.all_kinds
+   order. *)
+let run_all ?domains cfg =
+  Pool.map ?domains (fun kind -> run_campaign kind cfg) Kv.all_kinds
 
 (* ---------- reporting ---------- *)
 

@@ -101,8 +101,10 @@ val run_campaign : Kv.kind -> config -> outcome
 (** Calibrate a fault-free horizon on an identical world, compile
     {!Plan.campaign} scaled to it, and run the chaos workload under it. *)
 
-val run_all : config -> outcome list
-(** {!run_campaign} over the paper's four tree variants. *)
+val run_all : ?domains:int -> config -> outcome list
+(** {!run_campaign} over the paper's four tree variants; [domains] > 1
+    fans the per-tree cells across worker domains via {!Pool.map} with
+    byte-identical outcomes in {!Kv.all_kinds} order. *)
 
 val outcome_to_json : ?experiment:string -> outcome -> Euno_stats.Json.t
 (** One schema-v1 ["chaos"] record ({!Report.validate_chaos} is the

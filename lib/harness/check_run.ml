@@ -52,8 +52,8 @@ let with_mutation name f =
     match List.assoc_opt name mutations with
     | None -> invalid_arg ("Check_run: unknown mutation " ^ name)
     | Some switch ->
-        switch := true;
-        Fun.protect ~finally:(fun () -> switch := false) f
+        Euno_sim.Domain_ref.set switch true;
+        Fun.protect ~finally:(fun () -> Euno_sim.Domain_ref.set switch false) f
 
 (* ---------- one execution ---------- *)
 
@@ -342,6 +342,7 @@ type outcome = {
 (* The hunting pool: diverse policies so no single bug shape can hide from
    all of them.  Indexed round-robin by run number; the seed varies with
    every run, so 64 runs cover 64 distinct (policy, seed) schedules. *)
+(* euno-lint: allow domain-shared-state: immutable in practice — built once at module init and only ever indexed, never written *)
 let policy_pool =
   [|
     Explore.Targeted
@@ -422,24 +423,31 @@ let base_config tree =
 
 (* The clean sweep: every strategy x tree x mix x distribution, several
    (policy, seed) schedules each, no mutations.  Any violation here is a
-   real bug in the trees, the fallback strategies (or the checker). *)
-let sweep ?(quick = false) ?(seed = 42) ?(strategies = Htm.all_strategies) () =
+   real bug in the trees, the fallback strategies (or the checker).  One
+   [hunt] is one pool cell — hunts are independent per config, so
+   [Pool.map] fans them across domains; the early-exit-at-first-violation
+   behaviour inside a hunt is untouched, and the index merge keeps the
+   canonical strategy > tree > mix > dist outcome order. *)
+let sweep ?(quick = false) ?(seed = 42) ?(strategies = Htm.all_strategies)
+    ?domains () =
   let runs_per_cell = if quick then 4 else 12 in
   let scan_ops = 4 (* 4 threads x 4 ops stays within the 62-event bound *) in
-  List.concat_map
-    (fun strategy ->
-      List.concat_map
-        (fun tree ->
-          List.concat_map
-            (fun (mix, ops) ->
-              List.map
-                (fun dist ->
-                  hunt ~budget:runs_per_cell
+  let cells =
+    List.concat_map
+      (fun strategy ->
+        List.concat_map
+          (fun tree ->
+            List.concat_map
+              (fun (mix, ops) ->
+                List.map
+                  (fun dist ->
                     { (base_config tree) with mix; dist; ops; seed; strategy })
-                [ "uniform"; "zipf" ])
-            [ ("point", 12); ("scan", scan_ops) ])
-        Kv.all_kinds)
-    strategies
+                  [ "uniform"; "zipf" ])
+              [ ("point", 12); ("scan", scan_ops) ])
+          Kv.all_kinds)
+      strategies
+  in
+  Pool.map ?domains (fun config -> hunt ~budget:runs_per_cell config) cells
 
 (* Mutation campaign: each registered bug hunted on the tree (and under
    the fallback strategy) it lives in.  The expectation is inverted — not
@@ -452,8 +460,8 @@ let mutation_targets =
     ("masstree-widen-read-window", Kv.Masstree, Htm.Elision);
   ]
 
-let hunt_mutations ?(budget = 64) ?(seed = 42) () =
-  List.map
+let hunt_mutations ?(budget = 64) ?(seed = 42) ?domains () =
+  Pool.map ?domains
     (fun (mutation, tree, strategy) ->
       hunt ~budget { (base_config tree) with mutation; seed; strategy })
     mutation_targets

@@ -103,14 +103,18 @@ val sweep :
   ?quick:bool ->
   ?seed:int ->
   ?strategies:Euno_htm.Htm.strategy list ->
+  ?domains:int ->
   unit ->
   outcome list
 (** The clean sweep: every strategy (default all) x tree x mix x
     distribution, several (policy, seed) schedules each, no mutations.
     Any violation is a real bug in the trees, the fallback strategies (or
-    the checker). *)
+    the checker).  Each hunt is one {!Pool.map} cell: [domains] > 1 fans
+    them across worker domains with byte-identical outcomes in the same
+    canonical order. *)
 
-val hunt_mutations : ?budget:int -> ?seed:int -> unit -> outcome list
+val hunt_mutations :
+  ?budget:int -> ?seed:int -> ?domains:int -> unit -> outcome list
 (** Mutation campaign: each registered bug hunted on the tree — and under
     the fallback strategy — it lives in.  The expectation is inverted —
     not finding the bug is the failure. *)

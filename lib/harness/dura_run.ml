@@ -218,7 +218,7 @@ let run_cell ?(plan = []) ?horizon kind cfg =
             The mutant ref bypasses the gate to seed torn snapshots. *)
          let safe = pinned <= 1 && !in_quiesce in
          if
-           (safe || !Dura.Testonly.snapshot_while_pinned)
+           (safe || Euno_sim.Domain_ref.get Dura.Testonly.snapshot_while_pinned)
            && Api.clock () - !last_snap >= cfg.snapshot_min_cycles
          then
            (* lsn before the scan: an op acked mid-scan (possible only on
@@ -267,7 +267,7 @@ let run_cell ?(plan = []) ?horizon kind cfg =
              (Machine.snapshot_thread m tid).Machine.s_user.(Htm.Counter
                                                             .fallbacks)
            in
-           let skip = !Dura.Testonly.skip_fallback_log && fb_now > fb_before in
+           let skip = Euno_sim.Domain_ref.get Dura.Testonly.skip_fallback_log && fb_now > fb_before in
            if not skip then begin
              Api.work append_cost;
              match Oplog.append log ~tid ~clock:(Api.clock ()) op with
@@ -346,7 +346,7 @@ let run_cell ?(plan = []) ?horizon kind cfg =
       (* 1. Sweep abandoned locks: the dead process's held advisory and
          fallback locks (and CCM reservations — same line kind) would
          wedge every recovery operation.  The mutant skips this. *)
-      if not !Dura.Testonly.skip_lock_reset then
+      if not (Euno_sim.Domain_ref.get Dura.Testonly.skip_lock_reset) then
         Linemap.iter_lines map (fun line kind ->
             if kind = Linemap.Lock then begin
               incr swept;
@@ -446,7 +446,9 @@ let run_campaign kind cfg =
   let plan = [ Plan.crash_at ~cycle:crash ] in
   run_cell ~plan ~horizon kind cfg
 
-let run_all cfg = List.map (fun kind -> run_campaign kind cfg) Kv.all_kinds
+(* One pool cell per tree, calibration included — see Chaos.run_all. *)
+let run_all ?domains cfg =
+  Pool.map ?domains (fun kind -> run_campaign kind cfg) Kv.all_kinds
 
 (* ---------- mutation validation ---------- *)
 
@@ -465,9 +467,9 @@ let expected_kind = function
   | Snapshot_while_pinned -> Checker.Phantom
 
 let arm_mutant = function
-  | Skip_fallback_log -> Dura.Testonly.skip_fallback_log := true
-  | Skip_lock_reset -> Dura.Testonly.skip_lock_reset := true
-  | Snapshot_while_pinned -> Dura.Testonly.snapshot_while_pinned := true
+  | Skip_fallback_log -> Euno_sim.Domain_ref.set Dura.Testonly.skip_fallback_log true
+  | Skip_lock_reset -> Euno_sim.Domain_ref.set Dura.Testonly.skip_lock_reset true
+  | Snapshot_while_pinned -> Euno_sim.Domain_ref.set Dura.Testonly.snapshot_while_pinned true
 
 (* Directed cell per mutant: a config and plan shaped so the seeded bug
    has real opportunities to corrupt recovery.  All three run the

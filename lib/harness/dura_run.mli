@@ -91,8 +91,10 @@ val run_campaign : Kv.kind -> config -> cell
 (** Calibrate a fault-free horizon on an identical world, then crash at
     [crash_frac] of it and recover. *)
 
-val run_all : config -> cell list
-(** {!run_campaign} over the paper's four tree variants. *)
+val run_all : ?domains:int -> config -> cell list
+(** {!run_campaign} over the paper's four tree variants; [domains] > 1
+    fans the per-tree cells across worker domains via {!Pool.map} with
+    byte-identical outcomes in {!Kv.all_kinds} order. *)
 
 (** {1 Mutation validation}
 

@@ -1,7 +1,15 @@
 (* One function per figure of the paper's evaluation (plus the Section 5.7
    memory analysis), each printing the table its plot is drawn from.
    Scale knobs shrink the runs for smoke tests; shapes, not absolute
-   numbers, are the reproduction target (see EXPERIMENTS.md). *)
+   numbers, are the reproduction target (see EXPERIMENTS.md).
+
+   Every figure separates compute from render: it first enumerates its
+   simulation cells in the canonical (historical, sequential) order, runs
+   them through [Pool.map] — sequential by default, fanned across worker
+   domains under [--domains N] — and only then builds its tables from the
+   merged results on the main domain.  Output is byte-identical at any
+   domain count: the pool merges in enumeration order, rendering happens
+   on one domain, and each cell's telemetry is replayed in cell order. *)
 
 module Dist = Euno_workload.Dist
 module Opgen = Euno_workload.Opgen
@@ -75,8 +83,20 @@ let run scale kind ~dist ~mix ~threads =
 
 let theta_label theta = Printf.sprintf "theta=%.2f" theta
 
+(* Split [l] into consecutive groups of [n] (render-side regrouping of a
+   flat pool result list back into a figure's rows/columns). *)
+let chunk n l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  if n <= 0 then invalid_arg "Figures.chunk" else go [] [] 0 l
+
 (* Optional CSV sink: when set, every printed table is also written to
    <dir>/<slug>.csv (output formatting only; no effect on the runs). *)
+(* euno-lint: allow domain-shared-state: main-domain rendering state, never touched inside a pool cell *)
 let csv_dir : string option ref = ref None
 
 let emit table =
@@ -91,17 +111,20 @@ let emit table =
 
 (* ---------- Figure 1: HTM-B+Tree throughput vs contention ---------- *)
 
-let fig1 scale =
+let fig1 ?domains scale =
+  let rs =
+    Pool.map ?domains
+      (fun theta ->
+        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
+          ~mix:Opgen.ycsb_default ~threads:16)
+      theta_sweep
+  in
   let t =
     Table.create ~title:"Figure 1: HTM-B+Tree throughput under contention (16 threads)"
       ~headers:[ "skew"; "Mops/s"; "aborts/op"; "wasted CPU" ]
   in
-  List.iter
-    (fun theta ->
-      let r =
-        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
-          ~mix:Opgen.ycsb_default ~threads:16
-      in
+  List.iter2
+    (fun theta r ->
       Table.add_row t
         [
           theta_label theta;
@@ -109,12 +132,19 @@ let fig1 scale =
           Table.cell_f r.Runner.r_aborts_per_op;
           Table.cell_pct r.Runner.r_wasted_pct;
         ])
-    theta_sweep;
+    theta_sweep rs;
   emit t
 
 (* ---------- Figure 2: abort decomposition vs contention ---------- *)
 
-let fig2 scale =
+let fig2 ?domains scale =
+  let rs =
+    Pool.map ?domains
+      (fun theta ->
+        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
+          ~mix:Opgen.ycsb_default ~threads:16)
+      theta_sweep
+  in
   let t =
     Table.create
       ~title:
@@ -130,12 +160,8 @@ let fig2 scale =
           "other";
         ]
   in
-  List.iter
-    (fun theta ->
-      let r =
-        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
-          ~mix:Opgen.ycsb_default ~threads:16
-      in
+  List.iter2
+    (fun theta r ->
       let conflicts =
         Runner.class_true r +. Runner.class_false_record r
         +. Runner.class_false_meta r
@@ -154,29 +180,36 @@ let fig2 scale =
           Table.cell_f (Runner.class_subscription r);
           Table.cell_f (Runner.class_other r);
         ])
-    theta_sweep;
+    theta_sweep rs;
   emit t
 
 (* ---------- Figure 8: throughput of the four trees vs contention ----- *)
 
-let fig8 scale =
+let fig8 ?domains scale =
   let t =
     Table.create
       ~title:"Figure 8: throughput under different contention rates (16 threads, Mops/s)"
       ~headers:
         ("skew" :: List.map Kv.kind_name Kv.all_kinds)
   in
-  let columns =
-    List.map
-      (fun kind ->
-        ( Kv.kind_name kind,
-          List.map
-            (fun theta ->
-              (run scale kind ~dist:(Dist.Zipfian theta)
-                 ~mix:Opgen.ycsb_default ~threads:16)
-                .Runner.r_mops)
-            theta_sweep ))
+  let cells =
+    List.concat_map
+      (fun kind -> List.map (fun theta -> (kind, theta)) theta_sweep)
       Kv.all_kinds
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (kind, theta) ->
+        (run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+           ~threads:16)
+          .Runner.r_mops)
+      cells
+  in
+  let columns =
+    List.map2
+      (fun kind col -> (Kv.kind_name kind, col))
+      Kv.all_kinds
+      (chunk (List.length theta_sweep) rs)
   in
   List.iteri
     (fun i theta ->
@@ -194,7 +227,7 @@ let fig8 scale =
 
 (* ---------- Figure 9: aborts per op, Euno vs HTM-B+Tree ---------- *)
 
-let fig9 scale =
+let fig9 ?domains scale =
   let t =
     Table.create
       ~title:"Figure 9: HTM aborts per operation by cause (16 threads)"
@@ -210,44 +243,57 @@ let fig9 scale =
           "other";
         ]
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun kind ->
-          let r =
-            run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
-              ~threads:16
-          in
-          Table.add_row t
-            [
-              theta_label theta;
-              r.Runner.r_name;
-              Table.cell_f r.Runner.r_aborts_per_op;
-              Table.cell_f (Runner.class_false_record r);
-              Table.cell_f (Runner.class_false_meta r);
-              Table.cell_f (Runner.class_true r);
-              Table.cell_f (Runner.class_subscription r);
-              Table.cell_f (Runner.class_other r);
-            ])
-        [ Kv.Htm_bptree; Kv.Euno Config.full ])
-    [ 0.5; 0.7; 0.9; 0.99 ];
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.map (fun kind -> (theta, kind)) [ Kv.Htm_bptree; Kv.Euno Config.full ])
+      [ 0.5; 0.7; 0.9; 0.99 ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, kind) ->
+        run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+          ~threads:16)
+      cells
+  in
+  List.iter2
+    (fun (theta, _) r ->
+      Table.add_row t
+        [
+          theta_label theta;
+          r.Runner.r_name;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          Table.cell_f (Runner.class_false_record r);
+          Table.cell_f (Runner.class_false_meta r);
+          Table.cell_f (Runner.class_true r);
+          Table.cell_f (Runner.class_subscription r);
+          Table.cell_f (Runner.class_other r);
+        ])
+    cells rs;
   emit t
 
 (* ---------- Figure 10: scalability panels ---------- *)
 
-let scalability_panel scale ~title ~dist ~mix =
+let scalability_panel ?domains scale ~title ~dist ~mix =
   let t =
     Table.create ~title ~headers:("threads" :: List.map Kv.kind_name Kv.all_kinds)
   in
   let sweep = thread_sweep scale in
-  let columns =
-    List.map
-      (fun kind ->
-        ( Kv.kind_name kind,
-          List.map
-            (fun threads -> (run scale kind ~dist ~mix ~threads).Runner.r_mops)
-            sweep ))
+  let cells =
+    List.concat_map
+      (fun kind -> List.map (fun threads -> (kind, threads)) sweep)
       Kv.all_kinds
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (kind, threads) -> (run scale kind ~dist ~mix ~threads).Runner.r_mops)
+      cells
+  in
+  let columns =
+    List.map2
+      (fun kind col -> (Kv.kind_name kind, col))
+      Kv.all_kinds
+      (chunk (List.length sweep) rs)
   in
   List.iteri
     (fun i threads ->
@@ -263,10 +309,10 @@ let scalability_panel scale ~title ~dist ~mix =
          (fun (label, points) -> { Euno_stats.Chart.label; points })
          columns)
 
-let fig10 scale =
+let fig10 ?domains scale =
   List.iter
     (fun (label, theta) ->
-      scalability_panel scale
+      scalability_panel ?domains scale
         ~title:
           (Printf.sprintf "Figure 10%s: scalability, %s contention (Zipfian %.2f, Mops/s)"
              (fst label) (snd label) theta)
@@ -280,10 +326,10 @@ let fig10 scale =
 
 (* ---------- Figure 11: get/put ratios at theta = 0.9 ---------- *)
 
-let fig11 scale =
+let fig11 ?domains scale =
   List.iter
     (fun (panel, get_pct) ->
-      scalability_panel scale
+      scalability_panel ?domains scale
         ~title:
           (Printf.sprintf
              "Figure 11%s: %d%% get / %d%% put, Zipfian 0.9 (Mops/s)" panel
@@ -294,10 +340,10 @@ let fig11 scale =
 
 (* ---------- Figure 12: input distributions ---------- *)
 
-let fig12 scale =
+let fig12 ?domains scale =
   List.iter
     (fun (panel, name, dist) ->
-      scalability_panel scale
+      scalability_panel ?domains scale
         ~title:(Printf.sprintf "Figure 12%s: %s distribution (Mops/s)" panel name)
         ~dist ~mix:Opgen.ycsb_default)
     [
@@ -312,9 +358,30 @@ let fig12 scale =
 
 (* ---------- Figure 13: design-choice ablation ---------- *)
 
-let fig13 scale =
-  List.iter
-    (fun (label, theta) ->
+let fig13 ?domains scale =
+  let thetas = [ ("high", 0.9); ("extreme", 0.99); ("low", 0.2) ] in
+  let ladder = Config.ablation_ladder in
+  (* One cell per (theta, design): the baseline run first, then the
+     ablation ladder, exactly the sequential order. *)
+  let cells =
+    List.concat_map
+      (fun (_, theta) ->
+        (theta, None)
+        :: List.map (fun (_, cfg) -> (theta, Some cfg)) ladder)
+      thetas
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, design) ->
+        let kind =
+          match design with None -> Kv.Htm_bptree | Some cfg -> Kv.Euno cfg
+        in
+        run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+          ~threads:20)
+      cells
+  in
+  List.iter2
+    (fun (label, theta) group ->
       let t =
         Table.create
           ~title:
@@ -322,33 +389,29 @@ let fig13 scale =
                label theta)
           ~headers:[ "design"; "Mops/s"; "relative"; "aborts/op" ]
       in
-      let base =
-        run scale Kv.Htm_bptree ~dist:(Dist.Zipfian theta)
-          ~mix:Opgen.ycsb_default ~threads:20
-      in
-      Table.add_row t
-        [
-          "Baseline";
-          Table.cell_f base.Runner.r_mops;
-          "1.00x";
-          Table.cell_f base.Runner.r_aborts_per_op;
-        ];
-      List.iter
-        (fun (name, cfg) ->
-          let r =
-            run scale (Kv.Euno cfg) ~dist:(Dist.Zipfian theta)
-              ~mix:Opgen.ycsb_default ~threads:20
-          in
+      match group with
+      | base :: ladder_rs ->
           Table.add_row t
             [
-              name;
-              Table.cell_f r.Runner.r_mops;
-              Printf.sprintf "%.2fx" (r.Runner.r_mops /. base.Runner.r_mops);
-              Table.cell_f r.Runner.r_aborts_per_op;
-            ])
-        Config.ablation_ladder;
-      emit t)
-    [ ("high", 0.9); ("extreme", 0.99); ("low", 0.2) ]
+              "Baseline";
+              Table.cell_f base.Runner.r_mops;
+              "1.00x";
+              Table.cell_f base.Runner.r_aborts_per_op;
+            ];
+          List.iter2
+            (fun (name, _) r ->
+              Table.add_row t
+                [
+                  name;
+                  Table.cell_f r.Runner.r_mops;
+                  Printf.sprintf "%.2fx" (r.Runner.r_mops /. base.Runner.r_mops);
+                  Table.cell_f r.Runner.r_aborts_per_op;
+                ])
+            ladder ladder_rs;
+          emit t
+      | [] -> assert false)
+    thetas
+    (chunk (1 + List.length ladder) rs)
 
 (* ---------- Section 5.7: memory consumption ---------- *)
 
@@ -370,7 +433,7 @@ let mem_row scale ~label ~dist ~mix =
     Table.cell_pct (100.0 *. float_of_int euno.Runner.r_mem_lock_bytes /. e);
   ]
 
-let mem scale =
+let mem ?domains scale =
   let t =
     Table.create
       ~title:
@@ -386,30 +449,34 @@ let mem scale =
           "CCM+locks ovh";
         ]
   in
-  List.iter
-    (fun theta ->
-      Table.add_row t
-        (mem_row scale
-           ~label:(Printf.sprintf "zipf %.1f 50/50" theta)
-           ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default))
-    [ 0.0; 0.5; 0.9 ];
-  List.iter
-    (fun get_pct ->
-      Table.add_row t
-        (mem_row scale
-           ~label:(Printf.sprintf "zipf 0.9 %d/%d" get_pct (100 - get_pct))
-           ~dist:(Dist.Zipfian 0.9)
-           ~mix:(Opgen.read_write ~get_pct)))
-    [ 20; 80 ];
-  List.iter
-    (fun (name, dist) ->
-      Table.add_row t
-        (mem_row scale ~label:name ~dist ~mix:Opgen.ycsb_default))
-    [
-      ("self-similar", Dist.Self_similar 0.2);
-      ("poisson", Dist.Poisson_hotspot { hot_frac = 0.1; hot_mass = 0.7 });
-      ("uniform", Dist.Uniform);
-    ];
+  (* One cell per table row (= two runs, Euno first, base second). *)
+  let cells =
+    List.map
+      (fun theta ->
+        ( Printf.sprintf "zipf %.1f 50/50" theta,
+          Dist.Zipfian theta,
+          Opgen.ycsb_default ))
+      [ 0.0; 0.5; 0.9 ]
+    @ List.map
+        (fun get_pct ->
+          ( Printf.sprintf "zipf 0.9 %d/%d" get_pct (100 - get_pct),
+            Dist.Zipfian 0.9,
+            Opgen.read_write ~get_pct ))
+        [ 20; 80 ]
+    @ List.map
+        (fun (name, dist) -> (name, dist, Opgen.ycsb_default))
+        [
+          ("self-similar", Dist.Self_similar 0.2);
+          ("poisson", Dist.Poisson_hotspot { hot_frac = 0.1; hot_mass = 0.7 });
+          ("uniform", Dist.Uniform);
+        ]
+  in
+  let rows =
+    Pool.map ?domains
+      (fun (label, dist, mix) -> mem_row scale ~label ~dist ~mix)
+      cells
+  in
+  List.iter (Table.add_row t) rows;
   emit t
 
 (* ---------- extensions beyond the paper ---------- *)
@@ -418,37 +485,42 @@ let mem scale =
    report, but the natural companion to its throughput story — the
    monolithic tree's collapse shows up as a two-order-of-magnitude p99
    blow-up while Eunomia's tail stays flat. *)
-let latency scale =
+let latency ?domains scale =
   let t =
     Table.create
       ~title:"Extension: per-op latency (simulated cycles; 16 threads)"
       ~headers:[ "workload"; "tree"; "p50"; "p99"; "Mops/s" ]
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun kind ->
-          let r =
-            run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
-              ~threads:16
-          in
-          Table.add_row t
-            [
-              theta_label theta;
-              r.Runner.r_name;
-              Table.cell_i r.Runner.r_lat_p50;
-              Table.cell_i r.Runner.r_lat_p99;
-              Table.cell_f r.Runner.r_mops;
-            ])
-        Kv.all_kinds)
-    [ 0.2; 0.9 ];
+  let cells =
+    List.concat_map
+      (fun theta -> List.map (fun kind -> (theta, kind)) Kv.all_kinds)
+      [ 0.2; 0.9 ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, kind) ->
+        run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+          ~threads:16)
+      cells
+  in
+  List.iter2
+    (fun (theta, _) r ->
+      Table.add_row t
+        [
+          theta_label theta;
+          r.Runner.r_name;
+          Table.cell_i r.Runner.r_lat_p50;
+          Table.cell_i r.Runner.r_lat_p99;
+          Table.cell_f r.Runner.r_mops;
+        ])
+    cells rs;
   emit t
 
 (* Retry-policy ablation: the collapse mechanism.  The paper-era policy
    (small conflict budget, naive retry against a held fallback lock)
    suffers the lemming effect; the post-fix "polite" policy (wait for the
    lock outside the transaction) resists it on the same tree. *)
-let policy scale =
+let policy ?domains scale =
   let t =
     Table.create
       ~title:
@@ -459,37 +531,45 @@ let policy scale =
           "convoys/op"; "starv/op";
         ]
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun (name, p) ->
-          let workload = workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default in
-          let setup =
-            { (setup_of scale 16) with Runner.policy = Some p }
-          in
-          let r = Runner.run Kv.Htm_bptree workload setup in
-          Table.add_row t
-            [
-              theta_label theta;
-              name;
-              Table.cell_f r.Runner.r_mops;
-              Table.cell_f r.Runner.r_aborts_per_op;
-              Table.cell_f r.Runner.r_fallbacks_per_op;
-              Table.cell_pct r.Runner.r_wasted_pct;
-              Table.cell_f r.Runner.r_convoy_events_per_op;
-              Table.cell_f r.Runner.r_starvation_backoffs_per_op;
-            ])
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun (name, p) -> (theta, name, p))
+          [
+            ("dbx-era", Euno_htm.Htm.default_policy);
+            ("polite", Euno_htm.Htm.polite_policy);
+          ])
+      [ 0.2; 0.9; 0.99 ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, _, p) ->
+        let workload = workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default in
+        let setup = { (setup_of scale 16) with Runner.policy = Some p } in
+        Runner.run Kv.Htm_bptree workload setup)
+      cells
+  in
+  List.iter2
+    (fun (theta, name, _) r ->
+      Table.add_row t
         [
-          ("dbx-era", Euno_htm.Htm.default_policy);
-          ("polite", Euno_htm.Htm.polite_policy);
+          theta_label theta;
+          name;
+          Table.cell_f r.Runner.r_mops;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          Table.cell_f r.Runner.r_fallbacks_per_op;
+          Table.cell_pct r.Runner.r_wasted_pct;
+          Table.cell_f r.Runner.r_convoy_events_per_op;
+          Table.cell_f r.Runner.r_starvation_backoffs_per_op;
         ])
-    [ 0.2; 0.9; 0.99 ];
+    cells rs;
   emit t
 
 (* YCSB core workloads A-F across the four trees: the harness exercising
    its full op vocabulary (reads, updates, scans, read-modify-writes,
    recency-skewed inserts). *)
-let ycsb scale =
+let ycsb ?domains scale =
   let t =
     Table.create
       ~title:"Extension: YCSB core workloads A-F (zipfian 0.9 unless noted; 16 threads, Mops/s)"
@@ -505,148 +585,178 @@ let ycsb scale =
       ("F read-modify-write", Dist.Zipfian 0.9, Opgen.ycsb_f);
     ]
   in
-  List.iter
-    (fun (name, dist, mix) ->
-      let cells =
-        List.map
-          (fun kind ->
-            let r = run scale kind ~dist ~mix ~threads:16 in
-            Table.cell_f r.Runner.r_mops)
-          Kv.all_kinds
-      in
-      Table.add_row t (name :: cells))
-    presets;
+  let cells =
+    List.concat_map
+      (fun (name, dist, mix) ->
+        List.map (fun kind -> (name, dist, mix, kind)) Kv.all_kinds)
+      presets
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (_, dist, mix, kind) ->
+        Table.cell_f (run scale kind ~dist ~mix ~threads:16).Runner.r_mops)
+      cells
+  in
+  List.iter2
+    (fun (name, _, _) row -> Table.add_row t (name :: row))
+    presets
+    (chunk (List.length Kv.all_kinds) rs);
   emit t
 
 (* Design-choice ablation the paper does not show: how many segments
    should a leaf have?  One segment is the conventional layout; more
    segments scatter contended keys across more cache lines but cost more
    search probes. *)
-let segments scale =
+let segments ?domains scale =
   let t =
     Table.create
       ~title:"Extension: Euno-B+Tree segments-per-leaf ablation (16 threads, Mops/s)"
       ~headers:[ "layout"; "low (zipf 0.2)"; "high (zipf 0.9)" ]
   in
-  List.iter
-    (fun (nsegs, seg_slots) ->
-      let cfg =
-        Config.validate
-          { Config.full with Config.nsegs; seg_slots }
-      in
-      let cell theta =
-        let r =
-          run scale (Kv.Euno cfg) ~dist:(Dist.Zipfian theta)
-            ~mix:Opgen.ycsb_default ~threads:16
+  let layouts = [ (1, 15); (3, 5); (5, 3); (7, 2) ] in
+  let cells =
+    List.concat_map
+      (fun (nsegs, seg_slots) ->
+        List.map (fun theta -> (nsegs, seg_slots, theta)) [ 0.2; 0.9 ])
+      layouts
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (nsegs, seg_slots, theta) ->
+        let cfg =
+          Config.validate { Config.full with Config.nsegs; seg_slots }
         in
-        Table.cell_f r.Runner.r_mops
-      in
+        Table.cell_f
+          (run scale (Kv.Euno cfg) ~dist:(Dist.Zipfian theta)
+             ~mix:Opgen.ycsb_default ~threads:16)
+            .Runner.r_mops)
+      cells
+  in
+  List.iter2
+    (fun (nsegs, seg_slots) row ->
       Table.add_row t
-        [
-          Printf.sprintf "%d segs x %d slots" nsegs seg_slots;
-          cell 0.2;
-          cell 0.9;
-        ])
-    [ (1, 15); (3, 5); (5, 3); (7, 2) ];
+        (Printf.sprintf "%d segs x %d slots" nsegs seg_slots :: row))
+    layouts (chunk 2 rs);
   emit t
 
 (* What lock elision buys: the same conventional tree under a plain
    global spinlock (flat), under the elided lock (scales until the storm),
    and the Euno-B+Tree. *)
-let coarse scale =
+let coarse ?domains scale =
   let t =
     Table.create
       ~title:"Extension: coarse lock vs lock elision vs Eunomia (zipf 0.2, Mops/s)"
       ~headers:[ "threads"; "Lock-B+Tree"; "HTM-B+Tree"; "Euno-B+Tree" ]
   in
-  List.iter
-    (fun threads ->
-      let cell kind =
-        let r =
-          run scale kind ~dist:(Dist.Zipfian 0.2) ~mix:Opgen.ycsb_default
-            ~threads
-        in
-        Table.cell_f r.Runner.r_mops
-      in
-      Table.add_row t
-        [
-          string_of_int threads;
-          cell Kv.Lock_bptree;
-          cell Kv.Htm_bptree;
-          cell (Kv.Euno Config.full);
-        ])
-    (thread_sweep scale);
+  let kinds = [ Kv.Lock_bptree; Kv.Htm_bptree; Kv.Euno Config.full ] in
+  let sweep = thread_sweep scale in
+  let cells =
+    List.concat_map
+      (fun threads -> List.map (fun kind -> (threads, kind)) kinds)
+      sweep
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (threads, kind) ->
+        Table.cell_f
+          (run scale kind ~dist:(Dist.Zipfian 0.2) ~mix:Opgen.ycsb_default
+             ~threads)
+            .Runner.r_mops)
+      cells
+  in
+  List.iter2
+    (fun threads row -> Table.add_row t (string_of_int threads :: row))
+    sweep
+    (chunk (List.length kinds) rs);
   emit t
 
 (* Schedule sensitivity: every run is deterministic per seed, so variance
    across seeds is the simulator's analogue of run-to-run noise. *)
-let variance scale =
+let variance ?domains scale =
   let t =
     Table.create
       ~title:"Extension: throughput variation over 5 seeds (16 threads, Mops/s)"
       ~headers:[ "workload"; "tree"; "mean"; "stddev"; "min"; "max" ]
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun kind ->
-          let a =
-            Runner.run_many ~seeds:5 kind
-              (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default)
-              (setup_of scale 16)
-          in
-          Table.add_row t
-            [
-              theta_label theta;
-              Kv.kind_name kind;
-              Table.cell_f a.Runner.a_mean_mops;
-              Table.cell_f a.Runner.a_stddev_mops;
-              Table.cell_f a.Runner.a_min_mops;
-              Table.cell_f a.Runner.a_max_mops;
-            ])
-        [ Kv.Euno Config.full; Kv.Htm_bptree ])
-    [ 0.2; 0.9 ];
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun kind -> (theta, kind))
+          [ Kv.Euno Config.full; Kv.Htm_bptree ])
+      [ 0.2; 0.9 ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, kind) ->
+        Runner.run_many ~seeds:5 kind
+          (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default)
+          (setup_of scale 16))
+      cells
+  in
+  List.iter2
+    (fun (theta, kind) a ->
+      Table.add_row t
+        [
+          theta_label theta;
+          Kv.kind_name kind;
+          Table.cell_f a.Runner.a_mean_mops;
+          Table.cell_f a.Runner.a_stddev_mops;
+          Table.cell_f a.Runner.a_min_mops;
+          Table.cell_f a.Runner.a_max_mops;
+        ])
+    cells rs;
   emit t
 
 (* Does key adjacency matter?  The paper's false-sharing analysis assumes
    hot keys are consecutive; YCSB's scrambled variant hashes them apart.
    Comparing both isolates how much of the baseline's collapse is
    same-line sharing between *different* hot records. *)
-let adjacency scale =
+let adjacency ?domains scale =
   let t =
     Table.create
       ~title:
         "Extension: adjacent vs scrambled hot keys (zipf 0.9, 16 threads)"
       ~headers:[ "tree"; "keys"; "Mops/s"; "aborts/op"; "false:diff-record" ]
   in
-  List.iter
-    (fun kind ->
-      List.iter
-        (fun (label, scrambled) ->
-          let workload =
-            {
-              (workload_of scale (Dist.Zipfian 0.9) Opgen.ycsb_default) with
-              Runner.scrambled;
-            }
-          in
-          let r = Runner.run kind workload (setup_of scale 16) in
-          Table.add_row t
-            [
-              r.Runner.r_name;
-              label;
-              Table.cell_f r.Runner.r_mops;
-              Table.cell_f r.Runner.r_aborts_per_op;
-              Table.cell_f (Runner.class_false_record r);
-            ])
-        [ ("adjacent", false); ("scrambled", true) ])
-    [ Kv.Htm_bptree; Kv.Euno Config.full ];
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun (label, scrambled) -> (kind, label, scrambled))
+          [ ("adjacent", false); ("scrambled", true) ])
+      [ Kv.Htm_bptree; Kv.Euno Config.full ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (kind, _, scrambled) ->
+        let workload =
+          {
+            (workload_of scale (Dist.Zipfian 0.9) Opgen.ycsb_default) with
+            Runner.scrambled;
+          }
+        in
+        Runner.run kind workload (setup_of scale 16))
+      cells
+  in
+  List.iter2
+    (fun (_, label, _) r ->
+      Table.add_row t
+        [
+          r.Runner.r_name;
+          label;
+          Table.cell_f r.Runner.r_mops;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          Table.cell_f (Runner.class_false_record r);
+        ])
+    cells rs;
   emit t
 
 (* Replicate the paper's own Figure 2 estimation methodology — modify the
    workload so no two threads ever touch the same record (interleaved
    partitions keep hot keys adjacent) — and cross-validate it against the
    simulator's exact attribution. *)
-let methodology scale =
+let methodology ?domains scale =
   let t =
     Table.create
       ~title:
@@ -654,27 +764,37 @@ let methodology scale =
       ~headers:
         [ "skew"; "keys"; "Mops/s"; "aborts/op"; "true:same-record" ]
   in
-  List.iter
-    (fun theta ->
-      List.iter
-        (fun (label, partitioned) ->
-          let workload =
-            {
-              (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default) with
-              Runner.partitioned;
-            }
-          in
-          let r = Runner.run Kv.Htm_bptree workload (setup_of scale 16) in
-          Table.add_row t
-            [
-              theta_label theta;
-              label;
-              Table.cell_f r.Runner.r_mops;
-              Table.cell_f r.Runner.r_aborts_per_op;
-              Table.cell_f (Runner.class_true r);
-            ])
-        [ ("shared", false); ("partitioned", true) ])
-    [ 0.8; 0.9; 0.99 ];
+  let cells =
+    List.concat_map
+      (fun theta ->
+        List.map
+          (fun (label, partitioned) -> (theta, label, partitioned))
+          [ ("shared", false); ("partitioned", true) ])
+      [ 0.8; 0.9; 0.99 ]
+  in
+  let rs =
+    Pool.map ?domains
+      (fun (theta, _, partitioned) ->
+        let workload =
+          {
+            (workload_of scale (Dist.Zipfian theta) Opgen.ycsb_default) with
+            Runner.partitioned;
+          }
+        in
+        Runner.run Kv.Htm_bptree workload (setup_of scale 16))
+      cells
+  in
+  List.iter2
+    (fun (theta, label, _) r ->
+      Table.add_row t
+        [
+          theta_label theta;
+          label;
+          Table.cell_f r.Runner.r_mops;
+          Table.cell_f r.Runner.r_aborts_per_op;
+          Table.cell_f (Runner.class_true r);
+        ])
+    cells rs;
   emit t
 
 (* ---------- strategy-sweep: {strategy} x {capacity} campaign ---------- *)
@@ -686,6 +806,7 @@ let methodology scale =
    lands in [sweep_acc] as a schema-validated "sweep" record, which
    euno_repro flushes into the --json document. *)
 
+(* euno-lint: allow domain-shared-state: main-domain accumulator; cells return results, main appends in canonical order *)
 let sweep_acc : Report.Json.t list ref = ref []
 let sweep_records () = List.rev !sweep_acc
 
@@ -714,30 +835,43 @@ let markdown_table ~title ~headers rows =
     (fun row -> Printf.printf "| %s |\n" (String.concat " | " row))
     rows
 
-let sweep_cell scale ~figure ~kind ~theta ~threads (s, cm) =
-  let scale = { scale with strategy = Some s; capacity = Some cm } in
-  let r =
-    run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default ~threads
-  in
-  sweep_acc := Report.sweep_to_json ~figure ~theta r :: !sweep_acc;
-  r
-
-let strategy_sweep scale =
+let strategy_sweep ?domains scale =
   sweep_acc := [];
   let headers = "cell" :: List.map combo_label sweep_combos in
   let mops rs = List.map (fun r -> Table.cell_f r.Runner.r_mops) rs in
+  (* One pool cell per (figure row, combo) run; the main domain appends
+     each cell's "sweep" record in enumeration order after the batch, so
+     record order — like the tables — is byte-identical to the
+     sequential campaign. *)
+  let batch cells =
+    let rs =
+      Pool.map ?domains
+        (fun (_, kind, theta, threads, (s, cm)) ->
+          let scale = { scale with strategy = Some s; capacity = Some cm } in
+          run scale kind ~dist:(Dist.Zipfian theta) ~mix:Opgen.ycsb_default
+            ~threads)
+        cells
+    in
+    List.iter2
+      (fun (figure, _, theta, _, _) r ->
+        sweep_acc := Report.sweep_to_json ~figure ~theta r :: !sweep_acc)
+      cells rs;
+    chunk (List.length sweep_combos) rs
+  in
+  let rows_of labels groups = List.map2 (fun l g -> (l, g)) labels groups in
   (* Figure 1 cells: the HTM-B+Tree contention storm at 16 threads.  Two
      tables, because the strategies differ most in *how* they spend the
      storm: throughput, then fallback entries per op. *)
   let fig1_rows =
-    List.map
-      (fun theta ->
-        ( theta_label theta,
-          List.map
-            (sweep_cell scale ~figure:"fig1" ~kind:Kv.Htm_bptree ~theta
-               ~threads:16)
-            sweep_combos ))
-      sweep_fig1_thetas
+    rows_of
+      (List.map theta_label sweep_fig1_thetas)
+      (batch
+         (List.concat_map
+            (fun theta ->
+              List.map
+                (fun combo -> ("fig1", Kv.Htm_bptree, theta, 16, combo))
+                sweep_combos)
+            sweep_fig1_thetas))
   in
   markdown_table
     ~title:"Strategy sweep, Figure 1 cells: HTM-B+Tree Mops/s (16 threads)"
@@ -752,80 +886,104 @@ let strategy_sweep scale =
          :: List.map (fun r -> Table.cell_f r.Runner.r_fallbacks_per_op) rs)
        fig1_rows);
   (* Figure 8 cells: all four trees at low and high contention. *)
-  let fig8_rows =
+  let fig8_labels =
     List.concat_map
       (fun kind ->
         List.map
           (fun theta ->
-            ( Printf.sprintf "%s %s" (Kv.kind_name kind) (theta_label theta),
-              List.map
-                (sweep_cell scale ~figure:"fig8" ~kind ~theta ~threads:16)
-                sweep_combos ))
+            Printf.sprintf "%s %s" (Kv.kind_name kind) (theta_label theta))
           sweep_fig8_thetas)
       Kv.all_kinds
+  in
+  let fig8_rows =
+    rows_of fig8_labels
+      (batch
+         (List.concat_map
+            (fun kind ->
+              List.concat_map
+                (fun theta ->
+                  List.map
+                    (fun combo -> ("fig8", kind, theta, 16, combo))
+                    sweep_combos)
+                sweep_fig8_thetas)
+            Kv.all_kinds))
   in
   markdown_table
     ~title:"Strategy sweep, Figure 8 cells: Mops/s (16 threads)" ~headers
     (List.map (fun (label, rs) -> label :: mops rs) fig8_rows);
   (* Figure 10 cells: scalability of the two B+Trees whose fallback
      discipline the strategies actually change. *)
-  let fig10_rows =
+  let fig10_labels =
     List.concat_map
       (fun kind ->
         List.concat_map
           (fun theta ->
             List.map
               (fun threads ->
-                ( Printf.sprintf "%s %s t=%d" (Kv.kind_name kind)
-                    (theta_label theta) threads,
-                  List.map
-                    (sweep_cell scale ~figure:"fig10" ~kind ~theta ~threads)
-                    sweep_combos ))
+                Printf.sprintf "%s %s t=%d" (Kv.kind_name kind)
+                  (theta_label theta) threads)
               (sweep_fig10_threads scale))
           sweep_fig10_thetas)
       sweep_fig10_kinds
+  in
+  let fig10_rows =
+    rows_of fig10_labels
+      (batch
+         (List.concat_map
+            (fun kind ->
+              List.concat_map
+                (fun theta ->
+                  List.map
+                    (fun threads ->
+                      List.map
+                        (fun combo -> ("fig10", kind, theta, threads, combo))
+                        sweep_combos)
+                    (sweep_fig10_threads scale)
+                  |> List.concat)
+                sweep_fig10_thetas)
+            sweep_fig10_kinds))
   in
   markdown_table ~title:"Strategy sweep, Figure 10 cells: Mops/s" ~headers
     (List.map (fun (label, rs) -> label :: mops rs) fig10_rows)
 
 (* ---------- everything ---------- *)
 
-let all scale =
-  fig1 scale;
+let all ?domains scale =
+  fig1 ?domains scale;
   print_newline ();
-  fig2 scale;
+  fig2 ?domains scale;
   print_newline ();
-  fig8 scale;
+  fig8 ?domains scale;
   print_newline ();
-  fig9 scale;
+  fig9 ?domains scale;
   print_newline ();
-  fig10 scale;
+  fig10 ?domains scale;
   print_newline ();
-  fig11 scale;
+  fig11 ?domains scale;
   print_newline ();
-  fig12 scale;
+  fig12 ?domains scale;
   print_newline ();
-  fig13 scale;
+  fig13 ?domains scale;
   print_newline ();
-  mem scale;
+  mem ?domains scale;
   print_newline ();
-  latency scale;
+  latency ?domains scale;
   print_newline ();
-  policy scale;
+  policy ?domains scale;
   print_newline ();
-  ycsb scale;
+  ycsb ?domains scale;
   print_newline ();
-  segments scale;
+  segments ?domains scale;
   print_newline ();
-  coarse scale;
+  coarse ?domains scale;
   print_newline ();
-  variance scale;
+  variance ?domains scale;
   print_newline ();
-  adjacency scale;
+  adjacency ?domains scale;
   print_newline ();
-  methodology scale
+  methodology ?domains scale
 
-let by_name =
+let by_name : (string * (?domains:int -> scale -> unit)) list =
   [
     ("fig1", fig1);
     ("fig2", fig2);

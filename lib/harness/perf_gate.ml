@@ -20,7 +20,7 @@ type direction = Lower_is_better | Higher_is_better
    metrics default to lower-is-better, the conservative reading for the
    cost-like units we are likely to add next. *)
 let direction_of_metric = function
-  | "sim_ops_per_wall_sec" -> Higher_is_better
+  | "sim_ops_per_wall_sec" | "campaign_cells_per_wall_sec" -> Higher_is_better
   | "ns_per_call" | _ -> Lower_is_better
 
 type probe = {

@@ -10,7 +10,8 @@ type direction = Lower_is_better | Higher_is_better
 
 val direction_of_metric : string -> direction
 (** ["ns_per_call"] (and unknown metrics) are lower-is-better;
-    ["sim_ops_per_wall_sec"] is higher-is-better. *)
+    ["sim_ops_per_wall_sec"] and ["campaign_cells_per_wall_sec"] are
+    higher-is-better. *)
 
 type probe = {
   p_name : string;

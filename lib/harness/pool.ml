@@ -1,0 +1,141 @@
+(* Domain-parallel campaign cell executor.
+
+   Every campaign the harness runs — bench figure grids, San_run's
+   strategy×capacity×tree matrix, Check_run's hunt sweeps, the
+   Chaos/Dura per-tree campaigns, the Figures strategy sweep — is a list
+   of independent cells, each deterministic per (config, seed): a cell
+   builds its own Memory/Linemap/Alloc/Machine world and never touches
+   another cell's.  [map] fans those cells out across OCaml 5 domains
+   and merges the results in canonical index order, so the output is
+   byte-identical to the sequential run regardless of domain count or
+   completion order.
+
+   Determinism discipline, in three parts:
+
+   - {b Per-domain state.}  Everything process-global that a cell can
+     touch is domain-local ([Euno_sim.Domain_ref]): the sanitizer arming
+     flag and racy-word registry (Sev), the user-counter registry
+     (Machine), the lockfree descriptor tables and every Testonly
+     mutation switch (Htm/Masstree/Euno_tree/Dura), and the telemetry
+     observer (Runner.on_result / Report's collector).  A cell running
+     on one worker computes exactly what it would compute alone.
+
+   - {b Canonical merge.}  Workers claim cell indices from a shared
+     atomic counter (dynamic load balancing — cells have very uneven
+     costs) and deposit results into an index-addressed slot array;
+     [merge] then reads them back in index order.  Arrival order never
+     reaches an observer.
+
+   - {b Ordered replay.}  Results a cell delivers through the
+     domain-local [Runner.on_result] observer are captured per cell and
+     replayed into the {e main} domain's observer in cell order after
+     the join, so a [Report.start_collecting] document assembled around
+     a parallel campaign lists runs in exactly the sequential order.
+
+   Exceptions: each cell's outcome is stored as a [result]; after every
+   worker joins, the lowest-indexed failing cell's exception is re-raised
+   (with its backtrace), matching which failure a sequential run would
+   have surfaced.  Cells after it have already executed — their effects
+   are discarded, not replayed.
+
+   The sequential path ([domains <= 1], the default) is a plain
+   [List.map] with no spawning, no capture and no replay: the historical
+   byte streams (golden traces, every committed JSON) are reproduced by
+   construction. *)
+
+module Domain_ref = Euno_sim.Domain_ref
+
+(* Testonly: completion-order adversary.  The differential determinism
+   suite installs a per-cell delay here so workers finish in a shuffled
+   order; the merged output must not move.  A plain (not domain-local)
+   ref on purpose: it is written only while no worker domain exists
+   (before spawn / after join, with Domain.spawn/join providing the
+   happens-before edges), and workers only read it. *)
+module Testonly = struct
+  (* euno-lint: allow domain-shared-state: written only before spawn/after join (spawn/join give the happens-before); workers read-only *)
+  let cell_delay : (int -> unit) option ref = ref None
+end
+
+(* EUNO_DOMAINS env override (CI knob); an explicit --domains flag wins
+   over it, absence of both means sequential. *)
+let default_domains () =
+  match Sys.getenv_opt "EUNO_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg (Printf.sprintf "EUNO_DOMAINS=%S is not a positive integer" s))
+
+(* The canonical merge: index order, independent of arrival order.  The
+   QCheck permutation property pins this down as a pure function of the
+   result *set*. *)
+let merge cells =
+  List.sort (fun (i, _) (j, _) -> compare (i : int) j) cells |> List.map snd
+
+type ('a, 'b) outcome = {
+  cell_result : ('b, exn * Printexc.raw_backtrace) result;
+  observed : 'a list; (* Runner.on_result deliveries, oldest first *)
+}
+
+let map (type a b) ?domains (f : a -> b) (items : a list) : b list =
+  let domains = match domains with Some n -> n | None -> default_domains () in
+  if domains <= 1 then List.map f items
+  else begin
+    let cells = Array.of_list items in
+    let n = Array.length cells in
+    if n = 0 then []
+    else begin
+      let slots :
+          (Runner.result, b) outcome option array =
+        Array.make n None
+      in
+      let next = Atomic.make 0 in
+      let delay = !Testonly.cell_delay in
+      let run_cell i =
+        (match delay with Some d -> d i | None -> ());
+        (* Capture this cell's telemetry on the worker's own domain-local
+           observer; the main domain replays it in cell order. *)
+        let captured = ref [] in
+        Domain_ref.set Runner.on_result
+          (Some (fun r -> captured := r :: !captured));
+        let cell_result =
+          match f cells.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Domain_ref.set Runner.on_result None;
+        slots.(i) <- Some { cell_result; observed = List.rev !captured }
+      in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_cell i;
+          worker ()
+        end
+      in
+      let workers =
+        List.init (min domains n) (fun _ -> Domain.spawn worker)
+      in
+      List.iter Domain.join workers;
+      let observe =
+        match Domain_ref.get Runner.on_result with
+        | Some obs -> fun rs -> List.iter obs rs
+        | None -> fun _ -> ()
+      in
+      let indexed = ref [] in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> assert false (* every index < n was claimed *)
+          | Some { cell_result = Ok v; observed } ->
+              observe observed;
+              indexed := (i, v) :: !indexed
+          | Some { cell_result = Error (e, bt); observed } ->
+              (* the sequential run would have observed this cell's
+                 partial telemetry, then died on this exception *)
+              observe observed;
+              Printexc.raise_with_backtrace e bt)
+        slots;
+      merge !indexed
+    end
+  end

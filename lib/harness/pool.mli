@@ -1,0 +1,50 @@
+(** Domain-parallel campaign cell executor.
+
+    Fans a list of independent, per-(config, seed) deterministic
+    campaign cells out across OCaml 5 domains and merges the results in
+    canonical index order, so every report and JSON document is
+    byte-identical to the sequential run regardless of domain count or
+    completion order.  See ARCHITECTURE.md §"Parallel campaign
+    execution" for the design and the domain-safety rules cells must
+    obey (own your world; no process-global mutable state — the
+    [domain-shared-state] lint enforces the latter).
+
+    {b Complexity:} [map] spawns [min domains n] worker domains once per
+    call; workers claim cells from one atomic counter (O(1) per cell,
+    dynamic load balancing for uneven cell costs).
+
+    {b Determinism:} results are deposited into an index-addressed slot
+    array and merged in index order; telemetry a cell delivers through
+    the domain-local {!Runner.on_result} observer is captured per cell
+    and replayed into the main domain's observer in cell order after the
+    join.  The sequential path ([domains <= 1], the default) is a plain
+    [List.map] — no spawn, no capture, no replay. *)
+
+val default_domains : unit -> int
+(** Domain count from the [EUNO_DOMAINS] environment variable (the CI
+    knob), else 1.  An explicit [--domains] flag should win over this —
+    the CLIs pass their flag value straight to [map] and default the
+    flag to this.  Raises [Invalid_argument] if the variable is set to
+    anything but a positive integer. *)
+
+val merge : (int * 'a) list -> 'a list
+(** The canonical merge: sort by cell index, drop the indices.  A pure
+    function of the result set — any permutation of the input yields the
+    same output (the QCheck property in [test_pool.ml]). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f cells] = [List.map f cells], computed by [domains]
+    worker domains when [domains > 1].  Cells must be independent: each
+    builds its own simulator world and touches no cross-domain mutable
+    state.  If a cell raises, the lowest-indexed failing cell's
+    exception is re-raised after all workers join — the same failure a
+    sequential run would surface.  [domains] defaults to
+    {!default_domains}[ ()]. *)
+
+(** Completion-order adversary for the differential determinism suite:
+    an installed hook runs on the claiming worker with the cell index
+    before the cell executes (e.g. a pseudo-random sleep, shuffling
+    completion order).  Write only while no worker domain is running. *)
+module Testonly : sig
+  val cell_delay : (int -> unit) option ref
+end

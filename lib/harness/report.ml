@@ -629,22 +629,30 @@ let validate_document json =
 (* ---------- collection ---------- *)
 
 (* The collector observes Runner.on_result, so every run — whatever figure
-   helper or ad-hoc path produced it — lands in the document. *)
+   helper or ad-hoc path produced it — lands in the document.  Both the
+   collector slot and the observer it installs are domain-local: a pool
+   worker that needs local collection gets its own, and the main domain's
+   document only ever contains results delivered on the main domain (its
+   own runs plus the pool's canonical-order replay). *)
 type collector = { mutable results : Runner.result list (* newest first *) }
 
-let active : collector option ref = ref None
+let active : collector option Euno_sim.Domain_ref.t =
+  Euno_sim.Domain_ref.create (fun () -> None)
 
 let start_collecting () =
   let c = { results = [] } in
-  active := Some c;
-  Runner.on_result := Some (fun r -> c.results <- r :: c.results)
+  Euno_sim.Domain_ref.set active (Some c);
+  Euno_sim.Domain_ref.set Runner.on_result
+    (Some (fun r -> c.results <- r :: c.results))
 
 let collected () =
-  match !active with Some c -> List.rev c.results | None -> []
+  match Euno_sim.Domain_ref.get active with
+  | Some c -> List.rev c.results
+  | None -> []
 
 let stop_collecting () =
-  active := None;
-  Runner.on_result := None
+  Euno_sim.Domain_ref.set active None;
+  Euno_sim.Domain_ref.set Runner.on_result None
 
 (* Write everything collected since [start_collecting]:
    [json] gets the full schema-versioned document, [snapshots] gets the

@@ -114,8 +114,12 @@ type result = {
 }
 
 (* Observers (the Report telemetry collector) subscribe here; called with
-   every completed result, including each run of [run_many]. *)
-let on_result : (result -> unit) option ref = ref None
+   every completed result, including each run of [run_many].  Domain-local
+   so each pool worker observes exactly its own cells; the pool replays
+   worker-observed results into the main domain's observer in canonical
+   cell order. *)
+let on_result : (result -> unit) option Euno_sim.Domain_ref.t =
+  Euno_sim.Domain_ref.create (fun () -> None)
 
 let is_power_of_two n = n land (n - 1) = 0
 
@@ -153,12 +157,12 @@ let run kind workload setup =
      cannot leak arming into later (golden-trace) runs. *)
   let san = if setup.sanitize then Some (Euno_san.San.create ()) else None in
   if setup.sanitize then begin
-    Euno_sim.Sev.enabled := true;
+    Euno_sim.Sev.set_armed true;
     Euno_sim.Sev.reset_racy ()
   end;
   Fun.protect ~finally:(fun () ->
       if setup.sanitize then begin
-        Euno_sim.Sev.enabled := false;
+        Euno_sim.Sev.set_armed false;
         Euno_sim.Sev.reset_racy ()
       end)
   @@ fun () ->
@@ -336,7 +340,9 @@ let run kind workload setup =
     r_san = Option.map Euno_san.San.finish san;
   }
   in
-  (match !on_result with Some observe -> observe result | None -> ());
+  (match Euno_sim.Domain_ref.get on_result with
+  | Some observe -> observe result
+  | None -> ());
   result
 
 (* Repeat a run over several seeds and summarize throughput variation

@@ -102,10 +102,12 @@ type result = {
       (** sanitizer verdict; [Some] only when [setup.sanitize] was set *)
 }
 
-val on_result : (result -> unit) option ref
+val on_result : (result -> unit) option Euno_sim.Domain_ref.t
 (** Observer invoked with every completed result (including each seed of
     {!run_many}); the telemetry collector in {!Report} installs itself
-    here.  Purely observational — results are unchanged. *)
+    here.  Purely observational — results are unchanged.  Domain-local:
+    each pool worker domain has its own (initially absent) observer, so
+    parallel cells never interleave into one collector. *)
 
 val partition_scan_keys :
   key_space:int -> threads:int -> tid:int -> from:int -> len:int -> int list

@@ -34,85 +34,89 @@ let outcome_of ~tree ~label ~strategy ~capacity ~seed (r : Runner.result) =
       }
   | None -> invalid_arg "San_run: result carries no sanitizer summary"
 
-(* One campaign cell = (strategy, capacity model): the zipf ladder plus a
-   chaos run of every tree, sanitized.  [run] sweeps the requested grid;
-   the default covers every strategy under the nominal capacity model
-   (the capacity ladder is a perf question more than a protocol one, but
+(* One campaign cell = (strategy, capacity model, tree): the zipf ladder
+   plus a chaos run, sanitized.  The chaos horizon depends on the cell's
+   own mid-contention zipf run, so the whole quadruple stays inside one
+   cell — cells are independent and [Pool.map] can fan them across
+   domains with the canonical (strategy, capacity, tree) nesting order
+   preserved by the index merge.  [run] sweeps the requested grid; the
+   default covers every strategy under the nominal capacity model (the
+   capacity ladder is a perf question more than a protocol one, but
    limited-read cells catch fallback-path bugs that only fire when
    capacity aborts force operations off the fast path). *)
 let run ?(quick = false) ?(seed = 42) ?(strategies = Htm.all_strategies)
-    ?(capacities = [ Cost.nominal ]) () =
+    ?(capacities = [ Cost.nominal ]) ?domains () =
   let base = Runner.default_setup in
-  List.concat_map
-    (fun strategy ->
-      List.concat_map
-        (fun capacity ->
-          let setup =
-            {
-              base with
-              Runner.sanitize = true;
-              check_after = true;
-              seed;
-              cost = Cost.with_capacity Cost.default capacity;
-              (* Elision cells keep each tree's own default policy (the
-                 pre-strategy behaviour); other strategies override just
-                 the strategy selector. *)
-              policy =
-                (match strategy with
-                | Htm.Elision -> None
-                | s -> Some { Htm.default_policy with Htm.strategy = s });
-              threads = (if quick then 8 else base.Runner.threads);
-              ops_per_thread =
-                (if quick then 300 else base.Runner.ops_per_thread);
-            }
-          in
-          let workload theta =
-            {
-              Runner.default_workload with
-              Runner.dist = Dist.Zipfian theta;
-              mix = coverage_mix;
-              key_space =
-                (if quick then 1 lsl 12
-                 else Runner.default_workload.Runner.key_space);
-            }
-          in
-          List.concat_map
-            (fun kind ->
-              let tree = Kv.kind_name kind in
-              let zipf_runs =
-                List.map
-                  (fun theta -> (theta, Runner.run kind (workload theta) setup))
-                  thetas
-              in
-              (* Chaos horizon from this tree's own mid-contention run, so
-                 the campaign windows line up with where the run actually
-                 spends its cycles. *)
-              let horizon =
-                match zipf_runs with
-                | _ :: (_, mid) :: _ -> mid.Runner.r_cycles
-                | _ -> 200_000
-              in
-              let chaos_setup =
-                {
-                  setup with
-                  Runner.fault_plan =
-                    Plan.campaign ~threads:setup.Runner.threads ~horizon;
-                }
-              in
-              let chaos = Runner.run kind (workload 0.8) chaos_setup in
-              List.map
-                (fun (theta, r) ->
-                  outcome_of ~tree
-                    ~label:(Printf.sprintf "zipf-%.2f" theta)
-                    ~strategy ~capacity ~seed r)
-                zipf_runs
-              @ [
-                  outcome_of ~tree ~label:"chaos-zipf-0.80" ~strategy ~capacity
-                    ~seed chaos;
-                ])
-            Kv.all_kinds)
-        capacities)
-    strategies
+  let cell (strategy, capacity, kind) =
+    let setup =
+      {
+        base with
+        Runner.sanitize = true;
+        check_after = true;
+        seed;
+        cost = Cost.with_capacity Cost.default capacity;
+        (* Elision cells keep each tree's own default policy (the
+           pre-strategy behaviour); other strategies override just the
+           strategy selector. *)
+        policy =
+          (match strategy with
+          | Htm.Elision -> None
+          | s -> Some { Htm.default_policy with Htm.strategy = s });
+        threads = (if quick then 8 else base.Runner.threads);
+        ops_per_thread = (if quick then 300 else base.Runner.ops_per_thread);
+      }
+    in
+    let workload theta =
+      {
+        Runner.default_workload with
+        Runner.dist = Dist.Zipfian theta;
+        mix = coverage_mix;
+        key_space =
+          (if quick then 1 lsl 12
+           else Runner.default_workload.Runner.key_space);
+      }
+    in
+    let tree = Kv.kind_name kind in
+    let zipf_runs =
+      List.map (fun theta -> (theta, Runner.run kind (workload theta) setup))
+        thetas
+    in
+    (* Chaos horizon from this tree's own mid-contention run, so the
+       campaign windows line up with where the run actually spends its
+       cycles. *)
+    let horizon =
+      match zipf_runs with
+      | _ :: (_, mid) :: _ -> mid.Runner.r_cycles
+      | _ -> 200_000
+    in
+    let chaos_setup =
+      {
+        setup with
+        Runner.fault_plan = Plan.campaign ~threads:setup.Runner.threads ~horizon;
+      }
+    in
+    let chaos = Runner.run kind (workload 0.8) chaos_setup in
+    List.map
+      (fun (theta, r) ->
+        outcome_of ~tree
+          ~label:(Printf.sprintf "zipf-%.2f" theta)
+          ~strategy ~capacity ~seed r)
+      zipf_runs
+    @ [
+        outcome_of ~tree ~label:"chaos-zipf-0.80" ~strategy ~capacity ~seed
+          chaos;
+      ]
+  in
+  let cells =
+    List.concat_map
+      (fun strategy ->
+        List.concat_map
+          (fun capacity ->
+            List.map (fun kind -> (strategy, capacity, kind)) Kv.all_kinds)
+          capacities)
+      strategies
+  in
+  List.concat (Pool.map ?domains cell cells)
 
 let clean outcomes =
   List.for_all (fun o -> o.o_summary.Euno_san.San.total = 0) outcomes

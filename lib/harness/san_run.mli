@@ -23,17 +23,20 @@ val run :
   ?seed:int ->
   ?strategies:Euno_htm.Htm.strategy list ->
   ?capacities:Euno_sim.Cost.capacity_model list ->
+  ?domains:int ->
   unit ->
   outcome list
-(** Execute the sweep over each (strategy x capacity-model) cell of the
-    requested grid — by default every strategy under the nominal capacity
-    model.  Elision cells keep each tree's own default policy (the
-    pre-strategy behaviour); other strategies override only the policy's
-    strategy selector.  [quick] shrinks threads, operation count and key
-    space for smoke-test latitude (CI); default scale matches
-    {!Runner.default_setup}.  Outcomes appear strategy-major, then
-    capacity, then tree-major in {!Kv.all_kinds} order, thetas ascending,
-    chaos last. *)
+(** Execute the sweep over each (strategy x capacity-model x tree) cell
+    of the requested grid — by default every strategy under the nominal
+    capacity model.  Elision cells keep each tree's own default policy
+    (the pre-strategy behaviour); other strategies override only the
+    policy's strategy selector.  [quick] shrinks threads, operation count
+    and key space for smoke-test latitude (CI); default scale matches
+    {!Runner.default_setup}.  [domains] fans the cells across that many
+    worker domains via {!Pool.map} (default {!Pool.default_domains}) —
+    outcomes are byte-identical to the sequential sweep either way:
+    strategy-major, then capacity, then tree-major in {!Kv.all_kinds}
+    order, thetas ascending, chaos last. *)
 
 val clean : outcome list -> bool
 (** No findings anywhere in the sweep. *)

@@ -45,6 +45,7 @@ module Api = Euno_sim.Api
 module Abort = Euno_sim.Abort
 module Eff = Euno_sim.Eff
 module Sev = Euno_sim.Sev
+module Domain_ref = Euno_sim.Domain_ref
 module Spinlock = Euno_sync.Spinlock
 module Backoff = Euno_sync.Backoff
 
@@ -52,26 +53,28 @@ module Backoff = Euno_sync.Backoff
    the sanitizer test suite can prove it detects them.  Never set outside
    test code. *)
 module Testonly = struct
-  let escape_xbegin_park = ref false
+  (* Domain-local (Domain_ref): a mutation armed by a campaign cell on
+     one pool worker must not bleed into cells on other domains. *)
+  let escape_xbegin_park = Domain_ref.create (fun () -> false)
   (* PR 2 bug: evaluate xbegin *before* the match scrutinee, so an abort
      delivered while parked at the xbegin call site escapes [attempt]
      uncaught. *)
 
-  let skip_subscription = ref false
+  let skip_subscription = Domain_ref.create (fun () -> false)
   (* Lock-elision bug: skip the fallback-lock subscription check in
      [attempt_elided].  An unsubscribed transaction neither aborts when a
      fallback holder is active nor joins its read set, so it can commit in
      the middle of the holder's critical section — the classic lost-update
      window EunoCheck must catch as a non-linearizable history. *)
 
-  let skip_activity_read = ref false
+  let skip_activity_read = Domain_ref.create (fun () -> false)
   (* 3-path bug: skip the middle path's in-transaction read of the
      fallback-activity counter.  The unsubscribed middle-path transaction
      neither aborts while a software fallback is active nor is doomed when
      one arrives — the same lost-update window as skip_subscription, in
      the strategy whose *fast* path legitimately has no subscription. *)
 
-  let lf_skip_announce = ref false
+  let lf_skip_announce = Domain_ref.create (fun () -> false)
   (* Lockfree bug: skip the software path's announcement FAA on the
      activity counter (and its matching decrement).  An unannounced
      software op neither dooms middle-path subscribers nor fences off new
@@ -268,16 +271,19 @@ let lf_desc lock tid =
    per-lock table keyed by the sidecar base address.  [alloc_lock]
    (re)installs the entry, so a sidecar address recycled by a later
    simulated world never leaks stale descriptors; the table itself holds
-   no simulated state, so determinism is untouched.  Results are
-   monomorphised through [Obj] — sound because only the owning thread ever
-   reads its own slot's result, with the type the closure it published
-   produced. *)
+   no simulated state, so determinism is untouched.  Domain-local:
+   concurrent campaign cells simulate disjoint worlds that can allocate
+   identical sidecar addresses, so each pool worker keeps its own table.
+   Results are monomorphised through [Obj] — sound because only the
+   owning thread ever reads its own slot's result, with the type the
+   closure it published produced. *)
 type lf_cell = {
   mutable lf_fn : (unit -> Obj.t) option;
   mutable lf_res : (Obj.t, exn) result;
 }
 
-let lf_tables : (int, lf_cell array) Hashtbl.t = Hashtbl.create 7
+let lf_tables : (int, lf_cell array) Hashtbl.t Domain_ref.t =
+  Domain_ref.create (fun () -> Hashtbl.create 7)
 
 let alloc_lock ?(policy = default_policy) () =
   let word = Spinlock.alloc () in
@@ -292,11 +298,11 @@ let alloc_lock ?(policy = default_policy) () =
         let tp = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:tp_words in
         (* A recycled address must not alias an earlier world's lockfree
            descriptor table: this sidecar has no descriptor stripe. *)
-        Hashtbl.remove lf_tables tp;
+        Hashtbl.remove (Domain_ref.get lf_tables) tp;
         tp
     | Lockfree ->
         let tp = Api.alloc ~kind:Euno_mem.Linemap.Lock ~words:lf_tp_words in
-        Hashtbl.replace lf_tables tp
+        Hashtbl.replace (Domain_ref.get lf_tables) tp
           (Array.init Euno_sim.Line_table.max_threads (fun _ ->
                { lf_fn = None; lf_res = Error Not_found }));
         tp
@@ -316,7 +322,7 @@ exception Stuck_fallback of { lock : int; waited : int }
    parked at the xbegin call site — the abort is then delivered exactly
    there, and a scrutinee that starts after xbegin would let it escape. *)
 let attempt_body f =
-  if !Testonly.escape_xbegin_park then begin
+  if Domain_ref.get Testonly.escape_xbegin_park then begin
     (* The pre-fix shape: the transaction starts before the match
        scrutinee, so a doom delivered at the xbegin park point is raised
        outside the handler below and escapes. *)
@@ -359,7 +365,7 @@ let attempt_body f =
    the exception path too: escape detection keys off the thread dying
    with Txn_abort, not off bracket imbalance. *)
 let attempt f =
-  if !Sev.enabled then begin
+  if Sev.armed () then begin
     Api.san_note Sev.Attempt_enter;
     match attempt_body f with
     | r ->
@@ -378,7 +384,7 @@ let attempt f =
 let attempt_elided ~lock f =
   attempt (fun () ->
       if
-        (not !Testonly.skip_subscription) && Spinlock.is_locked lock.word
+        (not (Domain_ref.get Testonly.skip_subscription)) && Spinlock.is_locked lock.word
       then begin
         Api.xabort Abort.xabort_lock_held;
         raise Unreachable_after_xabort
@@ -393,7 +399,7 @@ let attempt_elided ~lock f =
    property, against a counter the fast path can peek without joining. *)
 let attempt_middle ~lock f =
   attempt (fun () ->
-      if (not !Testonly.skip_activity_read) && Api.read lock.tp > 0 then begin
+      if (not (Domain_ref.get Testonly.skip_activity_read)) && Api.read lock.tp > 0 then begin
         Api.xabort Abort.xabort_fallback_active;
         raise Unreachable_after_xabort
       end;
@@ -809,7 +815,7 @@ module Lockfree : STRATEGY = struct
   let run ~policy ~on_abort ~lock f =
     let cells =
       match
-        if lock.tp < 0 then None else Hashtbl.find_opt lf_tables lock.tp
+        if lock.tp < 0 then None else Hashtbl.find_opt (Domain_ref.get lf_tables) lock.tp
       with
       | Some cells -> cells
       | None ->
@@ -826,7 +832,7 @@ module Lockfree : STRATEGY = struct
       let consecutive = fallback_enter ~policy ~lock ~starvation_slot in
       cell.lf_fn <- Some (fun () -> Obj.repr (f ()));
       Api.write desc lf_pending;
-      if not !Testonly.lf_skip_announce then ignore (Api.faa activity 1);
+      if not (Domain_ref.get Testonly.lf_skip_announce) then ignore (Api.faa activity 1);
       let t0 = Api.clock () in
       (* Status is done: take the result, retire slot + announcement. *)
       let finish () =
@@ -834,7 +840,7 @@ module Lockfree : STRATEGY = struct
         cell.lf_fn <- None;
         cell.lf_res <- Error Not_found;
         Api.write desc lf_empty;
-        if not !Testonly.lf_skip_announce then ignore (Api.faa activity (-1));
+        if not (Domain_ref.get Testonly.lf_skip_announce) then ignore (Api.faa activity (-1));
         ignore (Api.faa lock.aux (-1));
         match r with
         | Ok v ->
@@ -850,7 +856,7 @@ module Lockfree : STRATEGY = struct
       let withdraw waited =
         if Api.cas desc ~expected:lf_pending ~desired:lf_empty then begin
           cell.lf_fn <- None;
-          if not !Testonly.lf_skip_announce then
+          if not (Domain_ref.get Testonly.lf_skip_announce) then
             ignore (Api.faa activity (-1));
           ignore (Api.faa lock.aux (-1));
           fallback_abandoned ~starvation_slot ~consecutive;

@@ -68,26 +68,28 @@ type policy = {
 
 (** Test-only mutation switches: reintroduce historical protocol bugs so
     the sanitizer suite can prove it detects them.  Never set these
-    outside test code. *)
+    outside test code.  Each switch is domain-local
+    ({!Euno_sim.Domain_ref}): arming a mutation in one pool worker's
+    campaign cell leaves cells on other domains unmutated. *)
 module Testonly : sig
-  val escape_xbegin_park : bool ref
+  val escape_xbegin_park : bool Euno_sim.Domain_ref.t
   (** PR 2 bug: start the transaction before the match scrutinee in
       {!attempt}, letting an abort delivered at the xbegin park point
       escape uncaught. *)
 
-  val skip_subscription : bool ref
+  val skip_subscription : bool Euno_sim.Domain_ref.t
   (** Lock-elision bug: skip the fallback-lock subscription check in
       elided attempts, so a transaction can commit in the middle of a
       fallback holder's critical section.  EunoCheck's mutation tests
       prove this surfaces as a non-linearizable history. *)
 
-  val skip_activity_read : bool ref
+  val skip_activity_read : bool Euno_sim.Domain_ref.t
   (** 3-path bug: skip the middle path's in-transaction read of the
       fallback-activity counter, so a middle-path transaction can commit
       in the middle of a software fallback's critical section — the
       3-path analogue of [skip_subscription]. *)
 
-  val lf_skip_announce : bool ref
+  val lf_skip_announce : bool Euno_sim.Domain_ref.t
   (** {!Lockfree} bug: skip the software path's announcement FAA on the
       activity counter (and the matching decrement).  An unannounced
       descriptor neither dooms middle-path subscribers nor fences off new

@@ -22,6 +22,7 @@ let rule_names =
     "san-release-order";
     "counter-ownership";
     "schema-drift";
+    "domain-shared-state";
     "suppression";
   ]
 
@@ -772,6 +773,127 @@ let rule_counters files acc =
     acc registered
 
 (* ------------------------------------------------------------------ *)
+(* Rule: domain-shared-state                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Libraries whose code can execute inside a Pool worker domain: the
+   whole simulated world plus the workload/stats/harness layers the
+   campaign drivers run per cell.  A top-level mutable binding there is
+   shared by every domain in the process: at best a silent determinism
+   leak between campaign cells, at worst a cross-domain data race.  The
+   blessed replacement is [Euno_sim.Domain_ref] (domain-local storage);
+   genuinely safe process-globals (written only while no worker domain
+   exists) carry a reasoned [allow] instead. *)
+let domain_libs = sim_libs @ [ "workload"; "stats"; "harness" ]
+
+let in_domain_scope fu =
+  fu.fu_sim_pragma
+  ||
+  match lib_of fu.fu_path with Some d -> List.mem d domain_libs | None -> false
+
+(* Every label declared [mutable] in this file, whatever its type: a
+   top-level literal of such a record is writable shared state even when
+   the field holds an immutable scalar. *)
+let all_mutable_labels ast =
+  let labels = ref SSet.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.ptype_kind with
+          | Ptype_record lds ->
+              List.iter
+                (fun ld ->
+                  if ld.pld_mutable = Asttypes.Mutable then
+                    labels := SSet.add ld.pld_name.txt !labels)
+                lds
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  it.structure it ast;
+  !labels
+
+(* The binding shapes we flag: a fresh mutable container ([ref],
+   [Hashtbl.create], [Array.make], an array literal, ...) or a literal
+   of a record with mutable fields.  [Domain_ref.create] deliberately
+   does not match — it is the fix, not the disease. *)
+let rec shared_mutable_shape labels e =
+  match e.pexp_desc with
+  | Pexp_array _ -> Some "an array literal"
+  | Pexp_apply (f, _) ->
+      let parts = strip_stdlib (parts_of_fn f) in
+      if returns_container parts then
+        Some (String.concat "." parts)
+      else None
+  | Pexp_record (fields, _) ->
+      if
+        List.exists
+          (fun ({ Location.txt; _ }, _) ->
+            match last_part (parts_of_lid txt) with
+            | Some n -> SSet.mem n labels
+            | None -> false)
+          fields
+      then Some "a mutable-record literal"
+      else None
+  | Pexp_constraint (e, _) | Pexp_open (_, e) ->
+      shared_mutable_shape labels e
+  | _ -> None
+
+let binding_name pat =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go pat
+
+let rule_domain_state fu acc =
+  if not (in_domain_scope fu) then acc
+  else begin
+    let labels = all_mutable_labels fu.fu_ast in
+    let hits = ref [] in
+    (* Structure-level bindings only (including inside nested top-level
+       modules): locals inside functions are per-call, not shared. *)
+    let rec scan_items items =
+      List.iter
+        (fun si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  match binding_name vb.pvb_pat with
+                  | Some name -> (
+                      match shared_mutable_shape labels vb.pvb_expr with
+                      | Some what ->
+                          hits :=
+                            mk fu vb.pvb_loc "domain-shared-state"
+                              (Printf.sprintf
+                                 "top-level binding %s holds %s, shared by \
+                                  every domain: pool cells on worker domains \
+                                  would race on it or leak state between \
+                                  campaign cells; make it domain-local via \
+                                  Euno_sim.Domain_ref, or carry a reasoned \
+                                  allow if it is only touched while no \
+                                  worker domain exists"
+                                 name what)
+                            :: !hits
+                      | None -> ())
+                  | None -> ())
+                vbs
+          | Pstr_module
+              { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } ->
+              scan_items sub
+          | _ -> ())
+        items
+    in
+    scan_items fu.fu_ast;
+    List.rev_append !hits acc
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Rule: schema-drift                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -865,6 +987,7 @@ let run files =
   let acc = List.fold_left (fun acc fu -> rule_determinism fu acc) acc files in
   let acc = List.fold_left (fun acc fu -> rule_lock_paths fu acc) acc files in
   let acc = List.fold_left (fun acc fu -> rule_san_order fu acc) acc files in
+  let acc = List.fold_left (fun acc fu -> rule_domain_state fu acc) acc files in
   let acc = rule_counters files acc in
   let acc = rule_schema files acc in
   acc

@@ -1,4 +1,4 @@
-(** The EunoLint rule set: five AST-level checks over the repo's own
+(** The EunoLint rule set: six AST-level checks over the repo's own
     invariants (see docs/LINT.md for the catalog and the historical bug
     behind each rule).
 

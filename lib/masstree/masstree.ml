@@ -32,7 +32,8 @@ module Spinlock = Euno_sync.Spinlock
 (* Test-only mutation switches: reintroduce historical protocol bugs so
    EunoCheck can prove it detects them.  Never set outside test code. *)
 module Testonly = struct
-  let widen_read_window = ref false
+  (* Domain-local: armed per pool worker, never bleeds across cells. *)
+  let widen_read_window = Euno_sim.Domain_ref.create (fun () -> false)
   (* OLC bug: validate the leaf version *before* the record reads instead
      of after, so a writer mutating between the check and the reads hands
      the reader a torn record — the TOCTOU window before-and-after
@@ -108,7 +109,7 @@ let lock_node t node =
       end
     in
     go ();
-    if !Sev.enabled then
+    if Sev.armed () then
       Api.san_note (Sev.Acquire (Sev.Version, version_addr node))
   end
 
@@ -119,7 +120,7 @@ let lock_node t node =
 let lock_fresh t node =
   if not t.elide then begin
     Api.write (version_addr node) lock_bit;
-    if !Sev.enabled then
+    if Sev.armed () then
       Api.san_note (Sev.Acquire (Sev.Version, version_addr node))
   end
 
@@ -132,7 +133,7 @@ let unlock_node t node ~split =
   (* Announce before the version write: once the lock bit clears, the next
      holder's acquire note may precede ours in the event stream.  (Elided
      mode takes no lock, so there is nothing to release.) *)
-  if (not t.elide) && !Sev.enabled then
+  if (not t.elide) && Sev.armed () then
     Api.san_note (Sev.Release (Sev.Version, version_addr node));
   Api.write (version_addr node) v
 
@@ -257,12 +258,12 @@ let get t key =
   (* The whole lookup is one optimistic section: every read is validated
      by the before-and-after version checks, so the race detector must not
      treat them as synchronized accesses. *)
-  if !Sev.enabled then Api.san_note Sev.Opt_enter;
+  if Sev.armed () then Api.san_note Sev.Opt_enter;
   let rec attempt () =
     let leaf, v = descend t key in
     let rec read_leaf v =
       Api.work leaf_work;
-      if !Testonly.widen_read_window then begin
+      if Euno_sim.Domain_ref.get Testonly.widen_read_window then begin
         (* The pre-fix shape: version checked first, records read after —
            a writer landing in between hands us a torn record. *)
         let v' = stable_version leaf in
@@ -281,7 +282,7 @@ let get t key =
     read_leaf v
   in
   let result = attempt () in
-  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  if Sev.armed () then Api.san_note Sev.Opt_exit;
   result
 
 (* ---------- structural modification (writers) ---------- *)
@@ -315,7 +316,7 @@ let rec insert_up t node sep right =
          mutated under its own version lock.  A publish note (zero
          simulated cycles) tells the sanitizer that everything written so
          far happens-before any later holder of that lock. *)
-      if (not t.elide) && !Sev.enabled then
+      if (not t.elide) && Sev.armed () then
         Api.san_note (Sev.Publish (Sev.Version, version_addr newroot));
       if not t.elide then Spinlock.release t.root_lock
     end
@@ -401,11 +402,11 @@ let put t key value =
     (* The descend-until-locked phase is optimistic; once the leaf lock is
        held the remaining accesses are lock-synchronized and stay visible
        to the race detector. *)
-    if !Sev.enabled then Api.san_note Sev.Opt_enter;
+    if Sev.armed () then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
     (* euno-lint: allow lock-paths: put holds the leaf lock across the split path, whose raise-free contract comes from the fault model sparing plain allocations (plan.mli); a handler could not undo a half-linked split anyway *)
     lock_node t leaf;
-    if !Sev.enabled then Api.san_note Sev.Opt_exit;
+    if Sev.armed () then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;
     (* Between validation and locking the leaf may have split: its key
        range only ever shrinks, so a moved vsplit forces a restart. *)
@@ -444,11 +445,11 @@ let delete t key =
   Api.op_key key;
   let lay = layout t in
   let rec attempt () =
-    if !Sev.enabled then Api.san_note Sev.Opt_enter;
+    if Sev.armed () then Api.san_note Sev.Opt_enter;
     let leaf, v = descend t key in
     (* euno-lint: allow lock-paths: delete holds the leaf lock across in-node edits only: plan-based faults spare plain allocations (plan.mli), so the region cannot raise; EunoSan checks the release dynamically *)
     lock_node t leaf;
-    if !Sev.enabled then Api.san_note Sev.Opt_exit;
+    if Sev.armed () then Api.san_note Sev.Opt_exit;
     Api.work leaf_work;
     let v' = Api.read (version_addr leaf) in
     if vsplit_of v' <> vsplit_of v then begin
@@ -478,7 +479,7 @@ let delete t key =
 let scan t ~from ~count =
   Api.op_key from;
   (* Lock-free versioned reads throughout: one optimistic section. *)
-  if !Sev.enabled then Api.san_note Sev.Opt_enter;
+  if Sev.armed () then Api.san_note Sev.Opt_enter;
   let lay = layout t in
   let rec restart from acc remaining =
     if remaining <= 0 then List.rev acc
@@ -515,7 +516,7 @@ let scan t ~from ~count =
         else walk nxt nv from acc remaining
   in
   let result = restart from [] count in
-  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  if Sev.armed () then Api.san_note Sev.Opt_exit;
   result
 
 (* ---------- inspection (tests) ---------- *)

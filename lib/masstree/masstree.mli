@@ -11,7 +11,7 @@
     EunoCheck can prove it detects them.  Never set these outside test
     code. *)
 module Testonly : sig
-  val widen_read_window : bool ref
+  val widen_read_window : bool Euno_sim.Domain_ref.t
   (** OLC bug: in {!get}, validate the leaf version {e before} the record
       reads instead of after, reopening the TOCTOU window that
       before-and-after validation closes.  EunoCheck's mutation tests

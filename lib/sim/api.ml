@@ -25,7 +25,7 @@ let count idx delta = Effect.perform (Eff.Count (idx, delta))
 let untracked_read addr = Effect.perform (Eff.Untracked_read addr)
 let untracked_write addr value = Effect.perform (Eff.Untracked_write (addr, value))
 
-(* Double-gated on Sev.enabled: callers test it before building the note
+(* Double-gated on Sev.armed: callers test it before building the note
    (so disabled runs allocate nothing), and the re-check here keeps a
    stray ungated call harmless. *)
-let san_note note = if !Sev.enabled then Effect.perform (Eff.San_note note)
+let san_note note = if Sev.armed () then Effect.perform (Eff.San_note note)

@@ -81,6 +81,6 @@ val untracked_write : int -> int -> unit
 
 val san_note : Sev.note -> unit
 (** Announce a synchronization-protocol event to the sanitizer.  No-op
-    (and performs no effect) unless {!Sev.enabled}; call sites should
-    still test [!Sev.enabled] first so disabled runs never allocate the
+    (and performs no effect) unless {!Sev.armed}; call sites should
+    still test [Sev.armed ()] first so disabled runs never allocate the
     note.  Never charges simulated cycles. *)

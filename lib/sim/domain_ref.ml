@@ -1,0 +1,25 @@
+(* Domain-local mutable cells.
+
+   A [Domain_ref.t] is the pool-safe replacement for a top-level [ref]
+   or [Hashtbl]: each OCaml domain sees its own copy, so campaign cells
+   running on worker domains (lib/harness Pool) cannot observe arming
+   flags, testonly switches or memo tables mutated by a cell on another
+   domain.  On the main domain the cell behaves exactly like the ref it
+   replaces — the sequential path is byte-identical.
+
+   [split] runs in the parent at [Domain.spawn] time and derives the
+   child's initial value from the parent's (e.g. [Hashtbl.copy] for the
+   user-counter registry, [Fun.id] for plain flags), so state that is
+   legitimately established once at module-init time — before any
+   worker exists — is inherited, while later per-domain mutation stays
+   local. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let create ?split init =
+  match split with
+  | None -> Domain.DLS.new_key init
+  | Some f -> Domain.DLS.new_key ~split_from_parent:f init
+
+let get = Domain.DLS.get
+let set = Domain.DLS.set

@@ -1,0 +1,24 @@
+(** Domain-local mutable cells.
+
+    The pool-safe replacement for top-level [ref]/[Hashtbl] bindings in
+    libraries reachable from parallel campaign cells: each OCaml domain
+    sees its own copy, so a cell arming a flag or installing a table on
+    one worker domain cannot perturb a cell on another.  On the main
+    domain a [Domain_ref] behaves exactly like the ref it replaces.
+
+    {b Determinism:} domain-locality is what keeps parallel campaigns
+    byte-identical to sequential ones — no cross-domain state bleed
+    means each cell computes the same result it would alone. *)
+
+type 'a t
+
+val create : ?split:('a -> 'a) -> (unit -> 'a) -> 'a t
+(** [create ?split init] makes a fresh domain-local cell.  [init] runs
+    lazily, once per domain, on first access from that domain.  When
+    [split] is given it runs in the parent at [Domain.spawn] time and
+    derives the child's initial value from the parent's current value
+    (use e.g. [Hashtbl.copy] to inherit module-init-time registrations
+    without sharing the table). *)
+
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit

@@ -34,7 +34,7 @@ type _ Effect.t +=
   | Untracked_write : int * int -> unit Effect.t
   | San_note : Sev.note -> unit Effect.t
     (* sanitizer announcement (lock acquired, optimistic section, ...);
-       free of cycles, performed only while Sev.enabled *)
+       free of cycles, performed only while Sev.armed *)
 
 exception Txn_abort of Abort.code
 (* Delivered into a transaction body when the hardware aborts it.  User code

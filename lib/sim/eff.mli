@@ -37,7 +37,7 @@ type _ Effect.t +=
   | Untracked_write : int * int -> unit Effect.t
   | San_note : Sev.note -> unit Effect.t
       (** sanitizer announcement; costs no cycles, only performed while
-          {!Sev.enabled} *)
+          {!Sev.armed} *)
 
 exception Txn_abort of Abort.code
 (** Delivered into a transaction body when the hardware aborts it; only

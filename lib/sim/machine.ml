@@ -33,12 +33,20 @@ let n_user_counters = 16
    telemetry through Api.count.  Owners declare their indices here at
    module-initialization time; claiming an index another owner already
    holds is a startup failure instead of two counters silently aliasing
-   in every report.  Host-side bookkeeping only — nothing simulated. *)
+   in every report.  Host-side bookkeeping only — nothing simulated.
 
-let user_counter_registry : (int, string * string) Hashtbl.t =
-  Hashtbl.create n_user_counters
+   The table is domain-local, seeded from the parent at spawn: the
+   module-init registrations (htm, euno_tree) happen on the main domain
+   before any pool worker exists, so workers inherit a complete copy,
+   and a registration performed on one worker (e.g. by a test) can
+   neither race nor collide with another domain's. *)
+
+let user_counter_registry : (int, string * string) Hashtbl.t Domain_ref.t =
+  Domain_ref.create ~split:Hashtbl.copy (fun () ->
+      Hashtbl.create n_user_counters)
 
 let register_user_counters ~owner names =
+  let user_counter_registry = Domain_ref.get user_counter_registry in
   List.iter
     (fun (idx, name) ->
       if idx < 0 || idx >= n_user_counters then
@@ -60,11 +68,12 @@ let register_user_counters ~owner names =
 
 let user_counter_names () =
   Hashtbl.fold (fun idx (_, name) acc -> (idx, name) :: acc)
-    user_counter_registry []
+    (Domain_ref.get user_counter_registry)
+    []
   |> List.sort compare
 
 let user_counter_owner idx =
-  Option.map fst (Hashtbl.find_opt user_counter_registry idx)
+  Option.map fst (Hashtbl.find_opt (Domain_ref.get user_counter_registry) idx)
 
 type counters = {
   mutable ops : int;

@@ -162,12 +162,15 @@ val n_user_counters : int
 
 val register_user_counters : owner:string -> (int * string) list -> unit
 (** Claim user-counter indices for [owner], naming each.  The registry is
-    host-side and process-global: modules that bump counters through
-    {!Api.count} register their indices at module-initialization time, and
-    a claim that collides with a different owner's (or renames an existing
-    index) raises [Invalid_argument] — two telemetry streams can no longer
-    silently alias one counter.  Re-registering an identical claim is a
-    no-op. *)
+    host-side and domain-local: modules that bump counters through
+    {!Api.count} register their indices at module-initialization time (on
+    the main domain, before any pool worker spawns — workers inherit a
+    copy), and a claim that collides with a different owner's (or renames
+    an existing index) raises [Invalid_argument] — two telemetry streams
+    can no longer silently alias one counter.  Re-registering an
+    identical claim is a no-op, and a registration made on one domain is
+    invisible to every other, so parallel campaign cells cannot trip each
+    other's collision check. *)
 
 val user_counter_names : unit -> (int * string) list
 (** Every registered [(index, name)], ascending by index. *)

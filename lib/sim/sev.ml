@@ -64,10 +64,16 @@ and body =
 (* ---------- arming ---------- *)
 
 (* True only inside a sanitizer session.  Host-side flag shared by every
-   machine (including preload machines, whose hook stays uninstalled):
-   announcement sites in simulated code test it before performing the
-   San_note effect, so ordinary runs never even allocate a note. *)
-let enabled = ref false
+   machine of the arming domain (including preload machines, whose hook
+   stays uninstalled): announcement sites in simulated code test it
+   before performing the San_note effect, so ordinary runs never even
+   allocate a note.  Domain-local so a sanitizer cell running on one
+   pool worker cannot arm the instrumentation of a plain cell running
+   concurrently on another. *)
+let enabled : bool Domain_ref.t = Domain_ref.create (fun () -> false)
+
+let armed () = Domain_ref.get enabled
+let set_armed v = Domain_ref.set enabled v
 
 (* ---------- intentionally-racy words ---------- *)
 
@@ -76,9 +82,12 @@ let enabled = ref false
    registry is host state, not simulated state, so marks survive the
    preload-machine / measurement-machine boundary.  Only consulted by the
    race detector; reset at the start of each sanitizer session so marks
-   never leak across address reuse between sessions. *)
-let racy : (int, unit) Hashtbl.t = Hashtbl.create 64
+   never leak across address reuse between sessions.  Domain-local like
+   the arming flag: each pool worker's sessions mark into their own
+   table. *)
+let racy : (int, unit) Hashtbl.t Domain_ref.t =
+  Domain_ref.create (fun () -> Hashtbl.create 64)
 
-let mark_racy addr = if !enabled then Hashtbl.replace racy addr ()
-let is_racy addr = Hashtbl.mem racy addr
-let reset_racy () = Hashtbl.reset racy
+let mark_racy addr = if armed () then Hashtbl.replace (Domain_ref.get racy) addr ()
+let is_racy addr = Hashtbl.mem (Domain_ref.get racy) addr
+let reset_racy () = Hashtbl.reset (Domain_ref.get racy)

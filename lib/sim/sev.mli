@@ -1,6 +1,6 @@
 (** Semantic-event vocabulary of the sanitizer (EunoSan).
 
-    When armed ({!enabled}), the machine forwards every memory access,
+    When armed ({!armed}), the machine forwards every memory access,
     transaction event, lock announcement and thread lifecycle point to an
     installed hook ({!Machine.set_san_hook}) as one of these events; the
     checkers in [Euno_san] consume the stream.  With the sanitizer
@@ -56,16 +56,21 @@ and body =
       (** [aborted]: the thread died with an uncaught [Txn_abort] *)
   | Note of note
 
-val enabled : bool ref
-(** Arms the sanitizer.  Announcement sites in simulated code test this
-    before building a note, so ordinary runs pay one load+branch per
-    announcement site and allocate nothing. *)
+val armed : unit -> bool
+(** True inside a sanitizer session on the calling domain.  Announcement
+    sites in simulated code test this before building a note, so
+    ordinary runs pay one load+branch per announcement site and allocate
+    nothing.  Domain-local: arming one pool worker's sanitizer leaves
+    cells on other domains uninstrumented. *)
+
+val set_armed : bool -> unit
+(** Arm/disarm the sanitizer for the calling domain. *)
 
 val mark_racy : int -> unit
 (** Register a word as intentionally racy (a benign-race hint word); the
     race detector ignores plain accesses to it.  Host-side, so marks made
     while preloading survive into the measurement machine.  No-op unless
-    {!enabled}. *)
+    {!armed}. *)
 
 val is_racy : int -> bool
 val reset_racy : unit -> unit

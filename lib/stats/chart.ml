@@ -7,6 +7,7 @@
 
 type series = { label : string; points : float list }
 
+(* euno-lint: allow domain-shared-state: immutable in practice — a constant glyph table, only ever indexed *)
 let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
 
 let nice_max v =

@@ -37,14 +37,14 @@ let default_max_wait = 50_000_000
    flip, so the event stream orders all arrivals before all departures
    of an episode. *)
 let wait ?(max_cycles = default_max_wait) t =
-  if !Sev.enabled then Api.san_note (Sev.Barrier_arrive t.base);
+  if Sev.armed () then Api.san_note (Sev.Barrier_arrive t.base);
   let sense = Api.read (sense_addr t) in
   let arrived = Api.faa (count_addr t) 1 + 1 in
   if arrived = t.parties then begin
     (* Last arriver: open the next episode, then release everyone. *)
     Api.write (count_addr t) 0;
     Api.write (sense_addr t) (1 - sense);
-    if !Sev.enabled then Api.san_note (Sev.Barrier_depart t.base)
+    if Sev.armed () then Api.san_note (Sev.Barrier_depart t.base)
   end
   else begin
     let t0 = Api.clock () in
@@ -57,5 +57,5 @@ let wait ?(max_cycles = default_max_wait) t =
       end
     in
     spin ();
-    if !Sev.enabled then Api.san_note (Sev.Barrier_depart t.base)
+    if Sev.armed () then Api.san_note (Sev.Barrier_depart t.base)
   end

@@ -23,7 +23,7 @@ let alloc () =
 (* Readers: read_begin/read_validate must be paired — each begin opens an
    optimistic section for the sanitizer and each validate closes it. *)
 let read_begin addr =
-  if !Sev.enabled then Api.san_note Sev.Opt_enter;
+  if Sev.armed () then Api.san_note Sev.Opt_enter;
   let rec stable () =
     let v = Api.read addr in
     if v land 1 = 1 then begin
@@ -36,12 +36,12 @@ let read_begin addr =
 
 let read_validate addr v0 =
   let ok = Api.read addr = v0 in
-  if !Sev.enabled then Api.san_note Sev.Opt_exit;
+  if Sev.armed () then Api.san_note Sev.Opt_exit;
   ok
 
 let announce_acquired addr =
   Api.write (owner_addr addr) (Api.tid () + 1);
-  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Seq_writer, addr))
+  if Sev.armed () then Api.san_note (Sev.Acquire (Sev.Seq_writer, addr))
 
 let write_begin addr =
   let rec try_lock () =
@@ -80,7 +80,7 @@ let write_end addr =
     raise (Not_owner { lock = addr; tid = me - 1; holder = h - 1 });
   (* Announce before the sequence bump: once the word turns even the next
      writer's acquire note may precede ours in the event stream. *)
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Seq_writer, addr));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Seq_writer, addr));
   Api.write (owner_addr addr) 0;
   Api.write addr (Api.read addr + 1)
 

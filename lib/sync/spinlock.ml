@@ -27,7 +27,7 @@ let try_acquire addr =
     Api.read addr = unlocked
     && Api.cas addr ~expected:unlocked ~desired:(stamp ())
   in
-  if ok && !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Spin, addr));
+  if ok && Sev.armed () then Api.san_note (Sev.Acquire (Sev.Spin, addr));
   ok
 
 let acquire addr =
@@ -68,7 +68,7 @@ let release addr =
      acquirer's note may enter the event stream ahead of ours, and the
      sanitizer would miss the release->acquire edge.  The write itself is
      on a Lock line the race checker never examines. *)
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Spin, addr));
   Api.write addr unlocked
 
 let is_locked addr = Api.read addr <> unlocked

@@ -26,7 +26,7 @@ let alloc () =
 
 let announce_acquired t =
   Api.write (owner_addr t) (Api.tid () + 1);
-  if !Sev.enabled then Api.san_note (Sev.Acquire (Sev.Ticket, t.serving))
+  if Sev.armed () then Api.san_note (Sev.Acquire (Sev.Ticket, t.serving))
 
 let acquire t =
   let ticket = Api.faa t.next 1 in
@@ -79,7 +79,7 @@ let release t =
     raise (Not_owner { lock = t.serving; tid = me - 1; holder = h - 1 });
   (* Announce before the serving bump: once serving advances the next
      waiter's acquire note may precede ours in the event stream. *)
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Ticket, t.serving));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Ticket, t.serving));
   Api.write (owner_addr t) 0;
   Api.write t.serving (Api.read t.serving + 1)
 

@@ -22,7 +22,7 @@ let guarded lock body =
 
 (* Release announced before the unlocking store. *)
 let release addr =
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Spin, addr));
   Api.write addr 0
 
 let bump () = Api.count Counter.local_hits 1

@@ -1,0 +1,35 @@
+(* euno-lint: scope sim *)
+(* Re-creates the pre-pool globals: process-wide mutable state reachable
+   from pool worker cells.  Expected: four domain-shared-state findings
+   — the top-level ref, the table, the mutable-record literal and the
+   nested Testonly switch.  The per-call local, the constant list and
+   the Domain_ref stay silent. *)
+
+let hits : int ref = ref 0
+let registry : (int, string) Hashtbl.t = Hashtbl.create 16
+
+type stats = { mutable total : int; label : string }
+
+let global_stats = { total = 0; label = "shared" }
+
+module Testonly = struct
+  let force_fallback = ref false
+end
+
+(* Per-call state is not shared: locals never outlive their caller. *)
+let count xs =
+  let seen = ref 0 in
+  List.iter (fun _ -> incr seen) xs;
+  !hits + !seen + Hashtbl.length registry + global_stats.total
+
+(* Immutable top-level data is fine. *)
+let thetas = [ 0.2; 0.8; 0.99 ]
+
+(* The blessed replacement: domain-local storage. *)
+let armed = Euno_sim.Domain_ref.create (fun () -> false)
+let is_armed () = Euno_sim.Domain_ref.get armed
+
+let () =
+  ignore (count thetas);
+  ignore (is_armed ());
+  ignore !Testonly.force_fallback

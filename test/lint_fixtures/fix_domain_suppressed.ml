@@ -1,0 +1,11 @@
+(* euno-lint: scope sim *)
+(* A genuinely safe process-global carrying the required reasoned allow:
+   the hook is written only while no worker domain exists, so sharing it
+   is deliberate.  Expected: no active findings; exactly one suppressed
+   domain-shared-state. *)
+
+(* euno-lint: allow domain-shared-state: written only before any worker domain is spawned; workers read-only *)
+let completion_hook : (int -> unit) option ref = ref None
+
+let fire i = match !completion_hook with Some f -> f i | None -> ()
+let () = fire 0

@@ -7,9 +7,9 @@
 
 let release_pr4_shape addr =
   Api.write addr 0;
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr))
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Spin, addr))
 
 (* Negative control: the correct order must NOT be flagged. *)
 let release_correct addr =
-  if !Sev.enabled then Api.san_note (Sev.Release (Sev.Spin, addr));
+  if Sev.armed () then Api.san_note (Sev.Release (Sev.Spin, addr));
   Api.write addr 0

@@ -21,5 +21,6 @@ let () =
       ("check", Test_check.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
+      ("pool", Test_pool.suite);
       ("lint", Test_lint.suite);
     ]

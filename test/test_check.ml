@@ -178,8 +178,8 @@ let sev_stream spec ~seed =
   in
   Machine.set_explorer m (Some (Explore.hook (Explore.create ~seed spec)));
   let evs = ref [] in
-  Sev.enabled := true;
-  Fun.protect ~finally:(fun () -> Sev.enabled := false) @@ fun () ->
+  Sev.set_armed true;
+  Fun.protect ~finally:(fun () -> Sev.set_armed false) @@ fun () ->
   Machine.set_san_hook m (Some (fun e -> evs := e :: !evs));
   Machine.run m (fun tid ->
       for i = 1 to 8 do

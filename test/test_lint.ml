@@ -17,6 +17,8 @@ let fixture_files =
     "fix_counter_theft.ml";
     "fix_det_poly.ml";
     "fix_det_wallclock.ml";
+    "fix_domain_shared.ml";
+    "fix_domain_suppressed.ml";
     "fix_lock_branch.ml";
     "fix_lock_leak_pr2.ml";
     "fix_san_order_pr4.ml";
@@ -38,6 +40,10 @@ let expected_active =
     ("fix_det_wallclock.ml", "determinism");
     ("fix_det_wallclock.ml", "determinism");
     ("fix_det_wallclock.ml", "determinism");
+    ("fix_domain_shared.ml", "domain-shared-state");
+    ("fix_domain_shared.ml", "domain-shared-state");
+    ("fix_domain_shared.ml", "domain-shared-state");
+    ("fix_domain_shared.ml", "domain-shared-state");
     ("fix_lock_branch.ml", "lock-paths");
     ("fix_lock_leak_pr2.ml", "lock-paths");
     ("fix_san_order_pr4.ml", "san-release-order");
@@ -85,16 +91,28 @@ let test_corpus_sweep () =
 
 let test_corpus_suppressed () =
   let o = run_corpus () in
-  match o.Lint.suppressed with
-  | [ s ] ->
-      let f = s.Lint.s_finding in
-      Alcotest.(check string)
-        "suppressed file" "fix_suppressed_ok.ml" (Filename.basename f.file);
-      Alcotest.(check string) "suppressed rule" "determinism" f.rule;
-      Alcotest.(check string)
-        "reason carried" "fixture exercises reasoned suppression" s.s_reason
-  | l -> Alcotest.failf "expected exactly 1 suppressed finding, got %d"
-           (List.length l)
+  let got =
+    List.sort compare
+      (List.map
+         (fun s ->
+           ( Filename.basename s.Lint.s_finding.Rules.file,
+             s.Lint.s_finding.Rules.rule,
+             s.Lint.s_reason ))
+         o.Lint.suppressed)
+  in
+  Alcotest.(check (list (triple string string string)))
+    "exact suppressed (file, rule, reason) multiset"
+    (List.sort compare
+       [
+         ( "fix_suppressed_ok.ml",
+           "determinism",
+           "fixture exercises reasoned suppression" );
+         ( "fix_domain_suppressed.ml",
+           "domain-shared-state",
+           "written only before any worker domain is spawned; workers \
+            read-only" );
+       ])
+    got
 
 (* ---------- suppression grammar ---------- *)
 

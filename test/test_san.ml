@@ -121,9 +121,9 @@ let test_opt_section_suppresses_reads_only () =
   check_bool "optimistic write still races" true (has San.Race (San.finish c))
 
 let test_racy_mark_suppresses () =
-  Sev.enabled := true;
+  Sev.set_armed true;
   Fun.protect ~finally:(fun () ->
-      Sev.enabled := false;
+      Sev.set_armed false;
       Sev.reset_racy ())
   @@ fun () ->
   Sev.mark_racy 100;
@@ -260,10 +260,10 @@ let test_escaped_abort () =
 
 (* Arm the sanitizer around [f], with a checker hooked to machine [m]. *)
 let with_checker m f =
-  Sev.enabled := true;
+  Sev.set_armed true;
   Sev.reset_racy ();
   Fun.protect ~finally:(fun () ->
-      Sev.enabled := false;
+      Sev.set_armed false;
       Sev.reset_racy ())
   @@ fun () ->
   let c = San.create () in
@@ -319,9 +319,9 @@ let euno_leak_scenario ~mutate =
       Machine.no_injector with
       inj_alloc_fail = (fun ~tid:_ ~clock:_ ~in_txn:_ -> !starve);
     };
-  Eunomia.Euno_tree.Testonly.leak_locks_on_exn := mutate;
+  Euno_sim.Domain_ref.set Eunomia.Euno_tree.Testonly.leak_locks_on_exn mutate;
   Fun.protect ~finally:(fun () ->
-      Eunomia.Euno_tree.Testonly.leak_locks_on_exn := false)
+      Euno_sim.Domain_ref.set Eunomia.Euno_tree.Testonly.leak_locks_on_exn false)
   @@ fun () ->
   with_checker m (fun _ ->
       Machine.run m (fun _ ->
@@ -359,8 +359,8 @@ let park_escape_scenario ~mutate =
         (fun ~tid:_ ~clock ->
           if clock >= 11 && clock < 3_000 then clock + 37 else 0);
     };
-  Htm.Testonly.escape_xbegin_park := mutate;
-  Fun.protect ~finally:(fun () -> Htm.Testonly.escape_xbegin_park := false)
+  Euno_sim.Domain_ref.set Htm.Testonly.escape_xbegin_park mutate;
+  Fun.protect ~finally:(fun () -> Euno_sim.Domain_ref.set Htm.Testonly.escape_xbegin_park false)
   @@ fun () ->
   with_checker m (fun _ ->
       match
